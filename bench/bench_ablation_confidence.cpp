@@ -1,0 +1,84 @@
+/**
+ * @file
+ * §3.2 ablation: confidence-threshold sweep for selective predicate
+ * prediction. The confidence counter gates which predicate predictions
+ * may cancel if-converted instructions at rename; a wider counter means a
+ * longer correct streak is required before a prediction is trusted.
+ *
+ * Low widths cancel aggressively (more flushes); high widths fall back to
+ * CMOV more often (more wasted resources). The paper's design point uses
+ * a saturating counter zeroed on any misprediction.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace pp;
+    using namespace pp::bench;
+
+    // A representative subset keeps this sweep fast; the full suite can
+    // be enabled by REPRO_FULL=1.
+    std::vector<program::BenchmarkProfile> suite;
+    const bool full = std::getenv("REPRO_FULL") != nullptr;
+    for (const auto &p : program::spec2000Suite()) {
+        if (full || p.name == "gzip" || p.name == "crafty" ||
+            p.name == "mcf" || p.name == "art" || p.name == "mesa" ||
+            p.name == "vortex") {
+            suite.push_back(p);
+        }
+    }
+
+    const unsigned widths[] = {1, 2, 3, 4, 5};
+
+    TextTable t;
+    t.setHeader({"benchmark", "conf=1 IPC", "conf=2 IPC", "conf=3 IPC",
+                 "conf=4 IPC", "conf=5 IPC"});
+
+    std::vector<double> sums(5, 0.0);
+    std::vector<std::uint64_t> flushes(5, 0);
+    std::vector<std::uint64_t> fallbacks(5, 0);
+    for (const auto &prof : suite) {
+        std::fprintf(stderr, "  [%s]", prof.name.c_str());
+        const program::Program binary = sim::buildBinary(prof, true);
+        std::vector<double> ipcs;
+        for (std::size_t w = 0; w < 5; ++w) {
+            sim::SchemeConfig cfgs;
+            cfgs.scheme = core::PredictionScheme::PredicatePredictor;
+            cfgs.predication =
+                core::PredicationModel::SelectivePrediction;
+            cfgs.confidenceBits = widths[w];
+            const auto r = sim::run(binary, prof, cfgs,
+                                    sim::defaultWarmup(),
+                                    sim::defaultInstructions());
+            ipcs.push_back(r.ipc);
+            sums[w] += r.ipc;
+            flushes[w] += r.stats.predicateFlushes;
+            fallbacks[w] += r.stats.cmovFallbacks;
+            std::fprintf(stderr, ".");
+        }
+        t.addRow(prof.name, ipcs, 3);
+    }
+    std::fprintf(stderr, "\n");
+    const double n = static_cast<double>(suite.size());
+    t.addRow("AVERAGE", {sums[0] / n, sums[1] / n, sums[2] / n,
+                         sums[3] / n, sums[4] / n}, 3);
+
+    std::printf("\n== Confidence-width ablation (selective predication, "
+                "if-converted code) ==\n");
+    t.print(std::cout);
+    std::printf("\npredicate flushes per width:");
+    for (std::size_t w = 0; w < 5; ++w)
+        std::printf("  %u:%llu", widths[w],
+                    static_cast<unsigned long long>(flushes[w]));
+    std::printf("\ncmov fallbacks per width:   ");
+    for (std::size_t w = 0; w < 5; ++w)
+        std::printf("  %u:%llu", widths[w],
+                    static_cast<unsigned long long>(fallbacks[w]));
+    std::printf("\n");
+    return 0;
+}

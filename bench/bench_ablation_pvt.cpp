@@ -1,0 +1,65 @@
+/**
+ * @file
+ * §3.3 ablation: one PVT accessed through two hash functions (the paper's
+ * design — the second hash inverts the MSB of the first) versus a
+ * statically split PVT (the design the paper rejects because single-
+ * prediction compares would waste the second half and increase aliasing).
+ *
+ * Expected shape: DualHash >= Split on average, with the gap growing on
+ * benchmarks with many single-destination compares (loop-heavy codes).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace pp;
+    using namespace pp::bench;
+
+    std::vector<SchemeColumn> columns(2);
+    columns[0].name = "dual-hash";
+    columns[0].cfg.scheme = core::PredictionScheme::PredicatePredictor;
+    columns[1].name = "split-pvt";
+    columns[1].cfg.scheme = core::PredictionScheme::PredicatePredictor;
+
+    // The split mode is selected through the predictor config; runs are
+    // done manually so we can alter it.
+    auto suite = program::spec2000Suite();
+    TextTable t;
+    t.setHeader({"benchmark", "dual-hash miss%", "split-pvt miss%"});
+
+    double sum_dual = 0.0;
+    double sum_split = 0.0;
+    for (const auto &prof : suite) {
+        std::fprintf(stderr, "  [%s]", prof.name.c_str());
+        const program::Program binary = sim::buildBinary(prof, true);
+
+        sim::SchemeConfig dual;
+        dual.scheme = core::PredictionScheme::PredicatePredictor;
+        auto r_dual = sim::run(binary, prof, dual, sim::defaultWarmup(),
+                               sim::defaultInstructions());
+
+        sim::SchemeConfig split = dual;
+        split.splitPvt = true;
+        auto r_split = sim::run(binary, prof, split, sim::defaultWarmup(),
+                                sim::defaultInstructions());
+
+        sum_dual += r_dual.mispredRatePct;
+        sum_split += r_split.mispredRatePct;
+        t.addRow(prof.name,
+                 {r_dual.mispredRatePct, r_split.mispredRatePct});
+    }
+    std::fprintf(stderr, "\n");
+    const double n = static_cast<double>(suite.size());
+    t.addRow("AVERAGE", {sum_dual / n, sum_split / n});
+
+    std::printf("\n== PVT organization ablation (if-converted code) ==\n");
+    t.print(std::cout);
+    std::printf("\ndual-hash advantage: %+0.3f%% accuracy (paper argues "
+                "the split table wastes space on single-prediction "
+                "compares)\n", (sum_split - sum_dual) / n);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: suite iteration, run
+ * caching, and paper-style table printing.
+ */
+
+#ifndef PP_BENCH_BENCH_COMMON_HH
+#define PP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "program/suite.hh"
+#include "sim/simulator.hh"
+
+namespace pp
+{
+namespace bench
+{
+
+/** One column of an experiment: a named scheme configuration. */
+struct SchemeColumn
+{
+    std::string name;
+    sim::SchemeConfig cfg;
+};
+
+/** Results matrix: result[benchmark][column]. */
+struct SweepResult
+{
+    std::vector<std::string> benchmarks;
+    std::vector<std::string> columns;
+    std::vector<std::vector<sim::RunResult>> results;
+
+    /** Arithmetic mean of a metric across benchmarks for column @p c. */
+    double
+    mean(std::size_t c, double (*metric)(const sim::RunResult &)) const
+    {
+        double sum = 0.0;
+        for (const auto &row : results)
+            sum += metric(row[c]);
+        return sum / static_cast<double>(results.size());
+    }
+};
+
+/**
+ * Run every benchmark of the suite under every scheme column on the same
+ * binary (built once per benchmark), printing progress to stderr.
+ */
+inline SweepResult
+sweepSuite(const std::vector<program::BenchmarkProfile> &suite,
+           bool if_convert, const std::vector<SchemeColumn> &columns,
+           std::uint64_t warmup, std::uint64_t measure)
+{
+    SweepResult out;
+    for (const auto &col : columns)
+        out.columns.push_back(col.name);
+    for (const auto &prof : suite) {
+        std::fprintf(stderr, "  [%s]", prof.name.c_str());
+        const program::Program binary =
+            sim::buildBinary(prof, if_convert);
+        std::vector<sim::RunResult> row;
+        for (const auto &col : columns) {
+            row.push_back(
+                sim::run(binary, prof, col.cfg, warmup, measure));
+            std::fprintf(stderr, ".");
+        }
+        out.benchmarks.push_back(prof.name);
+        out.results.push_back(std::move(row));
+    }
+    std::fprintf(stderr, "\n");
+    return out;
+}
+
+/** Print a "mispred-rate per benchmark per scheme" table plus averages. */
+inline void
+printMispredTable(const SweepResult &sweep, const std::string &title)
+{
+    TextTable t;
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &c : sweep.columns)
+        header.push_back(c + " miss%");
+    t.setHeader(header);
+
+    std::vector<double> sums(sweep.columns.size(), 0.0);
+    for (std::size_t b = 0; b < sweep.benchmarks.size(); ++b) {
+        std::vector<double> vals;
+        for (std::size_t c = 0; c < sweep.columns.size(); ++c) {
+            vals.push_back(sweep.results[b][c].mispredRatePct);
+            sums[c] += sweep.results[b][c].mispredRatePct;
+        }
+        t.addRow(sweep.benchmarks[b], vals);
+    }
+    std::vector<double> avgs;
+    for (double s : sums)
+        avgs.push_back(s / static_cast<double>(sweep.benchmarks.size()));
+    t.addRow("AVERAGE", avgs);
+
+    std::printf("\n== %s ==\n", title.c_str());
+    t.print(std::cout);
+}
+
+} // namespace bench
+} // namespace pp
+
+#endif // PP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Selective predicate prediction IPC experiment (§3.2 / §5).
+ *
+ * The paper argues its predictor enables efficient predicated execution on
+ * an out-of-order core at almost no extra hardware: instructions whose
+ * predicate is confidently predicted false are cancelled at rename
+ * (solving multiple register definitions and freeing the resources that
+ * CMOV-style predication wastes). The underlying selective scheme was
+ * reported to outperform prior predicate-execution techniques by 11% IPC
+ * [Quiñones et al., ICS'06].
+ *
+ * This harness runs the if-converted suite under:
+ *   1. conventional BP + CMOV-style predication (baseline), and
+ *   2. predicate predictor + selective predicate prediction (proposed),
+ * and reports per-benchmark IPC plus the geometric-mean speedup. The
+ * expected shape: the proposed scheme wins consistently; exact magnitude
+ * depends on how much predicated work if-conversion created.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace pp;
+    using namespace pp::bench;
+
+    std::vector<SchemeColumn> columns(2);
+    columns[0].name = "cmov";
+    columns[0].cfg.scheme = core::PredictionScheme::Conventional;
+    columns[0].cfg.predication = core::PredicationModel::Cmov;
+    columns[1].name = "selective";
+    columns[1].cfg.scheme = core::PredictionScheme::PredicatePredictor;
+    columns[1].cfg.predication =
+        core::PredicationModel::SelectivePrediction;
+
+    const auto sweep =
+        sweepSuite(program::spec2000Suite(), /*if_convert=*/true, columns,
+                   sim::defaultWarmup(), sim::defaultInstructions());
+
+    TextTable t;
+    t.setHeader({"benchmark", "cmov IPC", "selective IPC", "speedup%",
+                 "nullified", "cmov-fallback"});
+
+    double log_speedup = 0.0;
+    for (std::size_t b = 0; b < sweep.benchmarks.size(); ++b) {
+        const auto &base = sweep.results[b][0];
+        const auto &sel = sweep.results[b][1];
+        const double speedup = 100.0 * (sel.ipc / base.ipc - 1.0);
+        log_speedup += std::log(sel.ipc / base.ipc);
+        t.addRow({sweep.benchmarks[b],
+                  std::to_string(base.ipc).substr(0, 5),
+                  std::to_string(sel.ipc).substr(0, 5),
+                  std::to_string(speedup).substr(0, 5),
+                  std::to_string(sel.stats.nullifiedAtRename),
+                  std::to_string(sel.stats.cmovFallbacks)});
+    }
+
+    std::printf("\n== Selective predicate prediction IPC "
+                "(if-converted code) ==\n");
+    t.print(std::cout);
+    const double gmean = 100.0 *
+        (std::exp(log_speedup /
+                  static_cast<double>(sweep.benchmarks.size())) - 1.0);
+    std::printf("\ngeometric-mean IPC speedup of selective predicate "
+                "prediction over CMOV-style predication: %+0.2f%%\n"
+                "(the ICS'06 scheme the paper builds on reported +11%% "
+                "over prior predicate-execution techniques)\n", gmean);
+    return 0;
+}

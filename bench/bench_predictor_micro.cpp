@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the predictor structures: lookup
+ * and train throughput of gshare, the conventional perceptron, PEP-PA and
+ * the predicate perceptron, plus the cache model. These characterize
+ * simulator performance (host cost per prediction), not simulated cycles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "memory/cache.hh"
+#include "predictor/gshare.hh"
+#include "predictor/peppa.hh"
+#include "predictor/perceptron.hh"
+#include "predictor/predicate_perceptron.hh"
+
+using namespace pp;
+using namespace pp::predictor;
+
+namespace
+{
+
+void
+BM_GsharePredictResolve(benchmark::State &state)
+{
+    Gshare g;
+    Rng rng(1);
+    for (auto _ : state) {
+        BranchContext ctx;
+        ctx.pc = 0x1000 + (rng.next64() & 0xfff) * 4;
+        PredState st;
+        const bool pred = g.predict(ctx, st);
+        const bool actual = rng.bernoulli(0.6);
+        if (pred != actual)
+            g.correctHistory(st, actual);
+        g.resolve(ctx, st, actual);
+    }
+}
+BENCHMARK(BM_GsharePredictResolve);
+
+void
+BM_PerceptronPredictResolve(benchmark::State &state)
+{
+    PerceptronPredictor p{PerceptronConfig{}};
+    Rng rng(2);
+    for (auto _ : state) {
+        BranchContext ctx;
+        ctx.pc = 0x1000 + (rng.next64() & 0xfff) * 4;
+        PredState st;
+        const bool pred = p.predict(ctx, st);
+        const bool actual = rng.bernoulli(0.6);
+        if (pred != actual)
+            p.correctHistory(st, actual);
+        p.resolve(ctx, st, actual);
+    }
+}
+BENCHMARK(BM_PerceptronPredictResolve);
+
+void
+BM_PepPaPredictResolve(benchmark::State &state)
+{
+    PepPa p{PepPaConfig{}};
+    Rng rng(3);
+    for (auto _ : state) {
+        BranchContext ctx;
+        ctx.pc = 0x1000 + (rng.next64() & 0xfff) * 4;
+        ctx.qpArchValue = rng.bernoulli(0.5);
+        PredState st;
+        const bool pred = p.predict(ctx, st);
+        const bool actual = rng.bernoulli(0.6);
+        if (pred != actual)
+            p.correctHistory(st, actual);
+        p.resolve(ctx, st, actual);
+    }
+}
+BENCHMARK(BM_PepPaPredictResolve);
+
+void
+BM_PredicatePerceptronPredictResolve(benchmark::State &state)
+{
+    PredicatePerceptron p{PredicatePredictorConfig{}};
+    Rng rng(4);
+    for (auto _ : state) {
+        CompareContext ctx;
+        ctx.pc = 0x1000 + (rng.next64() & 0xfff) * 4;
+        ctx.needSecond = rng.bernoulli(0.5);
+        PredPredState st;
+        p.predict(ctx, st);
+        p.resolve(ctx, st, rng.bernoulli(0.5), rng.bernoulli(0.5));
+    }
+}
+BENCHMARK(BM_PredicatePerceptronPredictResolve);
+
+void
+BM_CacheAccessHit(benchmark::State &state)
+{
+    memory::CacheConfig cc;
+    memory::Cache cache(cc, nullptr, 120);
+    Rng rng(5);
+    Cycle now = 0;
+    for (auto _ : state) {
+        // Working set fits: hits dominate.
+        const Addr a = (rng.next64() & 0x7fff) & ~63ull;
+        benchmark::DoNotOptimize(cache.access(a, false, ++now));
+    }
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void
+BM_CacheAccessMissHeavy(benchmark::State &state)
+{
+    memory::CacheConfig cc;
+    memory::Cache cache(cc, nullptr, 120);
+    Rng rng(6);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next64() & 0xffffff) & ~63ull;
+        benchmark::DoNotOptimize(cache.access(a, false, ++now));
+    }
+}
+BENCHMARK(BM_CacheAccessMissHeavy);
+
+} // namespace
+
+BENCHMARK_MAIN();

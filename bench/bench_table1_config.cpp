@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Table 1 reproduction: dump and self-check the simulated machine's
+ * architectural parameters against the paper's table.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/config.hh"
+#include "predictor/gshare.hh"
+#include "predictor/peppa.hh"
+#include "predictor/perceptron.hh"
+#include "predictor/predicate_perceptron.hh"
+
+int
+main()
+{
+    using namespace pp;
+
+    const core::CoreConfig cfg;
+
+    TextTable t;
+    t.setHeader({"parameter", "simulated", "paper (Table 1)"});
+    auto row = [&](const char *a, const std::string &b, const char *c) {
+        t.addRow({a, b, c});
+    };
+
+    row("Fetch width", std::to_string(cfg.fetchWidth) + " insts (2 bundles)",
+        "up to 2 bundles (6 instructions)");
+    row("Integer issue queue", std::to_string(cfg.intIqEntries),
+        "80 entries");
+    row("FP issue queue", std::to_string(cfg.fpIqEntries), "80 entries");
+    row("Branch issue queue", std::to_string(cfg.brIqEntries),
+        "32 entries");
+    row("Load/store queues",
+        std::to_string(cfg.lqEntries) + "+" + std::to_string(cfg.sqEntries),
+        "2 separate queues of 64 entries");
+    row("Reorder buffer", std::to_string(cfg.robEntries), "256 entries");
+    row("L1D", std::to_string(cfg.mem.l1d.sizeBytes / 1024) + "KB, " +
+        std::to_string(cfg.mem.l1d.assoc) + "-way, " +
+        std::to_string(cfg.mem.l1d.blockBytes) + "B, " +
+        std::to_string(cfg.mem.l1d.hitLatency) + "cyc",
+        "64KB, 4-way, 64B, 2 cycles");
+    row("L1I", std::to_string(cfg.mem.l1i.sizeBytes / 1024) + "KB, " +
+        std::to_string(cfg.mem.l1i.assoc) + "-way, " +
+        std::to_string(cfg.mem.l1i.blockBytes) + "B, " +
+        std::to_string(cfg.mem.l1i.hitLatency) + "cyc",
+        "32KB, 4-way, 64B, 1 cycle");
+    row("L2 unified", std::to_string(cfg.mem.l2.sizeBytes / 1024) + "KB, " +
+        std::to_string(cfg.mem.l2.assoc) + "-way, " +
+        std::to_string(cfg.mem.l2.blockBytes) + "B, " +
+        std::to_string(cfg.mem.l2.hitLatency) + "cyc",
+        "1MB, 16-way, 128B, 8 cycles");
+    row("DTLB", std::to_string(cfg.mem.dtlb.entries) + " entries, " +
+        std::to_string(cfg.mem.dtlb.missPenalty) + "-cyc miss",
+        "512 entries, 10-cycle miss");
+    row("ITLB", std::to_string(cfg.mem.itlb.entries) + " entries, " +
+        std::to_string(cfg.mem.itlb.missPenalty) + "-cyc miss",
+        "512 entries, 10-cycle miss");
+    row("Main memory", std::to_string(cfg.mem.memLatency) + " cycles",
+        "120 cycles");
+
+    const predictor::Gshare gshare(cfg.gshare);
+    const predictor::PerceptronPredictor perc(cfg.perceptron);
+    const predictor::PepPa peppa(cfg.peppa);
+    const predictor::PredicatePerceptron pred(cfg.predicate);
+
+    row("L1 predictor (gshare)",
+        std::to_string(gshare.storageBytes() / 1024) + "KB, " +
+        std::to_string(cfg.gshare.historyBits) + "-bit GHR, 1 cycle",
+        "4KB, 14-bit GHR, 1 cycle");
+    row("L2 perceptron",
+        std::to_string(perc.storageBytes() / 1024) + "KB, " +
+        std::to_string(cfg.perceptron.globalBits) + "-bit GHR, " +
+        std::to_string(cfg.perceptron.localBits) + "-bit LHR, " +
+        std::to_string(perc.latency()) + " cycles",
+        "148KB, 30-bit GHR, 10-bit LHR, 3 cycles");
+    row("Predicate predictor",
+        std::to_string(pred.storageBytes() / 1024) + "KB, " +
+        std::to_string(cfg.predicate.globalBits) + "-bit GHR, " +
+        std::to_string(cfg.predicate.localBits) + "-bit LHR, " +
+        std::to_string(pred.latency()) + " cycles",
+        "148KB, 30-bit GHR, 10-bit LHR, 3 cycles");
+    row("PEP-PA predictor",
+        std::to_string(peppa.storageBytes() / 1024) + "KB, " +
+        std::to_string(cfg.peppa.localBits) + "-bit local history",
+        "144KB, 14-bit local history");
+    row("Mispredict recovery",
+        std::to_string(cfg.mispredictRecovery) + " cycles", "10 cycles");
+
+    std::printf("== Table 1: architectural parameters ==\n");
+    t.print(std::cout);
+
+    // Self-checks (hard constraints of the reproduction).
+    bool ok = true;
+    auto check = [&](bool cond, const char *what) {
+        if (!cond) {
+            std::printf("MISMATCH: %s\n", what);
+            ok = false;
+        }
+    };
+    check(cfg.robEntries == 256, "ROB size");
+    check(cfg.fetchWidth == 6, "fetch width");
+    check(gshare.storageBytes() == 4096, "gshare 4KB");
+    check(perc.storageBytes() / 1024 >= 140 &&
+          perc.storageBytes() / 1024 <= 156, "perceptron ~148KB");
+    check(pred.storageBytes() / 1024 >= 140 &&
+          pred.storageBytes() / 1024 <= 156, "predicate predictor ~148KB");
+    check(peppa.storageBytes() / 1024 >= 136 &&
+          peppa.storageBytes() / 1024 <= 152, "PEP-PA ~144KB");
+    check(cfg.mem.memLatency == 120, "memory latency");
+    std::printf("%s\n", ok ? "\nall parameter checks PASSED"
+                           : "\nparameter checks FAILED");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Custom workload walkthrough: shows the public API for defining your own
+ * benchmark profile (rather than using the built-in SPEC2000-like suite),
+ * building both binaries, and comparing all three prediction schemes plus
+ * the selective-predication execution model.
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+
+int
+main()
+{
+    using namespace pp;
+
+    // A "branchy interpreter" style profile: correlated dispatch tests,
+    // moderate hoisting, heavy call traffic.
+    program::BenchmarkProfile prof;
+    prof.name = "myinterp";
+    prof.seed = 0xfeedc0de;
+    prof.numFunctions = 10;
+    prof.regionsPerFunction = 12;
+    prof.wCall = 0.12;
+    prof.wCorrChain = 0.20;
+    prof.pCorrGuard = 0.24;
+    prof.pEasyBiased = 0.30;
+    prof.hoistFrac = 0.4;
+    prof.dataBytes = 1ull << 22;
+    prof.ifcMispredThreshold = 0.04;
+
+    program::IfConvertStats ifc;
+    const program::Program plain = sim::buildBinary(prof, false);
+    const program::Program conv = sim::buildBinary(prof, true, &ifc);
+    std::printf("custom benchmark '%s': %zu static insts, %zu regions "
+                "converted\n\n", prof.name.c_str(), plain.size(),
+                ifc.regionsConverted);
+
+    const std::uint64_t warm = 50000;
+    const std::uint64_t insts = 300000;
+
+    struct Column
+    {
+        const char *label;
+        sim::SchemeConfig cfg;
+    };
+    Column cols[4];
+    cols[0].label = "pep-pa";
+    cols[0].cfg.scheme = core::PredictionScheme::PepPa;
+    cols[1].label = "conventional";
+    cols[1].cfg.scheme = core::PredictionScheme::Conventional;
+    cols[2].label = "predicate";
+    cols[2].cfg.scheme = core::PredictionScheme::PredicatePredictor;
+    cols[3].label = "predicate+selective";
+    cols[3].cfg.scheme = core::PredictionScheme::PredicatePredictor;
+    cols[3].cfg.predication = core::PredicationModel::SelectivePrediction;
+
+    for (const bool use_conv : {false, true}) {
+        const program::Program &bin = use_conv ? conv : plain;
+        std::printf("--- %s binary ---\n",
+                    use_conv ? "if-converted" : "plain");
+        for (const Column &c : cols) {
+            // Selective predication only pays off on predicated code.
+            if (!use_conv && c.cfg.predication ==
+                                 core::PredicationModel::SelectivePrediction)
+                continue;
+            const auto r = sim::run(bin, prof, c.cfg, warm, insts);
+            std::printf("  %-20s miss %5.2f%%  IPC %.3f", c.label,
+                        r.mispredRatePct, r.ipc);
+            if (c.cfg.scheme == core::PredictionScheme::PredicatePredictor)
+                std::printf("  early %4.1f%%", r.earlyResolvedPct);
+            if (c.cfg.predication ==
+                core::PredicationModel::SelectivePrediction)
+                std::printf("  nullified %llu",
+                            static_cast<unsigned long long>(
+                                r.stats.nullifiedAtRename));
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

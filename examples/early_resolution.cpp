@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Early-resolved branches demo (§3.1): builds the same hammock with the
+ * guard compare scheduled 0..40 instructions ahead of the branch, and
+ * shows how the fraction of early-resolved branches — and with it the
+ * effective accuracy on an *unpredictable* condition — rises with the
+ * scheduling distance. At distance 0 the predicate predictor can do no
+ * better than guessing; once the compare executes before the branch
+ * renames, the "prediction" is the computed value and is always right.
+ */
+
+#include <cstdio>
+
+#include "core/core.hh"
+#include "program/asmprog.hh"
+
+namespace
+{
+
+using namespace pp;
+using namespace pp::program;
+using namespace pp::isa;
+
+/** Hammock whose 50/50 guard compare sits @p distance insts early. */
+Program
+makeProgram(int distance)
+{
+    AsmProgram p;
+    p.addCondition(ConditionSpec::dataDep(0.5));
+    const LabelId top = p.newLabel();
+    p.placeLabel(top);
+    const LabelId skip = p.newLabel();
+    p.emit(makeCmp(CmpType::Unc, 1, 2, 0));
+    for (int i = 0; i < distance; ++i)
+        p.emit(makeAlu(Opcode::IAdd, 3 + (i % 24), 4 + (i % 24),
+                       5 + (i % 22)));
+    p.emit(makeBranch(0, 2), skip);
+    p.emit(makeAlu(Opcode::IAdd, 30, 31, 32));
+    p.emit(makeAlu(Opcode::IXor, 33, 30, 34));
+    p.placeLabel(skip);
+    p.emit(makeBranch(0), top);
+    return p.assemble(1 << 20, "early");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace pp;
+
+    std::printf("=== early-resolved branches vs compare-branch "
+                "scheduling distance ===\n");
+    std::printf("(hammock guarded by an unpredictable 50/50 condition)\n\n");
+    std::printf("%8s  %14s  %12s  %8s\n", "distance", "early-resolved",
+                "mispredict", "IPC");
+
+    for (const int distance : {0, 4, 8, 12, 16, 20, 28, 40}) {
+        const program::Program bin = makeProgram(distance);
+        core::CoreConfig cfg;
+        cfg.scheme = core::PredictionScheme::PredicatePredictor;
+        core::OoOCore cpu(bin, cfg, 99);
+        cpu.run(200000);
+        const auto &s = cpu.coreStats();
+        std::printf("%8d  %13.1f%%  %11.2f%%  %8.3f\n", distance,
+                    100.0 * double(s.earlyResolvedBranches) /
+                        double(s.committedCondBranches),
+                    s.mispredRatePct(), s.ipc());
+    }
+
+    std::printf("\nEvery early-resolved branch reads the *computed* "
+                "predicate from the PPRF\nat rename, so it can never "
+                "mispredict — exactly the paper's 100%% claim.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Error reporting helpers, modeled on gem5's logging.hh conventions:
+ * panic() for simulator bugs, fatal() for user/configuration errors.
+ */
+
+#ifndef PP_COMMON_LOGGING_HH
+#define PP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pp
+{
+
+/** Abort the process: an internal invariant was violated (a simulator bug). */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Exit cleanly: the user supplied an invalid configuration. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Status message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless @p cond holds. */
+inline void
+panicIfNot(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace pp
+
+#endif // PP_COMMON_LOGGING_HH

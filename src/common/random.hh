@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (workload generation, condition
+ * evaluation) flows through Xoshiro256** seeded via SplitMix64, so a run is
+ * fully reproducible from a single 64-bit seed.
+ */
+
+#ifndef PP_COMMON_RANDOM_HH
+#define PP_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace pp
+{
+
+/**
+ * SplitMix64: used to expand a single seed into stream state.
+ * Reference: Vigna, http://prng.di.unimi.it/splitmix64.c
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Return the next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** generator. Fast, high quality, 256-bit state.
+ * Reference: Blackman & Vigna, http://prng.di.unimi.it/xoshiro256starstar.c
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (state expanded with SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x1234abcdull)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Bias is negligible for the bounds used here (<< 2^32).
+        return next64() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace pp
+
+#endif // PP_COMMON_RANDOM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Saturating counter used throughout the predictors.
+ */
+
+#ifndef PP_COMMON_SAT_COUNTER_HH
+#define PP_COMMON_SAT_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace pp
+{
+
+/**
+ * An n-bit unsigned saturating counter.
+ *
+ * Used for PHT entries (2-bit) and for the predicate-prediction confidence
+ * estimator (the paper's "saturated counter ... incremented with every
+ * correct prediction and zeroed if a misprediction occurs").
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param num_bits width of the counter (1..15)
+     * @param initial initial count
+     */
+    explicit SatCounter(unsigned num_bits = 2, unsigned initial = 0)
+        : maxVal((1u << num_bits) - 1), count(initial)
+    {
+        assert(num_bits >= 1 && num_bits < 16);
+        assert(initial <= maxVal);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (count < maxVal)
+            ++count;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (count > 0)
+            --count;
+    }
+
+    /** Reset the counter to zero. */
+    void reset() { count = 0; }
+
+    /** Set to the maximum value. */
+    void saturate() { count = maxVal; }
+
+    /** Current count. */
+    unsigned value() const { return count; }
+
+    /** Maximum representable count. */
+    unsigned max() const { return maxVal; }
+
+    /** True iff the counter is saturated at its maximum. */
+    bool isSaturated() const { return count == maxVal; }
+
+    /** MSB view: true for the "taken" half of the range. */
+    bool taken() const { return count > maxVal / 2; }
+
+  private:
+    unsigned maxVal;
+    unsigned count;
+};
+
+} // namespace pp
+
+#endif // PP_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,49 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace pp
+{
+namespace stats
+{
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &e : scalars) {
+        os << std::left << std::setw(42) << (name + "." + e.name)
+           << std::right << std::setw(16) << e.scalar->value();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+    for (const auto &e : formulas) {
+        os << std::left << std::setw(42) << (name + "." + e.name)
+           << std::right << std::setw(16) << std::fixed
+           << std::setprecision(6) << e.formula();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+}
+
+Group &
+Registry::group(const std::string &name)
+{
+    auto it = groups.find(name);
+    if (it == groups.end()) {
+        order.push_back(name);
+        it = groups.emplace(name, Group(name)).first;
+    }
+    return it->second;
+}
+
+void
+Registry::dumpAll(std::ostream &os) const
+{
+    for (const auto &name : order)
+        groups.at(name).dump(os);
+}
+
+} // namespace stats
+} // namespace pp

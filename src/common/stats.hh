@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A small statistics package: named scalar counters and derived formulas
+ * collected into groups, with text dumping. Inspired by gem5's stats.
+ */
+
+#ifndef PP_COMMON_STATS_HH
+#define PP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pp
+{
+namespace stats
+{
+
+/** A named 64-bit counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(std::uint64_t d) { val += d; return *this; }
+
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/**
+ * A group of named statistics. Subsystems register their counters here so
+ * the simulator can dump a coherent report.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string group_name) : name(std::move(group_name)) {}
+
+    /** Register a scalar counter under @p stat_name. */
+    void
+    addScalar(const std::string &stat_name, const Scalar *scalar,
+              const std::string &desc = "")
+    {
+        scalars.push_back({stat_name, scalar, desc});
+    }
+
+    /** Register a derived value computed on demand. */
+    void
+    addFormula(const std::string &stat_name,
+               std::function<double()> formula,
+               const std::string &desc = "")
+    {
+        formulas.push_back({stat_name, std::move(formula), desc});
+    }
+
+    /** Write "group.stat  value  # desc" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    const std::string &groupName() const { return name; }
+
+  private:
+    struct ScalarEntry
+    {
+        std::string name;
+        const Scalar *scalar;
+        std::string desc;
+    };
+
+    struct FormulaEntry
+    {
+        std::string name;
+        std::function<double()> formula;
+        std::string desc;
+    };
+
+    std::string name;
+    std::vector<ScalarEntry> scalars;
+    std::vector<FormulaEntry> formulas;
+};
+
+/** Registry of all stat groups in one simulation instance. */
+class Registry
+{
+  public:
+    /** Create (or fetch) a group. The registry owns all groups. */
+    Group &group(const std::string &name);
+
+    /** Dump every group, in registration order. */
+    void dumpAll(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> order;
+    std::map<std::string, Group> groups;
+};
+
+} // namespace stats
+} // namespace pp
+
+#endif // PP_COMMON_STATS_HH

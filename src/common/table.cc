@@ -1,0 +1,69 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace pp
+{
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label, const std::vector<double> &vals,
+                  int precision)
+{
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : vals) {
+        std::ostringstream ss;
+        ss << std::fixed << std::setprecision(precision) << v;
+        cells.push_back(ss.str());
+    }
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t ncols = header.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<std::size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    if (!header.empty())
+        measure(header);
+    for (const auto &r : rows)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            if (i == 0)
+                os << std::left << std::setw(static_cast<int>(width[i]))
+                   << r[i] << std::right;
+            else
+                os << "  " << std::setw(static_cast<int>(width[i])) << r[i];
+        }
+        os << '\n';
+    };
+
+    if (!header.empty()) {
+        emit(header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < ncols; ++i)
+            total += width[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows)
+        emit(r);
+}
+
+} // namespace pp

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style rows (one row per benchmark, one column per scheme).
+ */
+
+#ifndef PP_COMMON_TABLE_HH
+#define PP_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pp
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cols) { header = std::move(cols); }
+
+    /** Append a data row (cells already formatted as strings). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a row of a label plus doubles formatted to @p precision. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int precision = 2);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace pp
+
+#endif // PP_COMMON_TABLE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef PP_COMMON_TYPES_HH
+#define PP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pp
+{
+
+/** Byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Global dynamic-instruction sequence number (monotonic, never reused). */
+using InstSeqNum = std::uint64_t;
+
+/** Architectural (logical) register index within a register class. */
+using RegIndex = std::uint16_t;
+
+/** Physical register index within a physical register file. */
+using PhysRegIndex = std::uint16_t;
+
+/** Sentinel used for "no register". */
+constexpr RegIndex invalidReg = 0xffff;
+
+/** Sentinel used for "no physical register". */
+constexpr PhysRegIndex invalidPhysReg = 0xffff;
+
+/** Sentinel sequence number (no instruction). */
+constexpr InstSeqNum invalidSeqNum = 0;
+
+} // namespace pp
+
+#endif // PP_COMMON_TYPES_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Branch prediction unit: the two-level override organization of Table 1
+ * (single-cycle gshare first level; 3-cycle second level that is either
+ * the conventional perceptron, PEP-PA, or the paper's predicate
+ * predictor), plus a checkpointed return-address stack and the optional
+ * trace-driven shadow predictor used by the Fig. 6b breakdown.
+ */
+
+#ifndef PP_CORE_BPU_HH
+#define PP_CORE_BPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/config.hh"
+#include "predictor/gshare.hh"
+#include "predictor/peppa.hh"
+#include "predictor/perceptron.hh"
+#include "predictor/predicate_perceptron.hh"
+
+namespace pp
+{
+namespace core
+{
+
+/** Checkpointed return-address stack. */
+class Ras
+{
+  public:
+    explicit Ras(unsigned depth = 64) : stack(depth, 0) {}
+
+    /** Snapshot for one branch (undoes at most one push or pop). */
+    struct Ckpt
+    {
+        std::uint16_t top = 0;
+        Addr clobberSlot = 0;
+    };
+
+    Ckpt
+    checkpoint() const
+    {
+        return {topIdx, stack[(topIdx + 1) % stack.size()]};
+    }
+
+    void
+    restore(const Ckpt &ck)
+    {
+        stack[(ck.top + 1) % stack.size()] = ck.clobberSlot;
+        topIdx = ck.top;
+    }
+
+    void
+    push(Addr a)
+    {
+        topIdx = static_cast<std::uint16_t>((topIdx + 1) % stack.size());
+        stack[topIdx] = a;
+    }
+
+    Addr top() const { return stack[topIdx]; }
+
+    void
+    pop()
+    {
+        topIdx = static_cast<std::uint16_t>(
+            (topIdx + stack.size() - 1) % stack.size());
+    }
+
+  private:
+    std::vector<Addr> stack;
+    std::uint16_t topIdx = 0;
+};
+
+/** Container wiring the configured predictors together. */
+class Bpu
+{
+  public:
+    explicit Bpu(const CoreConfig &cfg)
+    {
+        auto gcfg = cfg.gshare;
+        l1 = std::make_unique<predictor::Gshare>(gcfg);
+
+        switch (cfg.scheme) {
+          case PredictionScheme::Conventional: {
+            auto pcfg = cfg.perceptron;
+            pcfg.noAlias = cfg.idealNoAlias;
+            pcfg.perfectHistory = cfg.idealPerfectHistory;
+            l2 = std::make_unique<predictor::PerceptronPredictor>(pcfg);
+            break;
+          }
+          case PredictionScheme::PepPa:
+            l2 = std::make_unique<predictor::PepPa>(cfg.peppa);
+            break;
+          case PredictionScheme::PredicatePredictor: {
+            auto ppcfg = cfg.predicate;
+            ppcfg.noAlias = cfg.idealNoAlias;
+            ppcfg.perfectHistory = cfg.idealPerfectHistory;
+            predicate =
+                std::make_unique<predictor::PredicatePerceptron>(ppcfg);
+            break;
+          }
+        }
+
+        if (cfg.shadowConventional) {
+            auto scfg = cfg.perceptron;
+            shadow = std::make_unique<predictor::PerceptronPredictor>(scfg);
+        }
+    }
+
+    /** First-level gshare (always present). */
+    std::unique_ptr<predictor::Gshare> l1;
+
+    /** Second-level branch predictor (Conventional / PepPa schemes). */
+    std::unique_ptr<predictor::DirectionPredictor> l2;
+
+    /** The predicate predictor (PredicatePredictor scheme). */
+    std::unique_ptr<predictor::PredicatePerceptron> predicate;
+
+    /** Trace-driven conventional shadow (Fig. 6b instrumentation). */
+    std::unique_ptr<predictor::PerceptronPredictor> shadow;
+
+    /** Return-address stack. */
+    Ras ras;
+};
+
+} // namespace core
+} // namespace pp
+
+#endif // PP_CORE_BPU_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Out-of-order core configuration. Defaults reproduce the paper's Table 1.
+ */
+
+#ifndef PP_CORE_CONFIG_HH
+#define PP_CORE_CONFIG_HH
+
+#include "common/types.hh"
+#include "memory/memsystem.hh"
+#include "predictor/gshare.hh"
+#include "predictor/peppa.hh"
+#include "predictor/perceptron.hh"
+#include "predictor/predicate_perceptron.hh"
+
+namespace pp
+{
+namespace core
+{
+
+/** Which second-level direction scheme the front end uses. */
+enum class PredictionScheme : std::uint8_t
+{
+    Conventional,      ///< gshare L1 + branch-PC perceptron L2 (Table 1)
+    PepPa,             ///< gshare L1 + 144KB PEP-PA L2
+    PredicatePredictor,///< gshare L1 + the paper's predicate predictor
+};
+
+/** How predicated (if-converted) instructions execute. */
+enum class PredicationModel : std::uint8_t
+{
+    Cmov,                ///< select-style: extra qp + old-dest operands
+    SelectivePrediction, ///< rename-time cancellation on confident preds
+};
+
+/** Core parameters (defaults == the paper's Table 1). */
+struct CoreConfig
+{
+    /** @name Widths and structures */
+    /// @{
+    unsigned fetchWidth = 6;   ///< up to 2 bundles == 6 instructions
+    unsigned renameWidth = 6;
+    unsigned commitWidth = 6;
+    unsigned robEntries = 256;
+    unsigned intIqEntries = 80;
+    unsigned fpIqEntries = 80;
+    unsigned brIqEntries = 32;
+    unsigned lqEntries = 64;
+    unsigned sqEntries = 64;
+    unsigned fetchBufferEntries = 18;
+    /// @}
+
+    /** @name Physical registers */
+    /// @{
+    unsigned intPhysRegs = 256;
+    unsigned fpPhysRegs = 256;
+    unsigned predPhysRegs = 192;
+    /// @}
+
+    /** @name Pipeline timing (8-stage machine) */
+    /// @{
+    unsigned frontEndDepth = 3;      ///< fetch -> rename latency in cycles
+    Cycle mispredictRecovery = 10;   ///< Table 1 recovery penalty
+    /// @}
+
+    /** @name Functional units (per-cycle issue capacity per class) */
+    /// @{
+    unsigned intAluUnits = 4;
+    unsigned intMultUnits = 1;
+    unsigned fpAddUnits = 2;
+    unsigned fpMulUnits = 2;
+    unsigned memPorts = 2;
+    unsigned branchUnits = 2;
+    /// @}
+
+    /** @name Execution latencies (cycles) */
+    /// @{
+    Cycle intAluLat = 1;
+    Cycle intMultLat = 5;
+    Cycle fpAddLat = 3;
+    Cycle fpMulLat = 4;
+    Cycle fpDivLat = 16;
+    Cycle compareLat = 1;
+    Cycle branchLat = 1;
+    Cycle agenLat = 1;        ///< address generation before cache access
+    Cycle forwardLat = 1;     ///< store-to-load forwarding
+    /// @}
+
+    /** @name Scheme selection */
+    /// @{
+    PredictionScheme scheme = PredictionScheme::Conventional;
+    PredicationModel predication = PredicationModel::Cmov;
+
+    /** Idealized variants (the paper's "no alias, perfect history"). */
+    bool idealNoAlias = false;
+    bool idealPerfectHistory = false;
+
+    /**
+     * Run a trace-driven conventional predictor alongside the predicate
+     * scheme to attribute accuracy differences (Fig. 6b methodology).
+     */
+    bool shadowConventional = false;
+    /// @}
+
+    /** @name Component configurations */
+    /// @{
+    predictor::GshareConfig gshare;
+    predictor::PerceptronConfig perceptron;
+    predictor::PepPaConfig peppa;
+    predictor::PredicatePredictorConfig predicate;
+    memory::MemSystemConfig mem;
+    /// @}
+};
+
+} // namespace core
+} // namespace pp
+
+#endif // PP_CORE_CONFIG_HH

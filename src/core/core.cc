@@ -1,0 +1,1121 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include <cstdlib>
+#include <cstdio>
+
+#include "common/bitutils.hh"
+
+namespace pp
+{
+namespace core
+{
+
+using isa::Opcode;
+using isa::OpClass;
+using predictor::BranchContext;
+using predictor::CompareContext;
+
+OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
+                 std::uint64_t seed)
+    : program(prog), cfg(config), mem(config.mem), emu(prog, seed),
+      bpu(config), intMap(isa::numIntRegs, config.intPhysRegs),
+      fpMap(isa::numFpRegs, config.fpPhysRegs),
+      pprf(isa::numPredRegs, config.predPhysRegs), fetchPc(prog.entry())
+{
+    traceOn = std::getenv("REPRO_TRACE") != nullptr;
+    panicIfNot(cfg.predication != PredicationModel::SelectivePrediction ||
+               cfg.scheme == PredictionScheme::PredicatePredictor,
+               "selective predication requires the predicate predictor");
+}
+
+void
+OoOCore::ensureOracle(std::uint64_t idx)
+{
+    while (oracleBase + oracleBuf.size() <= idx)
+        oracleBuf.push_back(emu.step());
+}
+
+const program::ExecRecord &
+OoOCore::oracleAt(std::uint64_t idx)
+{
+    ensureOracle(idx);
+    return oracleBuf[idx - oracleBase];
+}
+
+void
+OoOCore::trimOracle(std::uint64_t committed_idx)
+{
+    while (oracleBase <= committed_idx && !oracleBuf.empty()) {
+        oracleBuf.pop_front();
+        ++oracleBase;
+    }
+}
+
+DynInst *
+OoOCore::findInRob(InstSeqNum seq)
+{
+    auto it = std::lower_bound(rob.begin(), rob.end(), seq,
+                               [](const DynInst &d, InstSeqNum s) {
+                                   return d.seq < s;
+                               });
+    if (it == rob.end() || it->seq != seq)
+        return nullptr;
+    return &*it;
+}
+
+bool
+OoOCore::isIntDest(const DynInst &d) const
+{
+    return d.ins->dst != invalidReg && !d.ins->isFp();
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+OoOCore::doFetch()
+{
+    if (fetchHalted || now < fetchResumeCycle)
+        return;
+
+    unsigned fetched = 0;
+    while (fetched < cfg.fetchWidth &&
+           frontEnd.size() < cfg.fetchBufferEntries) {
+        // Instruction cache: charge one access per line touched.
+        const Addr line = fetchPc / cfg.mem.l1i.blockBytes;
+        if (line != lastFetchLine) {
+            const Cycle done = mem.instAccess(fetchPc, now);
+            lastFetchLine = line;
+            if (done > now + cfg.mem.l1i.hitLatency) {
+                fetchResumeCycle = done;
+                return;
+            }
+        }
+
+        // Correct-path check against the oracle stream.
+        bool correct = false;
+        std::uint64_t oracle_idx = wrongPathOracle;
+        if (fetchOnOracle) {
+            const program::ExecRecord &rec = oracleAt(oracleCursor);
+            if (rec.pc == fetchPc) {
+                correct = true;
+                oracle_idx = oracleCursor;
+            } else {
+                fetchOnOracle = false;
+                if (traceOn) {
+                    std::fprintf(stderr,
+                                 "[%llu] diverge: fetchPc=0x%llx "
+                                 "oracle[%llu].pc=0x%llx\n",
+                                 (unsigned long long)now,
+                                 (unsigned long long)fetchPc,
+                                 (unsigned long long)oracleCursor,
+                                 (unsigned long long)rec.pc);
+                }
+            }
+        }
+
+        const isa::Instruction *ins;
+        if (correct) {
+            ins = oracleAt(oracle_idx).ins;
+        } else {
+            ins = program.at(fetchPc);
+            if (ins == nullptr) {
+                // Wrong path ran off the code image: fetch idles until
+                // the inevitable flush redirects it.
+                fetchHalted = true;
+                return;
+            }
+        }
+
+        DynInst d;
+        d.seq = ++seqCounter;
+        d.pc = fetchPc;
+        d.ins = ins;
+        d.correctPath = correct;
+        d.oracleIdx = oracle_idx;
+        if (correct)
+            d.rec = oracleAt(oracle_idx);
+        d.stage = InstStage::Fetched;
+        d.fetchCycle = now;
+        d.renameReadyCycle = now + cfg.frontEndDepth;
+
+        if (correct)
+            ++oracleCursor;
+
+        // Predicate predictions start at compare fetch (Figure 2).
+        if (ins->isCompare() &&
+            cfg.scheme == PredictionScheme::PredicatePredictor) {
+            CompareContext cctx;
+            cctx.pc = d.pc;
+            cctx.needSecond =
+                ins->pdst2 != isa::regP0 && ins->pdst2 != invalidReg;
+            if (cfg.idealPerfectHistory && correct) {
+                cctx.oracle1 = d.rec.pd1Val;
+                cctx.oracle2 = d.rec.pd2Val;
+            }
+            bpu.predicate->predict(cctx, d.ppState);
+        }
+
+        bool ends_group = false;
+        if (ins->isBranch()) {
+            const auto ck = bpu.ras.checkpoint();
+            d.rasCkptTop = ck.top;
+            d.rasCkptAddr = ck.clobberSlot;
+
+            bool taken = true;
+            if (ins->isConditionalBranch()) {
+                BranchContext bctx;
+                bctx.pc = d.pc;
+                bctx.qpLogical = ins->qp;
+                bctx.qpArchValue = archPred[ins->qp];
+                if (cfg.idealPerfectHistory && correct)
+                    bctx.oracleOutcome = d.rec.branchTaken;
+                taken = bpu.l1->predict(bctx, d.l1State);
+                // The 3-cycle second level also reads/shifts its history
+                // in fetch order; its answer overrides at rename.
+                if (bpu.l2)
+                    bpu.l2->predict(bctx, d.l2State);
+            }
+            d.fetchPredTaken = taken;
+            d.finalPredTaken = taken;
+
+            Addr target = ins->target;
+            if (ins->op == Opcode::BrRet) {
+                target = bpu.ras.top();
+                if (taken)
+                    bpu.ras.pop();
+            } else if (ins->op == Opcode::BrCall && taken) {
+                bpu.ras.push(d.pc + isa::instBytes);
+            }
+            d.predTarget = target;
+
+            if (taken) {
+                fetchPc = target;
+                ends_group = true; // taken branch ends the fetch group
+            } else {
+                fetchPc += isa::instBytes;
+            }
+        } else {
+            fetchPc += isa::instBytes;
+        }
+
+        frontEnd.push_back(d);
+        ++fetched;
+        if (ends_group)
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rename
+// ---------------------------------------------------------------------
+
+void
+OoOCore::renameBranch(DynInst &d)
+{
+    if (!d.ins->isConditionalBranch())
+        return;
+
+    bool final_dir = d.fetchPredTaken;
+    if (cfg.scheme == PredictionScheme::PredicatePredictor) {
+        const PprfEntry &e = pprf.entry(d.qpPhys);
+        if (!e.speculative) {
+            // Early-resolved branch (§3.1): the compare already executed,
+            // so the "prediction" is the computed value.
+            d.earlyResolved = true;
+            final_dir = e.value;
+        } else {
+            final_dir = e.value; // the stored prediction
+        }
+    } else {
+        final_dir = d.l2State.predTaken;
+    }
+    d.finalPredTaken = final_dir;
+
+    if (final_dir != d.fetchPredTaken) {
+        // Second-level override: squash the younger front end and
+        // redirect fetch (the penalty is the natural refill latency).
+        ++stats_.overrideRedirects;
+        if (traceOn) {
+            std::fprintf(stderr,
+                         "[%llu] override seq=%llu idx=%llu pc=0x%llx "
+                         "cp=%d final=%d\n",
+                         (unsigned long long)now,
+                         (unsigned long long)d.seq,
+                         (unsigned long long)d.oracleIdx,
+                         (unsigned long long)d.pc, d.correctPath,
+                         (int)d.finalPredTaken);
+        }
+        while (!frontEnd.empty()) {
+            undoInst(frontEnd.back());
+            frontEnd.pop_back();
+        }
+        bpu.l1->reforecast(d.l1State, final_dir);
+
+        Addr new_pc =
+            final_dir ? d.predTarget : d.pc + isa::instBytes;
+        // Oracle cursor: resume right after this branch in program order.
+        if (d.correctPath) {
+            oracleCursor = d.oracleIdx + 1;
+            fetchOnOracle = true;
+        }
+        fetchPc = new_pc;
+        fetchHalted = false;
+        lastFetchLine = ~0ull;
+        fetchResumeCycle = now + 1;
+    }
+}
+
+void
+OoOCore::renamePredicated(DynInst &d)
+{
+    // Non-branch instruction guarded by a real predicate.
+    if (cfg.predication == PredicationModel::Cmov ||
+        cfg.scheme != PredictionScheme::PredicatePredictor) {
+        d.cmovMode = true;
+        return;
+    }
+
+    PprfEntry &e = pprf.entry(d.qpPhys);
+    if (!e.speculative) {
+        // Predicate already computed: exact decision, no speculation.
+        if (!e.value) {
+            d.nullified = true;
+            ++stats_.nullifiedAtRename;
+        } else {
+            d.unguarded = true;
+        }
+        return;
+    }
+    if (!e.confident) {
+        d.cmovMode = true;
+        ++stats_.cmovFallbacks;
+        return;
+    }
+    // Confident speculative prediction: consume it and register this
+    // instruction as the flush point if it is the first consumer.
+    if (!e.robPtrValid) {
+        e.robPtrValid = true;
+        e.robPtr = d.seq;
+        d.robPtrEntry = d.qpPhys;
+    }
+    if (!e.value) {
+        d.nullified = true;
+        ++stats_.nullifiedAtRename;
+    } else {
+        d.unguarded = true;
+        ++stats_.unguardedAtRename;
+    }
+}
+
+bool
+OoOCore::renameOne()
+{
+    DynInst &fd = frontEnd.front();
+    if (fd.renameReadyCycle > now)
+        return false;
+    if (rob.size() >= cfg.robEntries)
+        return false;
+
+    const isa::Instruction *ins = fd.ins;
+    const OpClass cls = ins->opClass();
+
+    // Issue-queue admission.
+    if (!fd.nullified) {
+        if (cls == OpClass::Branch) {
+            if (brIq.size() >= cfg.brIqEntries)
+                return false;
+        } else if (ins->isFp() && !ins->isLoad() && !ins->isStore()) {
+            if (fpIq.size() >= cfg.fpIqEntries)
+                return false;
+        } else if (cls != OpClass::No_OpClass) {
+            if (intIq.size() >= cfg.intIqEntries)
+                return false;
+        }
+    }
+    if (ins->isLoad() && loadQ.size() >= cfg.lqEntries)
+        return false;
+    if (ins->isStore() && storeQ.size() >= cfg.sqEntries)
+        return false;
+
+    // Physical register availability.
+    if (ins->isCompare()) {
+        unsigned need = 0;
+        if (ins->pdst1 != isa::regP0 && ins->pdst1 != invalidReg)
+            ++need;
+        if (ins->pdst2 != isa::regP0 && ins->pdst2 != invalidReg)
+            ++need;
+        if (!pprf.hasFree(need))
+            return false;
+    } else if (ins->dst != invalidReg) {
+        if (ins->isFp() ? !fpMap.hasFree() : !intMap.hasFree())
+            return false;
+    }
+
+    rob.push_back(std::move(fd));
+    frontEnd.pop_front();
+    DynInst &d = rob.back();
+
+    d.qpPhys = pprf.lookup(ins->qp);
+
+    // Source renaming.
+    if (ins->isFp() && !ins->isLoad() && !ins->isStore()) {
+        if (ins->src1 != invalidReg)
+            d.srcPhys1 = fpMap.lookup(ins->src1);
+        if (ins->src2 != invalidReg)
+            d.srcPhys2 = fpMap.lookup(ins->src2);
+    } else if (ins->isStore()) {
+        if (ins->src1 != invalidReg)
+            d.srcPhys1 = intMap.lookup(ins->src1);
+        if (ins->src2 != invalidReg)
+            d.srcPhys2 = ins->isFp() ? fpMap.lookup(ins->src2)
+                                     : intMap.lookup(ins->src2);
+    } else {
+        if (ins->src1 != invalidReg)
+            d.srcPhys1 = intMap.lookup(ins->src1);
+        if (ins->src2 != invalidReg)
+            d.srcPhys2 = intMap.lookup(ins->src2);
+    }
+
+    // Predication decision must precede destination allocation: nullified
+    // instructions leave the rename map untouched (the "multiple register
+    // definitions" solution of the selective scheme).
+    if (ins->isPredicated() && !ins->isBranch() && !ins->isCompare())
+        renamePredicated(d);
+
+    // Destination renaming.
+    if (ins->isCompare()) {
+        int slot = 0;
+        if (ins->pdst1 != isa::regP0 && ins->pdst1 != invalidReg) {
+            const PhysRegIndex old = pprf.lookup(ins->pdst1);
+            d.pdstPhys1 = pprf.allocate(ins->pdst1, d.seq);
+            d.renames[slot++] = {RenameUndo::Class::Pred, ins->pdst1, old,
+                                 d.pdstPhys1};
+        }
+        if (ins->pdst2 != isa::regP0 && ins->pdst2 != invalidReg) {
+            const PhysRegIndex old = pprf.lookup(ins->pdst2);
+            d.pdstPhys2 = pprf.allocate(ins->pdst2, d.seq);
+            d.renames[slot++] = {RenameUndo::Class::Pred, ins->pdst2, old,
+                                 d.pdstPhys2};
+        }
+        if (cfg.scheme == PredictionScheme::PredicatePredictor) {
+            if (d.pdstPhys1 != invalidPhysReg)
+                pprf.writePrediction(d.pdstPhys1, d.ppState.pred1,
+                                     d.ppState.conf1);
+            if (d.pdstPhys2 != invalidPhysReg)
+                pprf.writePrediction(d.pdstPhys2, d.ppState.pred2,
+                                     d.ppState.conf2);
+        }
+    } else if (ins->dst != invalidReg && !d.nullified) {
+        RenameMap &map = ins->isFp() ? fpMap : intMap;
+        const auto rclass = ins->isFp() ? RenameUndo::Class::Fp
+                                        : RenameUndo::Class::Int;
+        d.oldDstPhys = map.lookup(ins->dst);
+        d.dstPhys = map.allocate(ins->dst);
+        d.renames[0] = {rclass, ins->dst, d.oldDstPhys, d.dstPhys};
+    }
+
+    // Memory effective address (timing). Wrong-path accesses use a
+    // pseudo-address so cache pollution is modeled.
+    if ((ins->isLoad() || ins->isStore()) && !d.nullified) {
+        d.memAddr = d.correctPath
+            ? d.rec.memAddr
+            : (mix64(d.pc ^ d.seq) & (program.dataSize() - 1) & ~7ull);
+        if (ins->isLoad())
+            loadQ.push_back(d.seq);
+        else
+            storeQ.push_back(d.seq);
+    }
+
+    // Branches consult the second level / PPRF here (3-cycle latency has
+    // elapsed since fetch) and may redirect the front end.
+    if (ins->isBranch())
+        renameBranch(d);
+
+    d.stage = InstStage::Renamed;
+    if (d.nullified) {
+        d.stage = InstStage::Done;
+        d.doneCycle = now;
+    } else if (cls == OpClass::Branch) {
+        brIq.push_back(d.seq);
+    } else if (ins->isFp() && !ins->isLoad() && !ins->isStore()) {
+        fpIq.push_back(d.seq);
+    } else if (cls != OpClass::No_OpClass) {
+        intIq.push_back(d.seq);
+    } else {
+        // True nop: completes immediately.
+        d.stage = InstStage::Done;
+        d.doneCycle = now;
+    }
+    return true;
+}
+
+void
+OoOCore::doRename()
+{
+    for (unsigned i = 0; i < cfg.renameWidth && !frontEnd.empty(); ++i) {
+        if (!renameOne())
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------
+
+bool
+OoOCore::srcsReady(const DynInst &d) const
+{
+    const isa::Instruction *ins = d.ins;
+    const bool fp_srcs = ins->isFp() && !ins->isLoad() && !ins->isStore();
+
+    auto int_ready = [&](PhysRegIndex p) { return intMap.isReady(p, now); };
+    auto fp_ready = [&](PhysRegIndex p) { return fpMap.isReady(p, now); };
+    auto pred_ready = [&](PhysRegIndex p) {
+        return p == invalidPhysReg || pprf.entry(p).readyCycle <= now;
+    };
+
+    if (fp_srcs) {
+        if (!fp_ready(d.srcPhys1) || !fp_ready(d.srcPhys2))
+            return false;
+    } else if (ins->isStore()) {
+        if (!int_ready(d.srcPhys1))
+            return false;
+        if (d.srcPhys2 != invalidPhysReg &&
+            !(ins->isFp() ? fp_ready(d.srcPhys2) : int_ready(d.srcPhys2)))
+            return false;
+    } else {
+        if (!int_ready(d.srcPhys1) || !int_ready(d.srcPhys2))
+            return false;
+    }
+
+    // Qualifying predicate: branches resolve by reading it; CMOV-mode
+    // instructions carry it (plus the old destination) as extra operands.
+    if (ins->isBranch() && ins->isConditionalBranch() &&
+        !pred_ready(d.qpPhys)) {
+        return false;
+    }
+    if (d.cmovMode) {
+        if (!pred_ready(d.qpPhys))
+            return false;
+        if (d.oldDstPhys != invalidPhysReg &&
+            !(ins->isFp() ? fp_ready(d.oldDstPhys)
+                          : int_ready(d.oldDstPhys))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Cycle
+OoOCore::executeLatency(const DynInst &d) const
+{
+    switch (d.ins->opClass()) {
+      case OpClass::IntAlu: return cfg.intAluLat;
+      case OpClass::IntMult: return cfg.intMultLat;
+      case OpClass::FloatAdd: return cfg.fpAddLat;
+      case OpClass::FloatMult:
+        return d.ins->op == Opcode::FDiv ? cfg.fpDivLat : cfg.fpMulLat;
+      case OpClass::FloatDiv: return cfg.fpDivLat;
+      case OpClass::Compare: return cfg.compareLat;
+      case OpClass::Branch: return cfg.branchLat;
+      default: return 1;
+    }
+}
+
+void
+OoOCore::doIssue()
+{
+    unsigned int_alu = cfg.intAluUnits;
+    unsigned int_mult = cfg.intMultUnits;
+    unsigned fp_add = cfg.fpAddUnits;
+    unsigned fp_mul = cfg.fpMulUnits;
+    unsigned mem_ports = cfg.memPorts;
+    unsigned br_units = cfg.branchUnits;
+
+    auto issue_from = [&](std::vector<InstSeqNum> &iq) {
+        for (auto it = iq.begin(); it != iq.end();) {
+            DynInst *d = findInRob(*it);
+            if (d == nullptr) { // squashed
+                it = iq.erase(it);
+                continue;
+            }
+            if (d->stage != InstStage::Renamed || !srcsReady(*d)) {
+                ++it;
+                continue;
+            }
+
+            // Functional-unit availability.
+            unsigned *budget = nullptr;
+            switch (d->ins->opClass()) {
+              case OpClass::IntAlu:
+              case OpClass::Compare: budget = &int_alu; break;
+              case OpClass::IntMult: budget = &int_mult; break;
+              case OpClass::FloatAdd: budget = &fp_add; break;
+              case OpClass::FloatMult:
+              case OpClass::FloatDiv: budget = &fp_mul; break;
+              case OpClass::MemRead:
+              case OpClass::MemWrite: budget = &mem_ports; break;
+              case OpClass::Branch: budget = &br_units; break;
+              default: break;
+            }
+            if (budget == nullptr || *budget == 0) {
+                ++it;
+                continue;
+            }
+
+            Cycle done;
+            if (d->isLoad()) {
+                // Conservative disambiguation: wait until every older
+                // store in the SQ has computed its address.
+                bool blocked = false;
+                const DynInst *fwd = nullptr;
+                for (const InstSeqNum sseq : storeQ) {
+                    if (sseq >= d->seq)
+                        break;
+                    DynInst *s = findInRob(sseq);
+                    if (s == nullptr)
+                        continue;
+                    if (!s->addrReady || s->addrReadyCycle > now) {
+                        blocked = true;
+                        break;
+                    }
+                    if ((s->memAddr >> 3) == (d->memAddr >> 3))
+                        fwd = s; // youngest older match wins
+                }
+                if (blocked) {
+                    ++it;
+                    continue;
+                }
+                if (fwd != nullptr) {
+                    done = now + cfg.agenLat + cfg.forwardLat;
+                } else {
+                    done = mem.dataAccess(d->memAddr, false,
+                                          now + cfg.agenLat);
+                }
+            } else if (d->isStore()) {
+                done = now + cfg.agenLat;
+                d->addrReady = true;
+                d->addrReadyCycle = done;
+            } else {
+                done = now + executeLatency(*d);
+            }
+
+            --*budget;
+            d->stage = InstStage::Issued;
+            d->doneCycle = done;
+            completionEvents.emplace(done, d->seq);
+            it = iq.erase(it);
+        }
+    };
+
+    issue_from(brIq);
+    issue_from(intIq);
+    issue_from(fpIq);
+}
+
+// ---------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------
+
+void
+OoOCore::completeCompare(DynInst &d)
+{
+    // Determine the architectural values of the two predicate targets.
+    bool v1 = false;
+    bool v2 = false;
+    if (d.correctPath) {
+        v1 = d.rec.pd1Written
+            ? d.rec.pd1Val
+            : (d.renames[0].regClass == RenameUndo::Class::Pred
+               ? pprf.entry(d.renames[0].oldPhys).value : false);
+        // Locate pdst2's undo slot (it is slot 1 when pdst1 was renamed,
+        // else slot 0).
+        const int slot2 = d.pdstPhys1 != invalidPhysReg ? 1 : 0;
+        v2 = d.rec.pd2Written
+            ? d.rec.pd2Val
+            : (d.pdstPhys2 != invalidPhysReg
+               ? pprf.entry(d.renames[slot2].oldPhys).value : false);
+    }
+    d.actualPd1 = v1;
+    d.actualPd2 = v2;
+
+    if (d.pdstPhys1 != invalidPhysReg)
+        pprf.writeComputed(d.pdstPhys1, v1, d.doneCycle);
+    if (d.pdstPhys2 != invalidPhysReg)
+        pprf.writeComputed(d.pdstPhys2, v2, d.doneCycle);
+
+    if (!d.correctPath)
+        return;
+
+    // PEP-PA's logical predicate register file is written at writeback,
+    // out of order — including the staleness that entails.
+    if (d.rec.pd1Written)
+        archPred[d.ins->pdst1] = d.rec.pd1Val;
+    if (d.rec.pd2Written)
+        archPred[d.ins->pdst2] = d.rec.pd2Val;
+
+    if (cfg.scheme != PredictionScheme::PredicatePredictor)
+        return;
+
+    // Repair the speculative global history bit this compare inserted.
+    // Compares that predicted in between keep what they saw (§3.3).
+    if (d.ppState.valid && d.ppState.pred1 != v1)
+        ++stats_.comparePd1Mispredicts;
+    if (d.ppState.valid && d.ppState.pred1 != v1 &&
+        !cfg.idealPerfectHistory) {
+        // Repair the wrong bit wherever it lives: in the checkpoints of
+        // every in-flight younger compare (so a later squash-restore, and
+        // their eventual training, see the computed value) and in the
+        // live histories. The *predictions* those compares already made
+        // with the corrupted bit stand — the §3.3 corruption window.
+        unsigned ghr_depth = 0; // compares that shifted after this one
+        unsigned lht_depth = 0; // ... with the same PC (local history)
+        auto patch = [&](DynInst &y) {
+            if (!y.isCompare() || !y.ppState.valid || y.seq <= d.seq)
+                return;
+            y.ppState.ghrCkpt ^= (1ull << ghr_depth);
+            if (y.pc == d.pc) {
+                y.ppState.localCkpt ^= (1ull << lht_depth);
+                ++lht_depth;
+            }
+            ++ghr_depth;
+        };
+        for (DynInst &y : rob)
+            patch(y);
+        for (DynInst &y : frontEnd)
+            patch(y);
+        CompareContext cctx;
+        cctx.pc = d.pc;
+        bpu.predicate->correctHistoryAtDepth(cctx, d.ppState, v1,
+                                             ghr_depth, lht_depth);
+    }
+
+    // Selective predication: a wrong prediction consumed by an
+    // if-converted instruction flushes from the first consumer.
+    InstSeqNum flush_seq = invalidSeqNum;
+    for (const PhysRegIndex p : {d.pdstPhys1, d.pdstPhys2}) {
+        if (p == invalidPhysReg)
+            continue;
+        const PprfEntry &e = pprf.entry(p);
+        if (e.mispredicted && e.robPtrValid) {
+            if (flush_seq == invalidSeqNum || e.robPtr < flush_seq)
+                flush_seq = e.robPtr;
+        }
+    }
+    if (flush_seq != invalidSeqNum) {
+        DynInst *victim = findInRob(flush_seq);
+        if (victim != nullptr && victim->correctPath) {
+            ++stats_.predicateFlushes;
+            const Addr refetch = victim->pc;
+            const std::uint64_t oidx = victim->oracleIdx;
+            squashFrom(flush_seq, refetch, cfg.mispredictRecovery);
+            oracleCursor = oidx;
+            fetchOnOracle = true;
+        }
+    }
+}
+
+void
+OoOCore::completeBranch(DynInst &d)
+{
+    if (!d.correctPath)
+        return; // modeled choice: wrong-path branches do not redirect
+
+    const bool actual = d.rec.branchTaken;
+    const bool dir_wrong =
+        d.ins->isConditionalBranch() && actual != d.finalPredTaken;
+    const bool target_wrong =
+        !dir_wrong && actual && d.predTarget != d.rec.nextPc;
+
+    if (!dir_wrong && !target_wrong)
+        return;
+
+    ++stats_.branchMispredFlushes;
+    if (traceOn) {
+        std::fprintf(stderr,
+                     "[%llu] brflush seq=%llu idx=%llu pc=0x%llx -> "
+                     "0x%llx dirw=%d tgtw=%d\n",
+                     (unsigned long long)now, (unsigned long long)d.seq,
+                     (unsigned long long)d.oracleIdx,
+                     (unsigned long long)d.pc,
+                     (unsigned long long)d.rec.nextPc, dir_wrong,
+                     target_wrong);
+    }
+    squashFrom(d.seq + 1, d.rec.nextPc, cfg.mispredictRecovery);
+    oracleCursor = d.oracleIdx + 1;
+    fetchOnOracle = true;
+
+    // Rewrite this branch's own speculative history bit with the truth.
+    if (d.ins->isConditionalBranch()) {
+        bpu.l1->correctHistory(d.l1State, actual);
+        if (bpu.l2)
+            bpu.l2->correctHistory(d.l2State, actual);
+    }
+}
+
+void
+OoOCore::processCompletions()
+{
+    // Collect every event due this cycle, oldest instruction first.
+    std::vector<InstSeqNum> due;
+    while (!completionEvents.empty() &&
+           completionEvents.begin()->first <= now) {
+        due.push_back(completionEvents.begin()->second);
+        completionEvents.erase(completionEvents.begin());
+    }
+    std::sort(due.begin(), due.end());
+
+    for (const InstSeqNum seq : due) {
+        DynInst *d = findInRob(seq);
+        if (d == nullptr || d->stage != InstStage::Issued)
+            continue; // squashed (possibly by an older event this cycle)
+        d->stage = InstStage::Done;
+
+        if (d->dstPhys != invalidPhysReg) {
+            (d->ins->isFp() ? fpMap : intMap).setReady(d->dstPhys,
+                                                       d->doneCycle);
+        }
+        if (d->isCompare())
+            completeCompare(*d);
+        else if (d->isBranch())
+            completeBranch(*d);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+OoOCore::commitTrain(DynInst &d)
+{
+    static const char *trace_pc_env = std::getenv("REPRO_TRACE_PC");
+    static const Addr trace_pc =
+        trace_pc_env ? std::strtoull(trace_pc_env, nullptr, 16) : 0;
+    if (trace_pc != 0 && d.pc == trace_pc && d.ins->isConditionalBranch()) {
+        std::fprintf(stderr,
+                     "BR pc=0x%llx pred=%d actual=%d early=%d "
+                     "l2ghr=%06llx l2loc=%03llx ppPred2=%d\n",
+                     (unsigned long long)d.pc, (int)d.finalPredTaken,
+                     (int)d.rec.branchTaken, (int)d.earlyResolved,
+                     (unsigned long long)(d.l2State.ghrCkpt & 0xffffff),
+                     (unsigned long long)(d.l2State.localCkpt & 0x3ff),
+                     (int)d.ppState.pred2);
+    }
+    if (trace_pc != 0 && d.isCompare() && d.pc == trace_pc) {
+        std::fprintf(stderr,
+                     "CMP pc=0x%llx pred1=%d act1=%d ghr=%06llx loc=%03llx"
+                     " out1=%d\n",
+                     (unsigned long long)d.pc, (int)d.ppState.pred1,
+                     (int)d.actualPd1,
+                     (unsigned long long)(d.ppState.ghrCkpt & 0xffffff),
+                     (unsigned long long)(d.ppState.localCkpt & 0x3ff),
+                     d.ppState.out1);
+    }
+    if (d.ins->isConditionalBranch()) {
+        ++stats_.committedCondBranches;
+        const bool actual = d.rec.branchTaken;
+        if (d.finalPredTaken != actual)
+            ++stats_.mispredictedCondBranches;
+        if (d.earlyResolved)
+            ++stats_.earlyResolvedBranches;
+
+        BranchProfile &bp = perBranch[d.pc];
+        ++bp.executed;
+        if (d.finalPredTaken != actual) {
+            ++bp.mispredicted;
+            if (actual)
+                ++bp.mispredTaken;
+            else
+                ++bp.mispredNotTaken;
+        }
+        if (d.earlyResolved)
+            ++bp.earlyResolved;
+
+        BranchContext bctx;
+        bctx.pc = d.pc;
+        bctx.qpLogical = d.ins->qp;
+        bpu.l1->resolve(bctx, d.l1State, actual);
+        if (bpu.l2)
+            bpu.l2->resolve(bctx, d.l2State, actual);
+
+        // Fig. 6b methodology: a trace-driven conventional predictor runs
+        // alongside; we count cases where the predicate was ready and the
+        // conventional predictor would have been wrong.
+        if (bpu.shadow) {
+            predictor::PredState sst;
+            const bool spred = bpu.shadow->predict(bctx, sst);
+            bpu.shadow->resolve(bctx, sst, actual);
+            if (spred != actual) {
+                ++stats_.shadowMispredicts;
+                bpu.shadow->correctHistory(sst, actual);
+                if (d.earlyResolved)
+                    ++stats_.earlyResolvedShadowWrong;
+            }
+        }
+    } else if (d.isCompare()) {
+        ++stats_.committedCompares;
+        if (cfg.scheme == PredictionScheme::PredicatePredictor) {
+            CompareContext cctx;
+            cctx.pc = d.pc;
+            cctx.needSecond = d.pdstPhys2 != invalidPhysReg;
+            bpu.predicate->resolve(cctx, d.ppState, d.actualPd1,
+                                   d.actualPd2);
+        }
+    }
+
+    if (d.ins->isPredicated() && !d.isBranch() && !d.isCompare())
+        ++stats_.committedPredicated;
+}
+
+void
+OoOCore::doCommit()
+{
+    for (unsigned i = 0; i < cfg.commitWidth && !rob.empty(); ++i) {
+        DynInst &h = rob.front();
+        if (h.stage != InstStage::Done || h.doneCycle > now)
+            break;
+        panicIfNot(h.correctPath,
+                   "wrong-path instruction reached the ROB head");
+
+        // Stores write memory at commit (absorbed by the write buffer).
+        if (h.isStore() && h.rec.qpVal && !h.nullified)
+            mem.dataAccess(h.memAddr, true, now);
+
+        // Release LSQ entries (commit is in order, so the entry for this
+        // instruction, if any, is at the queue head).
+        if (!loadQ.empty() && loadQ.front() == h.seq)
+            loadQ.pop_front();
+        if (!storeQ.empty() && storeQ.front() == h.seq)
+            storeQ.pop_front();
+
+        commitTrain(h);
+
+        for (const RenameUndo &u : h.renames) {
+            switch (u.regClass) {
+              case RenameUndo::Class::Int: intMap.release(u.oldPhys); break;
+              case RenameUndo::Class::Fp: fpMap.release(u.oldPhys); break;
+              case RenameUndo::Class::Pred: pprf.release(u.oldPhys); break;
+              case RenameUndo::Class::None: break;
+            }
+        }
+
+        ++stats_.committedInsts;
+        trimOracle(h.oracleIdx);
+        rob.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Squash
+// ---------------------------------------------------------------------
+
+void
+OoOCore::undoInst(DynInst &d)
+{
+    // Predictor speculative-history rollback (youngest-first order is the
+    // caller's responsibility).
+    if (d.ins->isConditionalBranch()) {
+        bpu.l1->squash(d.l1State);
+        if (bpu.l2)
+            bpu.l2->squash(d.l2State);
+    }
+    if (d.isCompare() && bpu.predicate)
+        bpu.predicate->squash(d.ppState);
+    if (d.isBranch())
+        bpu.ras.restore({d.rasCkptTop, d.rasCkptAddr});
+
+    // If this instruction registered itself as a PPRF flush point, clear
+    // the pointer so a later consumer can re-register.
+    if (d.robPtrEntry != invalidPhysReg) {
+        PprfEntry &e = pprf.entry(d.robPtrEntry);
+        if (e.robPtrValid && e.robPtr == d.seq)
+            e.robPtrValid = false;
+    }
+
+    // Rename-map rollback (reverse order of allocation).
+    for (int i = 1; i >= 0; --i) {
+        const RenameUndo &u = d.renames[i];
+        switch (u.regClass) {
+          case RenameUndo::Class::Int:
+            intMap.restore(u.logical, u.oldPhys, u.newPhys);
+            break;
+          case RenameUndo::Class::Fp:
+            fpMap.restore(u.logical, u.oldPhys, u.newPhys);
+            break;
+          case RenameUndo::Class::Pred:
+            pprf.restore(u.logical, u.oldPhys, u.newPhys);
+            break;
+          case RenameUndo::Class::None:
+            break;
+        }
+    }
+}
+
+void
+OoOCore::sweepQueues(InstSeqNum first_bad)
+{
+    auto prune_vec = [&](std::vector<InstSeqNum> &q) {
+        q.erase(std::remove_if(q.begin(), q.end(),
+                               [&](InstSeqNum s) { return s >= first_bad; }),
+                q.end());
+    };
+    prune_vec(intIq);
+    prune_vec(fpIq);
+    prune_vec(brIq);
+
+    auto prune_deq = [&](std::deque<InstSeqNum> &q) {
+        while (!q.empty() && q.back() >= first_bad)
+            q.pop_back();
+    };
+    prune_deq(loadQ);
+    prune_deq(storeQ);
+}
+
+void
+OoOCore::squashFrom(InstSeqNum first_bad, Addr new_pc, Cycle resume_delay)
+{
+    // Youngest first: the front-end queue holds the youngest instructions.
+    std::uint64_t min_oracle = wrongPathOracle;
+    while (!frontEnd.empty()) {
+        DynInst &d = frontEnd.back();
+        if (d.seq < first_bad)
+            break;
+        if (d.correctPath && d.oracleIdx < min_oracle)
+            min_oracle = d.oracleIdx;
+        undoInst(d);
+        frontEnd.pop_back();
+    }
+    while (!rob.empty() && rob.back().seq >= first_bad) {
+        DynInst &d = rob.back();
+        if (d.correctPath && d.oracleIdx < min_oracle)
+            min_oracle = d.oracleIdx;
+        undoInst(d);
+        rob.pop_back();
+    }
+    sweepQueues(first_bad);
+
+    if (min_oracle != wrongPathOracle) {
+        oracleCursor = min_oracle;
+        fetchOnOracle = true;
+    }
+
+    fetchPc = new_pc;
+    fetchHalted = false;
+    lastFetchLine = ~0ull;
+    fetchResumeCycle = now + resume_delay;
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+void
+OoOCore::tick()
+{
+    ++now;
+    ++stats_.cycles;
+    processCompletions();
+    doCommit();
+    doIssue();
+    doRename();
+    doFetch();
+}
+
+void
+OoOCore::registerStats(stats::Registry &registry) const
+{
+    stats::Group &g = registry.group("core");
+    g.addFormula("cycles", [this] { return double(stats_.cycles); },
+                 "simulated cycles");
+    g.addFormula("committedInsts",
+                 [this] { return double(stats_.committedInsts); },
+                 "committed instructions");
+    g.addFormula("ipc", [this] { return stats_.ipc(); },
+                 "committed instructions per cycle");
+    g.addFormula("condBranches",
+                 [this] { return double(stats_.committedCondBranches); },
+                 "committed conditional branches");
+    g.addFormula("mispredRatePct",
+                 [this] { return stats_.mispredRatePct(); },
+                 "conditional-branch misprediction rate (%)");
+    g.addFormula("earlyResolved",
+                 [this] { return double(stats_.earlyResolvedBranches); },
+                 "branches that read a computed predicate at rename");
+    g.addFormula("overrideRedirects",
+                 [this] { return double(stats_.overrideRedirects); },
+                 "second-level override front-end redirects");
+    g.addFormula("branchFlushes",
+                 [this] { return double(stats_.branchMispredFlushes); },
+                 "branch misprediction pipeline flushes");
+    g.addFormula("predicateFlushes",
+                 [this] { return double(stats_.predicateFlushes); },
+                 "selective-predication misprediction flushes");
+    g.addFormula("nullified",
+                 [this] { return double(stats_.nullifiedAtRename); },
+                 "instructions cancelled at rename");
+    mem.registerStats(registry.group("mem"));
+}
+
+void
+OoOCore::dumpState() const
+{
+    std::fprintf(stderr,
+                 "cycle=%llu committed=%llu rob=%zu fe=%zu iq(i/f/b)="
+                 "%zu/%zu/%zu lq=%zu sq=%zu events=%zu\n",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(stats_.committedInsts),
+                 rob.size(), frontEnd.size(), intIq.size(), fpIq.size(),
+                 brIq.size(), loadQ.size(), storeQ.size(),
+                 completionEvents.size());
+    std::fprintf(stderr,
+                 "fetchPc=0x%llx resume=%llu halted=%d onOracle=%d "
+                 "cursor=%llu base=%llu free(i/f/p)=%zu/%zu\n",
+                 static_cast<unsigned long long>(fetchPc),
+                 static_cast<unsigned long long>(fetchResumeCycle),
+                 fetchHalted, fetchOnOracle,
+                 static_cast<unsigned long long>(oracleCursor),
+                 static_cast<unsigned long long>(oracleBase),
+                 intMap.freeCount(), fpMap.freeCount());
+    int n = 0;
+    for (const DynInst &d : rob) {
+        if (++n > 8)
+            break;
+        std::fprintf(stderr,
+                     "  rob[%d] seq=%llu pc=0x%llx stage=%d cp=%d done=%llu"
+                     "  %s\n",
+                     n, static_cast<unsigned long long>(d.seq),
+                     static_cast<unsigned long long>(d.pc),
+                     static_cast<int>(d.stage), d.correctPath,
+                     static_cast<unsigned long long>(d.doneCycle),
+                     d.ins->disassemble().c_str());
+    }
+    n = 0;
+    for (const DynInst &d : frontEnd) {
+        if (++n > 4)
+            break;
+        std::fprintf(stderr, "  fe[%d] seq=%llu pc=0x%llx rdy=%llu %s\n", n,
+                     static_cast<unsigned long long>(d.seq),
+                     static_cast<unsigned long long>(d.pc),
+                     static_cast<unsigned long long>(d.renameReadyCycle),
+                     d.ins->disassemble().c_str());
+    }
+}
+
+void
+OoOCore::run(std::uint64_t max_committed)
+{
+    const Cycle start = now;
+    const Cycle limit = start + max_committed * 200 + 100000;
+    while (stats_.committedInsts < max_committed) {
+        tick();
+        panicIfNot(now < limit, "simulation wedged (cycle limit hit)");
+    }
+}
+
+} // namespace core
+} // namespace pp

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The out-of-order core: an execution-driven, cycle-level model of the
+ * paper's eight-stage machine (Table 1).
+ *
+ * Stage evaluation per cycle runs back-to-front (completions, commit,
+ * issue, rename, fetch) so that same-cycle resource reuse behaves like
+ * hardware. Correct-path fetch consumes an in-order oracle (the functional
+ * emulator); wrong-path fetch reads the static image and consumes real
+ * resources until the misprediction flush (DESIGN.md §5).
+ */
+
+#ifndef PP_CORE_CORE_HH
+#define PP_CORE_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/bpu.hh"
+#include "core/config.hh"
+#include "core/corestats.hh"
+#include "core/dyninst.hh"
+#include "core/regfile.hh"
+#include "memory/memsystem.hh"
+#include "program/emulator.hh"
+#include "program/program.hh"
+
+namespace pp
+{
+namespace core
+{
+
+/** The simulated processor. */
+class OoOCore
+{
+  public:
+    /**
+     * @param prog program to run (must outlive the core)
+     * @param cfg core configuration
+     * @param seed seed for the functional oracle's stochastic conditions
+     */
+    OoOCore(const program::Program &prog, const CoreConfig &cfg,
+            std::uint64_t seed);
+
+    /** Run until @p max_committed instructions have committed. */
+    void run(std::uint64_t max_committed);
+
+    /** Advance exactly one cycle (tests). */
+    void tick();
+
+    /** Collected statistics. */
+    const CoreStats &coreStats() const { return stats_; }
+
+    /** Memory hierarchy (for cache statistics). */
+    const memory::MemSystem &memSystem() const { return mem; }
+
+    /** Current cycle. */
+    Cycle cycle() const { return now; }
+
+    /** Print a one-page pipeline snapshot to stderr (debugging aid). */
+    void dumpState() const;
+
+    /** Per-static-branch commit statistics. */
+    struct BranchProfile
+    {
+        std::uint64_t executed = 0;
+        std::uint64_t mispredicted = 0;
+        std::uint64_t earlyResolved = 0;
+        std::uint64_t mispredTaken = 0;    ///< actual taken, predicted NT
+        std::uint64_t mispredNotTaken = 0; ///< actual NT, predicted taken
+    };
+
+    /** Per-PC profile of committed conditional branches. */
+    const std::map<Addr, BranchProfile> &
+    branchProfiles() const
+    {
+        return perBranch;
+    }
+
+    /**
+     * Register this core's counters (and its caches') on a stats
+     * registry, so callers can produce a gem5-style stats dump.
+     */
+    void registerStats(stats::Registry &registry) const;
+
+    const CoreConfig &config() const { return cfg; }
+
+  private:
+    /** @name Pipeline stages (evaluated back to front each cycle) */
+    /// @{
+    void processCompletions();
+    void doCommit();
+    void doIssue();
+    void doRename();
+    void doFetch();
+    /// @}
+
+    /** @name Stage helpers */
+    /// @{
+    bool renameOne();
+    void renameBranch(DynInst &d);
+    void renamePredicated(DynInst &d);
+    bool srcsReady(const DynInst &d) const;
+    Cycle executeLatency(const DynInst &d) const;
+    void completeCompare(DynInst &d);
+    void completeBranch(DynInst &d);
+    void commitTrain(DynInst &d);
+    /// @}
+
+    /** @name Flush machinery */
+    /// @{
+    /**
+     * Squash every in-flight instruction with seq >= @p first_bad, restore
+     * rename maps / predictor histories / RAS, rewind the oracle cursor,
+     * and redirect fetch to @p new_pc after @p resume_delay cycles.
+     */
+    void squashFrom(InstSeqNum first_bad, Addr new_pc, Cycle resume_delay);
+    void undoInst(DynInst &d);
+    void sweepQueues(InstSeqNum first_bad);
+    /// @}
+
+    /** @name Oracle management */
+    /// @{
+    void ensureOracle(std::uint64_t idx);
+    const program::ExecRecord &oracleAt(std::uint64_t idx);
+    void trimOracle(std::uint64_t committed_idx);
+    /// @}
+
+    DynInst *findInRob(InstSeqNum seq);
+    bool isIntDest(const DynInst &d) const;
+
+    const program::Program &program;
+    CoreConfig cfg;
+    memory::MemSystem mem;
+    program::Emulator emu;
+    Bpu bpu;
+
+    /** @name Rename state */
+    /// @{
+    RenameMap intMap;
+    RenameMap fpMap;
+    Pprf pprf;
+    /// @}
+
+    /** @name Queues */
+    /// @{
+    std::deque<DynInst> frontEnd; ///< fetched, not yet renamed
+    std::deque<DynInst> rob;
+    std::vector<InstSeqNum> intIq;
+    std::vector<InstSeqNum> fpIq;
+    std::vector<InstSeqNum> brIq;
+    std::deque<InstSeqNum> loadQ;
+    std::deque<InstSeqNum> storeQ;
+    std::multimap<Cycle, InstSeqNum> completionEvents;
+    /// @}
+
+    /** @name Fetch state */
+    /// @{
+    Addr fetchPc = 0;
+    Cycle fetchResumeCycle = 0;
+    bool fetchHalted = false;    ///< wrong path ran off the image
+    bool fetchOnOracle = true;
+    std::uint64_t oracleCursor = 0;
+    Addr lastFetchLine = ~0ull;
+    /// @}
+
+    /** Oracle record window. */
+    std::deque<program::ExecRecord> oracleBuf;
+    std::uint64_t oracleBase = 0;
+
+    /** PEP-PA's logical predicate register file (OoO writeback order). */
+    std::array<bool, isa::numPredRegs> archPred{};
+
+    bool traceOn = false;
+    Cycle now = 0;
+    InstSeqNum seqCounter = 0;
+    CoreStats stats_;
+    std::map<Addr, BranchProfile> perBranch;
+};
+
+} // namespace core
+} // namespace pp
+
+#endif // PP_CORE_CORE_HH

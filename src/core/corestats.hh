@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Statistics collected by one core run.
+ */
+
+#ifndef PP_CORE_CORESTATS_HH
+#define PP_CORE_CORESTATS_HH
+
+#include <cstdint>
+
+namespace pp
+{
+namespace core
+{
+
+/** Counters the experiments consume. */
+struct CoreStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t committedInsts = 0;
+
+    /** @name Branch prediction */
+    /// @{
+    std::uint64_t committedCondBranches = 0;
+    std::uint64_t mispredictedCondBranches = 0;
+    std::uint64_t earlyResolvedBranches = 0;
+    std::uint64_t overrideRedirects = 0;   ///< L1/L2 disagreement flushes
+    std::uint64_t branchMispredFlushes = 0;
+    /// @}
+
+    /** @name Fig. 6b shadow attribution */
+    /// @{
+    std::uint64_t shadowMispredicts = 0;
+    std::uint64_t earlyResolvedShadowWrong = 0;
+    /// @}
+
+    /** @name Predication */
+    /// @{
+    std::uint64_t committedPredicated = 0;  ///< guarded non-branch insts
+    std::uint64_t nullifiedAtRename = 0;
+    std::uint64_t unguardedAtRename = 0;
+    std::uint64_t cmovFallbacks = 0;
+    std::uint64_t predicateFlushes = 0;
+    /// @}
+
+    /** @name Compares */
+    /// @{
+    std::uint64_t committedCompares = 0;
+    std::uint64_t comparePd1Mispredicts = 0;
+    /// @}
+
+    double
+    mispredRatePct() const
+    {
+        return committedCondBranches == 0 ? 0.0
+            : 100.0 * static_cast<double>(mispredictedCondBranches) /
+                static_cast<double>(committedCondBranches);
+    }
+
+    double
+    shadowMispredRatePct() const
+    {
+        return committedCondBranches == 0 ? 0.0
+            : 100.0 * static_cast<double>(shadowMispredicts) /
+                static_cast<double>(committedCondBranches);
+    }
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+            : static_cast<double>(committedInsts) /
+                static_cast<double>(cycles);
+    }
+};
+
+} // namespace core
+} // namespace pp
+
+#endif // PP_CORE_CORESTATS_HH

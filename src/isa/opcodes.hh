@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Opcode and operation-class definitions for the predicated compare-branch
+ * ISA used by the simulator.
+ *
+ * The ISA follows the IA-64 model the paper assumes: every instruction
+ * carries a qualifying predicate (QP); compare instructions write *two*
+ * predicate destinations; branch direction is fully determined by the value
+ * of the branch's qualifying predicate.
+ */
+
+#ifndef PP_ISA_OPCODES_HH
+#define PP_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pp
+{
+namespace isa
+{
+
+/** Machine opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+
+    // Integer ALU
+    IAdd,       ///< dst = src1 + src2
+    ISub,       ///< dst = src1 - src2
+    IAnd,       ///< dst = src1 & src2
+    IOr,        ///< dst = src1 | src2
+    IXor,       ///< dst = src1 ^ src2
+    IShl,       ///< dst = src1 << (imm & 63)
+    IMul,       ///< dst = src1 * src2 (longer latency)
+    IMovImm,    ///< dst = imm
+    IMov,       ///< dst = src1
+
+    // Floating point (values modeled as 64-bit payloads)
+    FAdd,
+    FMul,
+    FDiv,       ///< long-latency unit
+    FMov,
+
+    // Memory
+    Ld,         ///< dst = mem[src1 + imm]
+    St,         ///< mem[src1 + imm] = src2
+    FLd,
+    FSt,
+
+    // Compare: writes pdst1/pdst2 according to CmpType and the condition
+    Cmp,
+
+    // Branches. Direction == value of the qualifying predicate.
+    Br,         ///< direct branch; unconditional iff QP == p0
+    BrCall,     ///< call (direct); unconditional iff QP == p0
+    BrRet,      ///< return; unconditional iff QP == p0
+
+    NumOpcodes
+};
+
+/** Functional-unit class of an opcode (determines latency and issue port). */
+enum class OpClass : std::uint8_t
+{
+    No_OpClass, ///< Nop
+    IntAlu,
+    IntMult,
+    FloatAdd,
+    FloatMult,
+    FloatDiv,
+    MemRead,
+    MemWrite,
+    Compare,
+    Branch,
+};
+
+/**
+ * Compare types, following the IA-64 compare-type taxonomy (Intel Itanium
+ * SDM vol. 3). The type controls how the two predicate targets are written:
+ *
+ * - @c Normal: if QP, pdst1 = cond and pdst2 = !cond; else neither changes.
+ * - @c Unc:    pdst1 = QP & cond; pdst2 = QP & !cond (always written).
+ * - @c And:    if QP and !cond, both targets are cleared; else unchanged.
+ * - @c Or:     if QP and cond, both targets are set; else unchanged.
+ *
+ * The And/Or types are the ones the paper notes depend on state not visible
+ * in the front end, which is why the predictor must produce two independent
+ * predictions rather than deriving pdst2 = !pdst1.
+ */
+enum class CmpType : std::uint8_t
+{
+    Normal,
+    Unc,
+    And,
+    Or,
+};
+
+/** Map opcode to its functional-unit class. */
+constexpr OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return OpClass::No_OpClass;
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IAnd:
+      case Opcode::IOr:
+      case Opcode::IXor:
+      case Opcode::IShl:
+      case Opcode::IMovImm:
+      case Opcode::IMov:
+        return OpClass::IntAlu;
+      case Opcode::IMul:
+        return OpClass::IntMult;
+      case Opcode::FAdd:
+      case Opcode::FMov:
+        return OpClass::FloatAdd;
+      case Opcode::FMul:
+        return OpClass::FloatMult;
+      case Opcode::FDiv:
+        return OpClass::FloatDiv;
+      case Opcode::Ld:
+      case Opcode::FLd:
+        return OpClass::MemRead;
+      case Opcode::St:
+      case Opcode::FSt:
+        return OpClass::MemWrite;
+      case Opcode::Cmp:
+        return OpClass::Compare;
+      case Opcode::Br:
+      case Opcode::BrCall:
+      case Opcode::BrRet:
+        return OpClass::Branch;
+      default:
+        return OpClass::No_OpClass;
+    }
+}
+
+/** True for the three branch opcodes. */
+constexpr bool
+isBranchOp(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::BrCall || op == Opcode::BrRet;
+}
+
+/** True for memory reads. */
+constexpr bool
+isLoadOp(Opcode op)
+{
+    return op == Opcode::Ld || op == Opcode::FLd;
+}
+
+/** True for memory writes. */
+constexpr bool
+isStoreOp(Opcode op)
+{
+    return op == Opcode::St || op == Opcode::FSt;
+}
+
+/** True for opcodes whose value register is a floating-point register. */
+constexpr bool
+isFpOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FMov:
+      case Opcode::FLd:
+      case Opcode::FSt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Printable opcode mnemonic. */
+std::string_view opcodeName(Opcode op);
+
+/** Printable compare-type suffix ("", ".unc", ".and", ".or"). */
+std::string_view cmpTypeName(CmpType t);
+
+} // namespace isa
+} // namespace pp
+
+#endif // PP_ISA_OPCODES_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Architectural register file layout.
+ */
+
+#ifndef PP_ISA_REGISTERS_HH
+#define PP_ISA_REGISTERS_HH
+
+#include "common/types.hh"
+
+namespace pp
+{
+namespace isa
+{
+
+/** Number of architectural integer registers (r0 reads as zero). */
+constexpr RegIndex numIntRegs = 64;
+
+/** Number of architectural floating-point registers. */
+constexpr RegIndex numFpRegs = 64;
+
+/**
+ * Number of architectural predicate registers. p0 is hardwired to 1 and
+ * writes to it are discarded — exactly IA-64's read-only true predicate,
+ * which the paper leans on ("one of the destination predicate registers is
+ * often the read-only predicate register p0").
+ */
+constexpr RegIndex numPredRegs = 64;
+
+/** The always-true predicate register. */
+constexpr RegIndex regP0 = 0;
+
+/** The always-zero integer register. */
+constexpr RegIndex regR0 = 0;
+
+/** Register class discriminator. */
+enum class RegClass : std::uint8_t
+{
+    Int,
+    Fp,
+    Pred,
+};
+
+} // namespace isa
+} // namespace pp
+
+#endif // PP_ISA_REGISTERS_HH

@@ -1,0 +1,39 @@
+#include "memory/tlb.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace pp
+{
+namespace memory
+{
+
+Tlb::Tlb(const TlbConfig &config) : cfg(config)
+{
+    panicIfNot(isPowerOfTwo(cfg.entries), "TLB entries must be 2^n");
+    panicIfNot(isPowerOfTwo(cfg.pageBytes), "page size must be 2^n");
+    tags.assign(cfg.entries, 0);
+}
+
+Cycle
+Tlb::translate(Addr addr)
+{
+    const std::uint64_t vpn = addr / cfg.pageBytes;
+    const std::size_t idx = vpn & (cfg.entries - 1);
+    if (tags[idx] == vpn + 1) {
+        ++numHits;
+        return 0;
+    }
+    ++numMisses;
+    tags[idx] = vpn + 1;
+    return cfg.missPenalty;
+}
+
+void
+Tlb::flushAll()
+{
+    tags.assign(cfg.entries, 0);
+}
+
+} // namespace memory
+} // namespace pp

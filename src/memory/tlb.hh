@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A simple fully-associative-by-page TLB timing model (512 entries,
+ * 10-cycle miss penalty per the paper's Table 1).
+ */
+
+#ifndef PP_MEMORY_TLB_HH
+#define PP_MEMORY_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pp
+{
+namespace memory
+{
+
+/** TLB parameters. */
+struct TlbConfig
+{
+    unsigned entries = 512;
+    unsigned pageBytes = 8192;
+    Cycle missPenalty = 10;
+};
+
+/**
+ * Direct-mapped-on-page-number TLB (512 entries). Returns the extra
+ * latency an access pays for translation (0 on hit).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config = TlbConfig());
+
+    /** Translate; returns additional cycles (0 hit, missPenalty miss). */
+    Cycle translate(Addr addr);
+
+    /** Drop all translations. */
+    void flushAll();
+
+    std::uint64_t hits() const { return numHits; }
+    std::uint64_t misses() const { return numMisses; }
+
+  private:
+    TlbConfig cfg;
+    std::vector<std::uint64_t> tags; ///< page number + 1 (0 == invalid)
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+};
+
+} // namespace memory
+} // namespace pp
+
+#endif // PP_MEMORY_TLB_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Abstract interface for branch-PC-indexed direction predictors
+ * (gshare, conventional perceptron, PEP-PA).
+ */
+
+#ifndef PP_PREDICTOR_DIRECTION_PREDICTOR_HH
+#define PP_PREDICTOR_DIRECTION_PREDICTOR_HH
+
+#include "common/types.hh"
+#include "predictor/types.hh"
+
+namespace pp
+{
+namespace predictor
+{
+
+/**
+ * A direction predictor with speculative history.
+ *
+ * Protocol (enforced by the core):
+ * - @c predict() at fetch/decode: produces a direction and speculatively
+ *   shifts the histories; fills a PredState.
+ * - @c resolve() at branch execution: trains with the actual outcome.
+ * - On a misprediction flush, the core walks squashed younger branches
+ *   youngest-first calling @c squash(), then calls @c correctHistory() for
+ *   the mispredicted branch itself so its history bit becomes the actual
+ *   outcome.
+ * - @c reforecast() supports two-level override: the second-level
+ *   prediction replaces a first-level one, so the speculative history bit
+ *   of this branch is rewritten in place.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict and speculatively update history. */
+    virtual bool predict(const BranchContext &ctx, PredState &st) = 0;
+
+    /** Train with the resolved outcome (uses checkpoints in @p st). */
+    virtual void resolve(const BranchContext &ctx, const PredState &st,
+                         bool taken) = 0;
+
+    /** Undo this prediction's speculative history shifts (squashed). */
+    virtual void squash(const PredState &st) = 0;
+
+    /** Rewrite this branch's history bit with the actual outcome. */
+    virtual void correctHistory(const PredState &st, bool taken) = 0;
+
+    /** Replace this branch's speculative history bit with @p new_dir. */
+    virtual void reforecast(PredState &st, bool new_dir) = 0;
+
+    /** Access latency in cycles (1 for gshare, 3 for the perceptrons). */
+    virtual Cycle latency() const = 0;
+
+    /** Storage budget in bytes (for reporting). */
+    virtual std::uint64_t storageBytes() const = 0;
+};
+
+} // namespace predictor
+} // namespace pp
+
+#endif // PP_PREDICTOR_DIRECTION_PREDICTOR_HH

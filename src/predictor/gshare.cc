@@ -1,0 +1,80 @@
+#include "predictor/gshare.hh"
+
+#include "common/bitutils.hh"
+
+namespace pp
+{
+namespace predictor
+{
+
+Gshare::Gshare(const GshareConfig &config)
+    : cfg(config),
+      pht(1u << cfg.historyBits, SatCounter(cfg.counterBits,
+                                            (1u << cfg.counterBits) / 2))
+{
+}
+
+std::uint32_t
+Gshare::index(Addr pc, std::uint64_t hist) const
+{
+    const std::uint64_t pc_bits = (pc / 4) & mask(cfg.historyBits);
+    return static_cast<std::uint32_t>((pc_bits ^ hist) &
+                                      mask(cfg.historyBits));
+}
+
+bool
+Gshare::predict(const BranchContext &ctx, PredState &st)
+{
+    st.valid = true;
+    st.ghrCkpt = ghr;
+    st.tableIndex = index(ctx.pc, ghr);
+    st.predTaken = pht[st.tableIndex].taken();
+    // Speculative history update (idealized mode inserts the oracle bit).
+    const bool bit = ctx.oracleOutcome.value_or(st.predTaken);
+    ghr = ((ghr << 1) | (bit ? 1 : 0)) & mask(cfg.historyBits);
+    return st.predTaken;
+}
+
+void
+Gshare::resolve(const BranchContext &ctx, const PredState &st, bool taken)
+{
+    (void)ctx;
+    if (!st.valid)
+        return;
+    if (taken)
+        pht[st.tableIndex].increment();
+    else
+        pht[st.tableIndex].decrement();
+}
+
+void
+Gshare::squash(const PredState &st)
+{
+    if (st.valid)
+        ghr = st.ghrCkpt;
+}
+
+void
+Gshare::correctHistory(const PredState &st, bool taken)
+{
+    if (st.valid)
+        ghr = ((st.ghrCkpt << 1) | (taken ? 1 : 0)) & mask(cfg.historyBits);
+}
+
+void
+Gshare::reforecast(PredState &st, bool new_dir)
+{
+    if (!st.valid)
+        return;
+    ghr = ((st.ghrCkpt << 1) | (new_dir ? 1 : 0)) & mask(cfg.historyBits);
+    st.predTaken = new_dir;
+}
+
+std::uint64_t
+Gshare::storageBytes() const
+{
+    return (pht.size() * cfg.counterBits) / 8;
+}
+
+} // namespace predictor
+} // namespace pp

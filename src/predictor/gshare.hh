@@ -1,0 +1,58 @@
+/**
+ * @file
+ * First-level gshare predictor: 14-bit GHR, 2^14 2-bit counters (4KB),
+ * single-cycle — the fast predictor of the two-level override scheme in
+ * the paper's Table 1.
+ */
+
+#ifndef PP_PREDICTOR_GSHARE_HH
+#define PP_PREDICTOR_GSHARE_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictor/direction_predictor.hh"
+
+namespace pp
+{
+namespace predictor
+{
+
+/** Gshare configuration. */
+struct GshareConfig
+{
+    unsigned historyBits = 14;
+    unsigned counterBits = 2;
+};
+
+/** Classic gshare with speculative, checkpoint-recoverable history. */
+class Gshare : public DirectionPredictor
+{
+  public:
+    explicit Gshare(const GshareConfig &config = GshareConfig());
+
+    bool predict(const BranchContext &ctx, PredState &st) override;
+    void resolve(const BranchContext &ctx, const PredState &st,
+                 bool taken) override;
+    void squash(const PredState &st) override;
+    void correctHistory(const PredState &st, bool taken) override;
+    void reforecast(PredState &st, bool new_dir) override;
+
+    Cycle latency() const override { return 1; }
+    std::uint64_t storageBytes() const override;
+
+    /** Current speculative global history (tests). */
+    std::uint64_t history() const { return ghr; }
+
+  private:
+    std::uint32_t index(Addr pc, std::uint64_t hist) const;
+
+    GshareConfig cfg;
+    std::vector<SatCounter> pht;
+    std::uint64_t ghr = 0;
+};
+
+} // namespace predictor
+} // namespace pp
+
+#endif // PP_PREDICTOR_GSHARE_HH

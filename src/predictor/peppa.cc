@@ -1,0 +1,98 @@
+#include "predictor/peppa.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace pp
+{
+namespace predictor
+{
+
+PepPa::PepPa(const PepPaConfig &config)
+    : cfg(config),
+      pht(1u << cfg.phtBits,
+          SatCounter(cfg.counterBits, (1u << cfg.counterBits) / 2))
+{
+    panicIfNot(isPowerOfTwo(cfg.lhtEntries), "LHT entries must be 2^n");
+    lht.assign(static_cast<std::size_t>(cfg.lhtEntries) * 2, 0);
+}
+
+std::uint64_t &
+PepPa::entry(std::uint32_t lht_index, bool sel)
+{
+    return lht[static_cast<std::size_t>(lht_index) * 2 + (sel ? 1 : 0)];
+}
+
+std::uint32_t
+PepPa::phtIndex(Addr pc, std::uint64_t hist) const
+{
+    const unsigned pc_bits = cfg.phtBits - cfg.localBits;
+    const std::uint64_t pc_part = (pc / 4) & mask(pc_bits);
+    return static_cast<std::uint32_t>(
+        (hist | (pc_part << cfg.localBits)) & mask(cfg.phtBits));
+}
+
+bool
+PepPa::predict(const BranchContext &ctx, PredState &st)
+{
+    st.valid = true;
+    st.histSel = ctx.qpArchValue;
+    st.lhtIndex =
+        static_cast<std::uint32_t>((ctx.pc / 4) & (cfg.lhtEntries - 1));
+
+    std::uint64_t &hist = entry(st.lhtIndex, st.histSel);
+    st.localCkpt = hist;
+    st.tableIndex = phtIndex(ctx.pc, hist);
+    st.predTaken = pht[st.tableIndex].taken();
+
+    hist = ((hist << 1) | (st.predTaken ? 1 : 0)) & mask(cfg.localBits);
+    return st.predTaken;
+}
+
+void
+PepPa::resolve(const BranchContext &ctx, const PredState &st, bool taken)
+{
+    (void)ctx;
+    if (!st.valid)
+        return;
+    if (taken)
+        pht[st.tableIndex].increment();
+    else
+        pht[st.tableIndex].decrement();
+}
+
+void
+PepPa::squash(const PredState &st)
+{
+    if (st.valid)
+        entry(st.lhtIndex, st.histSel) = st.localCkpt;
+}
+
+void
+PepPa::correctHistory(const PredState &st, bool taken)
+{
+    if (!st.valid)
+        return;
+    entry(st.lhtIndex, st.histSel) =
+        ((st.localCkpt << 1) | (taken ? 1 : 0)) & mask(cfg.localBits);
+}
+
+void
+PepPa::reforecast(PredState &st, bool new_dir)
+{
+    if (!st.valid)
+        return;
+    entry(st.lhtIndex, st.histSel) =
+        ((st.localCkpt << 1) | (new_dir ? 1 : 0)) & mask(cfg.localBits);
+    st.predTaken = new_dir;
+}
+
+std::uint64_t
+PepPa::storageBytes() const
+{
+    return (static_cast<std::uint64_t>(cfg.lhtEntries) * 2 * cfg.localBits +
+            (1ull << cfg.phtBits) * cfg.counterBits) / 8;
+}
+
+} // namespace predictor
+} // namespace pp

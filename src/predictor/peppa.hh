@@ -1,0 +1,63 @@
+/**
+ * @file
+ * PEP-PA: Predicate Enhanced Prediction over a per-address local-history
+ * predictor (August et al., HPCA'97), modeled as in the paper's §4.1:
+ * 144KB, 14-bit local histories, two local histories per branch selected
+ * (for both lookup and update) by the *current architectural value* of the
+ * branch's guarding predicate register — a value maintained by
+ * out-of-order writebacks, hence possibly stale, which is the effect the
+ * paper blames for PEP-PA underperforming on an OoO core.
+ */
+
+#ifndef PP_PREDICTOR_PEPPA_HH
+#define PP_PREDICTOR_PEPPA_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "predictor/direction_predictor.hh"
+
+namespace pp
+{
+namespace predictor
+{
+
+/** PEP-PA configuration (defaults: the paper's 144KB predictor). */
+struct PepPaConfig
+{
+    unsigned localBits = 14;   ///< local history length
+    unsigned lhtEntries = 4096;///< branches tracked (x2 histories each)
+    unsigned phtBits = 19;     ///< 2^19 2-bit counters = 128KB
+    unsigned counterBits = 2;
+    Cycle accessLatency = 3;
+};
+
+/** The PEP-PA predictor. */
+class PepPa : public DirectionPredictor
+{
+  public:
+    explicit PepPa(const PepPaConfig &config = PepPaConfig());
+
+    bool predict(const BranchContext &ctx, PredState &st) override;
+    void resolve(const BranchContext &ctx, const PredState &st,
+                 bool taken) override;
+    void squash(const PredState &st) override;
+    void correctHistory(const PredState &st, bool taken) override;
+    void reforecast(PredState &st, bool new_dir) override;
+
+    Cycle latency() const override { return cfg.accessLatency; }
+    std::uint64_t storageBytes() const override;
+
+  private:
+    std::uint64_t &entry(std::uint32_t lht_index, bool sel);
+    std::uint32_t phtIndex(Addr pc, std::uint64_t hist) const;
+
+    PepPaConfig cfg;
+    std::vector<std::uint64_t> lht; ///< lhtEntries * 2, interleaved
+    std::vector<SatCounter> pht;
+};
+
+} // namespace predictor
+} // namespace pp
+
+#endif // PP_PREDICTOR_PEPPA_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared prediction-context and bookkeeping types.
+ *
+ * Every prediction returns a PredState that the out-of-order core stores
+ * with the dynamic instruction. The state carries the history checkpoints
+ * taken at predict time so that (a) training uses the history the
+ * prediction actually saw, and (b) squashing an in-flight instruction can
+ * restore speculative history exactly (youngest-first ROB walk).
+ */
+
+#ifndef PP_PREDICTOR_TYPES_HH
+#define PP_PREDICTOR_TYPES_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace pp
+{
+namespace predictor
+{
+
+/** Context for predicting a conditional branch. */
+struct BranchContext
+{
+    Addr pc = 0;
+
+    /** Logical guarding predicate register (PEP-PA correlates on it). */
+    RegIndex qpLogical = 0;
+
+    /**
+     * Current architectural value of that predicate register, as
+     * maintained by out-of-order writebacks (PEP-PA's selector; the paper
+     * notes this value can be stale on an OoO core).
+     */
+    bool qpArchValue = false;
+
+    /**
+     * Oracle outcome, provided only for idealized perfect-history
+     * experiments (and only for correct-path instructions).
+     */
+    std::optional<bool> oracleOutcome;
+};
+
+/** Per-prediction bookkeeping (checkpoints + table coordinates). */
+struct PredState
+{
+    bool valid = false;          ///< a prediction was actually made
+    bool predTaken = false;      ///< the direction produced
+    Addr pc = 0;                 ///< predicted PC (no-alias table keys)
+
+    std::uint64_t ghrCkpt = 0;   ///< global history before this shift
+    std::uint64_t localCkpt = 0; ///< local history entry before this shift
+    std::uint32_t lhtIndex = 0;  ///< local-history table row used
+    std::uint32_t tableIndex = 0;///< PHT/PVT row used
+    bool histSel = false;        ///< PEP-PA: which of the two histories
+    std::int32_t output = 0;     ///< perceptron raw dot product
+};
+
+/** Context for a predicate prediction (made at compare fetch). */
+struct CompareContext
+{
+    Addr pc = 0;
+
+    /** Second predicate target is a real register (not p0). */
+    bool needSecond = false;
+
+    /** Oracle outcomes for idealized perfect-history experiments. */
+    std::optional<bool> oracle1;
+    std::optional<bool> oracle2;
+};
+
+/** Bookkeeping for the two predictions of one compare. */
+struct PredPredState
+{
+    bool valid = false;
+    Addr pc = 0;                 ///< compare PC (no-alias table keys)
+
+    bool pred1 = false;
+    bool pred2 = false;
+    bool conf1 = false;          ///< confidence estimator says trust pred1
+    bool conf2 = false;
+
+    std::uint64_t ghrCkpt = 0;
+    std::uint64_t localCkpt = 0;
+    std::uint32_t lhtIndex = 0;
+    std::uint32_t idx1 = 0;      ///< PVT row for the first prediction
+    std::uint32_t idx2 = 0;      ///< PVT row for the second prediction
+    std::int32_t out1 = 0;
+    std::int32_t out2 = 0;
+};
+
+} // namespace predictor
+} // namespace pp
+
+#endif // PP_PREDICTOR_TYPES_HH

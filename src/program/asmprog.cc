@@ -1,0 +1,97 @@
+#include "program/asmprog.hh"
+
+#include "common/logging.hh"
+
+namespace pp
+{
+namespace program
+{
+
+void
+AsmProgram::placeLabel(LabelId label)
+{
+    panicIfNot(label >= 0 && label < nextLabel, "placing unknown label");
+    panicIfNot(labelPos.find(label) == labelPos.end(),
+               "label placed twice");
+    labelPos[label] = code.size();
+}
+
+std::size_t
+AsmProgram::emit(isa::Instruction ins, LabelId target)
+{
+    code.push_back({ins, target});
+    return code.size() - 1;
+}
+
+CondId
+AsmProgram::addCondition(ConditionSpec spec)
+{
+    condSpecs.push_back(spec);
+    return static_cast<CondId>(condSpecs.size() - 1);
+}
+
+std::size_t
+AsmProgram::positionOf(LabelId label) const
+{
+    auto it = labelPos.find(label);
+    panicIfNot(it != labelPos.end(), "unplaced label referenced");
+    return it->second;
+}
+
+Program
+AsmProgram::assemble(std::uint64_t data_bytes, std::string name) const
+{
+    std::vector<isa::Instruction> image;
+    image.reserve(code.size());
+    for (const auto &item : code) {
+        isa::Instruction ins = item.ins;
+        if (item.target != noLabel) {
+            panicIfNot(ins.isBranch(), "label target on a non-branch");
+            std::size_t pos = positionOf(item.target);
+            // A label bound past the last instruction would branch out of
+            // the image; the generator always places a terminator first.
+            panicIfNot(pos < code.size(), "branch target past end of code");
+            ins.target = Program::addrOf(pos);
+        }
+        image.push_back(ins);
+    }
+    return Program(std::move(image), condSpecs, data_bytes,
+                   std::move(name));
+}
+
+AsmProgram
+AsmProgram::rewrite(const std::vector<bool> &keep,
+                    const std::vector<RegIndex> &qp_override) const
+{
+    panicIfNot(keep.size() == code.size(), "keep mask size mismatch");
+    panicIfNot(qp_override.size() == code.size(),
+               "qp override size mismatch");
+
+    AsmProgram out;
+    out.condSpecs = condSpecs;
+    out.nextLabel = nextLabel;
+
+    // Old item index -> new item index of the next surviving item.
+    std::vector<std::size_t> old_to_new(code.size() + 1, 0);
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        old_to_new[i] = out.code.size();
+        if (!keep[i])
+            continue;
+        AsmInst item = code[i];
+        if (qp_override[i] != invalidReg) {
+            item.ins.qp = qp_override[i];
+            item.ins.ifConverted = true;
+        }
+        out.code.push_back(item);
+    }
+    old_to_new[code.size()] = out.code.size();
+
+    for (const auto &[label, pos] : labelPos)
+        out.labelPos[label] = old_to_new[pos];
+
+    return out;
+}
+
+} // namespace program
+} // namespace pp

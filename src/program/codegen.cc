@@ -1,0 +1,500 @@
+#include "program/codegen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pp
+{
+namespace program
+{
+
+using isa::CmpType;
+using isa::Instruction;
+using isa::Opcode;
+
+CodeGenerator::CodeGenerator(const BenchmarkProfile &profile)
+    : prof(profile), rng(profile.seed)
+{
+}
+
+Program
+CodeGenerator::generateBinary()
+{
+    return generate().assemble(prof.dataBytes, prof.name);
+}
+
+std::pair<RegIndex, RegIndex>
+CodeGenerator::allocPredPair()
+{
+    RegIndex t = 1 + (nextPred - 1) % predPoolSize;
+    nextPred = t + 1;
+    RegIndex f = 1 + (nextPred - 1) % predPoolSize;
+    nextPred = f + 1;
+    return {t, f};
+}
+
+RegIndex
+CodeGenerator::allocIntDst()
+{
+    RegIndex r = 1 + (nextIntDst - 1) % intDstPoolSize;
+    nextIntDst = r + 1;
+    return r;
+}
+
+RegIndex
+CodeGenerator::pickIntSrc()
+{
+    // Mostly recent destinations (real dependences), sometimes a base reg.
+    if (rng.bernoulli(0.15))
+        return pickBaseReg();
+    return 1 + static_cast<RegIndex>(rng.below(intDstPoolSize));
+}
+
+RegIndex
+CodeGenerator::allocFpDst()
+{
+    RegIndex r = 1 + (nextFpDst - 1) % fpDstPoolSize;
+    nextFpDst = r + 1;
+    return r;
+}
+
+RegIndex
+CodeGenerator::pickFpSrc()
+{
+    return 1 + static_cast<RegIndex>(rng.below(fpDstPoolSize));
+}
+
+RegIndex
+CodeGenerator::pickBaseReg()
+{
+    return baseRegFirst + static_cast<RegIndex>(rng.below(baseRegCount));
+}
+
+Instruction
+CodeGenerator::randomComputeInst()
+{
+    const double r = rng.uniform();
+    if (r < prof.memFrac) {
+        // 2:1 loads to stores.
+        const bool fp = rng.bernoulli(prof.fpFrac);
+        const std::int64_t disp =
+            static_cast<std::int64_t>(rng.below(64)) * 8;
+        if (rng.bernoulli(2.0 / 3.0)) {
+            return isa::makeLoad(fp ? allocFpDst() : allocIntDst(),
+                                 pickBaseReg(), disp, isa::regP0, fp);
+        }
+        return isa::makeStore(fp ? pickFpSrc() : pickIntSrc(),
+                              pickBaseReg(), disp, isa::regP0, fp);
+    }
+    if (r < prof.memFrac + prof.fpFrac) {
+        static constexpr Opcode fpOps[] = {
+            Opcode::FAdd, Opcode::FAdd, Opcode::FMul, Opcode::FMul,
+            Opcode::FDiv,
+        };
+        const Opcode op = fpOps[rng.below(5)];
+        return isa::makeFp(op, allocFpDst(), pickFpSrc(), pickFpSrc());
+    }
+    static constexpr Opcode intOps[] = {
+        Opcode::IAdd, Opcode::IAdd, Opcode::IAdd, Opcode::ISub,
+        Opcode::IAnd, Opcode::IOr, Opcode::IXor, Opcode::IMul,
+    };
+    const Opcode op = intOps[rng.below(8)];
+    return isa::makeAlu(op, allocIntDst(), pickIntSrc(), pickIntSrc());
+}
+
+void
+CodeGenerator::emitCompute(AsmProgram &p, int len)
+{
+    for (int i = 0; i < len; ++i)
+        p.emit(randomComputeInst());
+}
+
+CondId
+CodeGenerator::drawGuardCond(AsmProgram &p)
+{
+    const double r = rng.uniform();
+    double acc = prof.pEasyBiased;
+    CondId id;
+
+    if (r < acc) {
+        double b = 0.02 + rng.uniform() * 0.08;
+        if (rng.bernoulli(0.5))
+            b = 1.0 - b;
+        id = p.addCondition(ConditionSpec::biased(b));
+    } else if (r < (acc += prof.pMidBiased)) {
+        double b = 0.15 + rng.uniform() * 0.20;
+        if (rng.bernoulli(0.5))
+            b = 1.0 - b;
+        id = p.addCondition(ConditionSpec::biased(b));
+    } else if (r < (acc += prof.pPattern)) {
+        const std::uint32_t len = 4 + static_cast<std::uint32_t>(
+            rng.below(13));
+        id = p.addCondition(
+            ConditionSpec::makePattern(rng.next64(), len));
+    } else if (r < (acc += prof.pCorrGuard) && recentGuards.size() >= 2) {
+        // Correlated with one or two recent guards (linearly separable fn).
+        const CondId s0 =
+            recentGuards[recentGuards.size() - 1 - rng.below(2)];
+        const CondId s1 =
+            recentGuards[recentGuards.size() - 1 -
+                         rng.below(std::min<std::size_t>(
+                             4, recentGuards.size()))];
+        static constexpr ConditionSpec::Fn fns[] = {
+            ConditionSpec::Fn::Copy, ConditionSpec::Fn::NotCopy,
+            ConditionSpec::Fn::And, ConditionSpec::Fn::Or,
+        };
+        id = p.addCondition(ConditionSpec::correlated(
+            fns[rng.below(4)], s0, s1, prof.corrNoise));
+    } else {
+        id = p.addCondition(ConditionSpec::dataDep(
+            prof.dataDepLo +
+            rng.uniform() * (prof.dataDepHi - prof.dataDepLo)));
+    }
+
+    recentGuards.push_back(id);
+    if (recentGuards.size() > 16)
+        recentGuards.erase(recentGuards.begin());
+    return id;
+}
+
+CondId
+CodeGenerator::drawHardCond(AsmProgram &p)
+{
+    // CorrChain sources: deliberately hard for any predictor.
+    const double b = 0.40 + rng.uniform() * 0.20;
+    const CondId id = p.addCondition(ConditionSpec::dataDep(b));
+    recentGuards.push_back(id);
+    if (recentGuards.size() > 16)
+        recentGuards.erase(recentGuards.begin());
+    return id;
+}
+
+void
+CodeGenerator::emitHammock(AsmProgram &p, bool hoist)
+{
+    const auto [pt, pf] = allocPredPair();
+    // A profile-guided compiler hoists compares for the branches that
+    // hurt, so hoisted hammocks lean toward hard guard conditions.
+    const CondId cond = (hoist && rng.bernoulli(0.5))
+        ? drawHardCond(p) : drawGuardCond(p);
+
+    Region region;
+    region.kind = Region::Kind::Hammock;
+    region.condId = cond;
+    region.pTrue = pt;
+    region.pFalse = pf;
+
+    region.cmpIdx =
+        p.emit(isa::makeCmp(CmpType::Unc, pt, pf, cond));
+
+    // Scheduling distance between the compare and its branch: either the
+    // profile's short-range filler, or a long hoisted block (the compiler
+    // moved the compare up across independent work).
+    const int dist = hoist
+        ? 16 + static_cast<int>(rng.below(25))
+        : prof.cmpBrDistMin +
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(
+              prof.cmpBrDistMax - prof.cmpBrDistMin + 1)));
+    emitCompute(p, dist);
+
+    const LabelId skip = p.newLabel();
+    region.brIdx = p.emit(isa::makeBranch(0, pf), skip);
+
+    const int len = prof.blockLenMin + static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(prof.blockLenMax - prof.blockLenMin
+                                   + 1)));
+    region.thenBegin = p.items().size();
+    emitCompute(p, len - 1);
+    // The then block conditionally (re)defines a register that is live
+    // after the join: the multiple-definition case predication must solve.
+    const RegIndex shared = allocIntDst();
+    p.emit(isa::makeAlu(Opcode::IAdd, shared, pickIntSrc(), pickIntSrc()));
+    region.thenEnd = p.items().size();
+
+    p.placeLabel(skip);
+    p.emit(isa::makeAlu(Opcode::IOr, allocIntDst(), shared, pickIntSrc()));
+
+    p.addRegion(region);
+}
+
+void
+CodeGenerator::emitDiamond(AsmProgram &p)
+{
+    const auto [pt, pf] = allocPredPair();
+    const CondId cond = drawGuardCond(p);
+
+    Region region;
+    region.kind = Region::Kind::Diamond;
+    region.condId = cond;
+    region.pTrue = pt;
+    region.pFalse = pf;
+
+    region.cmpIdx = p.emit(isa::makeCmp(CmpType::Unc, pt, pf, cond));
+
+    const int dist = prof.cmpBrDistMin + static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(prof.cmpBrDistMax - prof.cmpBrDistMin
+                                   + 1)));
+    emitCompute(p, dist);
+
+    const LabelId else_lab = p.newLabel();
+    const LabelId join_lab = p.newLabel();
+    region.brIdx = p.emit(isa::makeBranch(0, pf), else_lab);
+
+    const RegIndex shared = allocIntDst();
+    const int tlen = prof.blockLenMin + static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(prof.blockLenMax - prof.blockLenMin
+                                   + 1)));
+    region.thenBegin = p.items().size();
+    emitCompute(p, tlen - 1);
+    p.emit(isa::makeAlu(Opcode::IAdd, shared, pickIntSrc(), pickIntSrc()));
+    region.thenEnd = p.items().size();
+
+    region.joinBrIdx = p.emit(isa::makeBranch(0), join_lab);
+
+    p.placeLabel(else_lab);
+    const int elen = prof.blockLenMin + static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(prof.blockLenMax - prof.blockLenMin
+                                   + 1)));
+    region.elseBegin = p.items().size();
+    emitCompute(p, elen - 1);
+    p.emit(isa::makeAlu(Opcode::ISub, shared, pickIntSrc(), pickIntSrc()));
+    region.elseEnd = p.items().size();
+
+    p.placeLabel(join_lab);
+    p.emit(isa::makeAlu(Opcode::IXor, allocIntDst(), shared, pickIntSrc()));
+
+    p.addRegion(region);
+}
+
+void
+CodeGenerator::emitCorrChain(AsmProgram &p, LabelId exit_label)
+{
+    // Figure 1 of the paper: two hard hammocks whose conditions feed a
+    // surviving escape branch. The escape branch leaves the enclosing
+    // body, so if-conversion cannot remove it.
+    const CondId ca = drawHardCond(p);
+    const CondId cb = drawHardCond(p);
+
+    auto emit_sub_hammock = [&](CondId cond) {
+        const auto [pt, pf] = allocPredPair();
+        Region region;
+        region.kind = Region::Kind::Hammock;
+        region.condId = cond;
+        region.pTrue = pt;
+        region.pFalse = pf;
+        region.cmpIdx = p.emit(isa::makeCmp(CmpType::Unc, pt, pf, cond));
+        emitCompute(p, 1 + static_cast<int>(rng.below(3)));
+        const LabelId skip = p.newLabel();
+        region.brIdx = p.emit(isa::makeBranch(0, pf), skip);
+        region.thenBegin = p.items().size();
+        emitCompute(p, 2 + static_cast<int>(rng.below(3)));
+        region.thenEnd = p.items().size();
+        p.placeLabel(skip);
+        p.addRegion(region);
+    };
+
+    // The independent work separating the correlated decisions. It must
+    // be long enough for the source compares to execute before the
+    // dependent compare is fetched, or their history bits are still
+    // unresolved predictions — the §3.3 corruption window. Real codes
+    // have exactly this shape: branch-relevant values are computed well
+    // before they are combined in a later test.
+    emit_sub_hammock(ca);
+    emitCompute(p, 8 + static_cast<int>(rng.below(8)));
+    emit_sub_hammock(cb);
+    emitCompute(p, 10 + static_cast<int>(rng.below(12)));
+
+    static constexpr ConditionSpec::Fn fns[] = {
+        ConditionSpec::Fn::And, ConditionSpec::Fn::And,
+        ConditionSpec::Fn::Or, ConditionSpec::Fn::Copy,
+    };
+    const CondId cc = p.addCondition(ConditionSpec::correlated(
+        fns[rng.below(4)], ca, cb, prof.corrNoise));
+
+    const auto [pt, pf] = allocPredPair();
+    p.emit(isa::makeCmp(CmpType::Unc, pt, pf, cc));
+    emitCompute(p, 1 + static_cast<int>(rng.below(3)));
+    // Escape: taken when cc is true; leaves the body (not convertible).
+    p.emit(isa::makeBranch(0, pt), exit_label);
+    emitCompute(p, 2 + static_cast<int>(rng.below(3)));
+}
+
+void
+CodeGenerator::emitInnerLoop(AsmProgram &p)
+{
+    const std::uint32_t trip = static_cast<std::uint32_t>(
+        prof.loopTripMin + static_cast<int>(rng.below(
+            static_cast<std::uint64_t>(prof.loopTripMax -
+                                       prof.loopTripMin + 1))));
+    const CondId cond = p.addCondition(ConditionSpec::loop(trip));
+    const RegIndex pt = allocPredPair().first;
+
+    const LabelId top = p.newLabel();
+    const bool hoist = rng.bernoulli(prof.hoistFrac);
+    const int body_len = hoist ? 10 + static_cast<int>(rng.below(13))
+                               : 3 + static_cast<int>(rng.below(6));
+
+    p.placeLabel(top);
+    if (hoist) {
+        // Loop-exit compare hoisted to the loop top: by the time the back
+        // edge renames, the compare has usually executed (early-resolved).
+        p.emit(isa::makeCmp(CmpType::Unc, pt, isa::regP0, cond));
+        emitCompute(p, body_len);
+    } else {
+        emitCompute(p, body_len);
+        p.emit(isa::makeCmp(CmpType::Unc, pt, isa::regP0, cond));
+        emitCompute(p, static_cast<int>(rng.below(3)));
+    }
+    p.emit(isa::makeBranch(0, pt), top);
+}
+
+void
+CodeGenerator::emitCall(AsmProgram &p, int callee)
+{
+    p.emit(isa::makeCall(0), funcLabels[callee]);
+}
+
+std::vector<CodeGenerator::RegionPlan>
+CodeGenerator::planFunction(int func_id)
+{
+    const double total = prof.wHammock + prof.wDiamond + prof.wCorrChain +
+        prof.wInnerLoop + prof.wCompute + prof.wCall;
+    std::vector<RegionPlan> plans;
+
+    for (int i = 0; i < prof.regionsPerFunction; ++i) {
+        const double r = rng.uniform() * total;
+        double acc = prof.wHammock;
+        RegionPlan plan{RegionKind::Compute};
+        if (r < acc) {
+            plan.kind = RegionKind::Hammock;
+            plan.hoist = rng.bernoulli(prof.hoistFrac);
+        } else if (r < (acc += prof.wDiamond)) {
+            plan.kind = RegionKind::Diamond;
+        } else if (r < (acc += prof.wCorrChain)) {
+            plan.kind = RegionKind::CorrChain;
+        } else if (r < (acc += prof.wInnerLoop)) {
+            plan.kind = RegionKind::InnerLoop;
+        } else if (r < (acc += prof.wCompute)) {
+            plan.kind = RegionKind::Compute;
+        } else {
+            // Calls may only target higher-numbered functions (no
+            // recursion, bounded stack). func_id == -1 is the main body.
+            const int lo = func_id + 1;
+            if (lo < prof.numFunctions) {
+                plan.kind = RegionKind::Call;
+                plan.callee = lo + static_cast<int>(rng.below(
+                    static_cast<std::uint64_t>(prof.numFunctions - lo)));
+            } else {
+                plan.kind = RegionKind::Compute;
+            }
+        }
+        plans.push_back(plan);
+    }
+
+    // CorrChains escape past the rest of the body; keep them at the end so
+    // they do not starve the other regions of execution frequency.
+    std::stable_partition(plans.begin(), plans.end(),
+                          [](const RegionPlan &pl) {
+                              return pl.kind != RegionKind::CorrChain;
+                          });
+    return plans;
+}
+
+void
+CodeGenerator::emitBody(AsmProgram &p, const std::vector<RegionPlan> &plans,
+                        LabelId exit_label)
+{
+    for (const auto &plan : plans) {
+        switch (plan.kind) {
+          case RegionKind::Hammock:
+            emitHammock(p, plan.hoist);
+            break;
+          case RegionKind::Diamond:
+            emitDiamond(p);
+            break;
+          case RegionKind::CorrChain:
+            emitCorrChain(p, exit_label);
+            break;
+          case RegionKind::InnerLoop:
+            emitInnerLoop(p);
+            break;
+          case RegionKind::Compute:
+            emitCompute(p, 4 + static_cast<int>(rng.below(9)));
+            break;
+          case RegionKind::Call:
+            emitCall(p, plan.callee);
+            break;
+        }
+    }
+    p.placeLabel(exit_label);
+}
+
+AsmProgram
+CodeGenerator::generate()
+{
+    AsmProgram p;
+
+    funcLabels.clear();
+    for (int f = 0; f < prof.numFunctions; ++f)
+        funcLabels.push_back(p.newLabel());
+
+    // Plan all bodies first so call coverage can be checked: a function
+    // nobody calls would be dead code whose regions never profile.
+    std::vector<std::vector<RegionPlan>> plans;
+    plans.push_back(planFunction(-1));
+    for (int f = 0; f < prof.numFunctions; ++f)
+        plans.push_back(planFunction(f));
+
+    std::vector<bool> called(static_cast<std::size_t>(prof.numFunctions),
+                             false);
+    for (const auto &body : plans)
+        for (const auto &plan : body)
+            if (plan.kind == RegionKind::Call)
+                called[static_cast<std::size_t>(plan.callee)] = true;
+    for (int f = 0; f < prof.numFunctions; ++f) {
+        if (!called[static_cast<std::size_t>(f)]) {
+            RegionPlan call{RegionKind::Call};
+            call.callee = f;
+            // Keep CorrChains last (they escape past the rest).
+            auto &main_plan = plans[0];
+            auto it = std::find_if(main_plan.begin(), main_plan.end(),
+                                   [](const RegionPlan &pl) {
+                                       return pl.kind ==
+                                           RegionKind::CorrChain;
+                                   });
+            main_plan.insert(it, call);
+        }
+    }
+
+    // Prologue: seed the base registers used for address generation.
+    for (RegIndex i = 0; i < baseRegCount; ++i) {
+        p.emit(isa::makeMovImm(baseRegFirst + i,
+                               static_cast<std::int64_t>(rng.next64() &
+                                                         0xffffff)));
+    }
+
+    // Main body: an infinite outer loop (the simulator decides run length).
+    const LabelId outer = p.newLabel();
+    p.placeLabel(outer);
+    const LabelId main_exit = p.newLabel();
+    emitBody(p, plans[0], main_exit);
+    // Advance the address bases so data footprints stride across the
+    // segment from one outer iteration to the next.
+    p.emit(isa::makeAlu(Opcode::IAdd, baseRegFirst, baseRegFirst,
+                        baseRegFirst + 1));
+    p.emit(isa::makeBranch(0), outer);
+
+    // Functions.
+    for (int f = 0; f < prof.numFunctions; ++f) {
+        p.placeLabel(funcLabels[f]);
+        const LabelId fexit = p.newLabel();
+        emitBody(p, plans[static_cast<std::size_t>(f) + 1], fexit);
+        p.emit(isa::makeRet());
+    }
+
+    return p;
+}
+
+} // namespace program
+} // namespace pp

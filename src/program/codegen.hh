@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Synthetic program generator.
+ *
+ * Produces a whole program (an infinite outer loop over a main body plus a
+ * set of callable functions) from a BenchmarkProfile. The body is a
+ * sequence of *regions*:
+ *
+ * - @b Hammock / @b Diamond: classic if / if-else shapes guarded by a
+ *   compare; recorded in the region table so the if-converter can collapse
+ *   them.
+ * - @b CorrChain: the paper's Figure-1 shape — two hammocks with hard
+ *   guard conditions followed by a non-convertible *escape branch* whose
+ *   condition is correlated with the two guards. After if-conversion
+ *   removes the two hammock branches, a conventional branch predictor can
+ *   no longer observe the source conditions, but a predicate predictor
+ *   still sees their compares: this is the carrier of the paper's
+ *   "correlation improvement".
+ * - @b InnerLoop: a counted loop whose back edge is (optionally) resolved
+ *   by a compare hoisted to the top of the body — the early-resolution
+ *   opportunity.
+ * - @b Compute: straight-line filler with realistic dependences and memory
+ *   traffic.
+ * - @b Call: a call to another generated function.
+ */
+
+#ifndef PP_PROGRAM_CODEGEN_HH
+#define PP_PROGRAM_CODEGEN_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "program/asmprog.hh"
+#include "program/suite.hh"
+
+namespace pp
+{
+namespace program
+{
+
+/** Generates one program from a profile. Single use: construct, generate. */
+class CodeGenerator
+{
+  public:
+    explicit CodeGenerator(const BenchmarkProfile &profile);
+
+    /** Build the program (label-level, with region table). */
+    AsmProgram generate();
+
+    /** Convenience: generate and assemble the non-if-converted binary. */
+    Program generateBinary();
+
+  private:
+    enum class RegionKind
+    {
+        Hammock,
+        Diamond,
+        CorrChain,
+        InnerLoop,
+        Compute,
+        Call,
+    };
+
+    struct RegionPlan
+    {
+        RegionKind kind;
+        bool hoist = false;
+        int callee = -1;
+    };
+
+    /** Draw the region plans for one function (CorrChains sorted last). */
+    std::vector<RegionPlan> planFunction(int func_id);
+
+    /** Emit one function body (regions + epilogue). */
+    void emitBody(AsmProgram &p, const std::vector<RegionPlan> &plans,
+                  LabelId exit_label);
+
+    void emitHammock(AsmProgram &p, bool hoist);
+    void emitDiamond(AsmProgram &p);
+    void emitCorrChain(AsmProgram &p, LabelId exit_label);
+    void emitInnerLoop(AsmProgram &p);
+    void emitCompute(AsmProgram &p, int len);
+    void emitCall(AsmProgram &p, int callee);
+
+    /** One random compute instruction per the profile's mix. */
+    isa::Instruction randomComputeInst();
+
+    /** Draw a guard condition per the profile's hardness mix. */
+    CondId drawGuardCond(AsmProgram &p);
+
+    /** Draw a hard condition (for CorrChain sources). */
+    CondId drawHardCond(AsmProgram &p);
+
+    std::pair<RegIndex, RegIndex> allocPredPair();
+    RegIndex allocIntDst();
+    RegIndex pickIntSrc();
+    RegIndex allocFpDst();
+    RegIndex pickFpSrc();
+    RegIndex pickBaseReg();
+
+    const BenchmarkProfile prof;
+    Rng rng;
+
+    /** Recently created guard conditions, sources for correlated guards. */
+    std::vector<CondId> recentGuards;
+
+    /** Function entry labels (index = function id). */
+    std::vector<LabelId> funcLabels;
+
+    RegIndex nextPred = 1;
+    RegIndex nextIntDst = 1;
+    RegIndex nextFpDst = 1;
+
+    static constexpr RegIndex intDstPoolSize = 36; // r1..r36
+    static constexpr RegIndex baseRegFirst = 40;   // r40..r47
+    static constexpr RegIndex baseRegCount = 8;
+    static constexpr RegIndex fpDstPoolSize = 40;  // f1..f40
+    static constexpr RegIndex predPoolSize = 60;   // p1..p60
+};
+
+} // namespace program
+} // namespace pp
+
+#endif // PP_PROGRAM_CODEGEN_HH

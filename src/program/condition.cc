@@ -1,0 +1,118 @@
+#include "program/condition.hh"
+
+#include "common/logging.hh"
+
+namespace pp
+{
+namespace program
+{
+
+ConditionSpec
+ConditionSpec::biased(double p)
+{
+    ConditionSpec s;
+    s.kind = Kind::Biased;
+    s.bias = p;
+    return s;
+}
+
+ConditionSpec
+ConditionSpec::loop(std::uint32_t trip_count)
+{
+    ConditionSpec s;
+    s.kind = Kind::Loop;
+    s.period = trip_count < 2 ? 2 : trip_count;
+    return s;
+}
+
+ConditionSpec
+ConditionSpec::makePattern(std::uint64_t bits, std::uint32_t len)
+{
+    ConditionSpec s;
+    s.kind = Kind::Pattern;
+    s.pattern = bits;
+    s.period = len == 0 ? 1 : (len > 64 ? 64 : len);
+    return s;
+}
+
+ConditionSpec
+ConditionSpec::correlated(Fn fn, CondId s0, CondId s1, double noise)
+{
+    ConditionSpec s;
+    s.kind = Kind::Correlated;
+    s.fn = fn;
+    s.srcs = {s0, s1};
+    s.noise = noise;
+    return s;
+}
+
+ConditionSpec
+ConditionSpec::dataDep(double p)
+{
+    ConditionSpec s;
+    s.kind = Kind::DataDep;
+    s.bias = p;
+    return s;
+}
+
+ConditionTable::ConditionTable(std::vector<ConditionSpec> cond_specs,
+                               std::uint64_t seed)
+    : specs(std::move(cond_specs)), state(specs.size()), rng(seed)
+{
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto &s = specs[i];
+        if (s.kind == ConditionSpec::Kind::Correlated) {
+            panicIfNot(s.srcs[0] != invalidCond && s.srcs[0] < specs.size(),
+                       "correlated condition has invalid source 0");
+            panicIfNot(s.fn == ConditionSpec::Fn::Copy ||
+                       s.fn == ConditionSpec::Fn::NotCopy ||
+                       (s.srcs[1] != invalidCond && s.srcs[1] < specs.size()),
+                       "two-input correlated condition missing source 1");
+        }
+    }
+}
+
+bool
+ConditionTable::evaluate(CondId id)
+{
+    panicIfNot(id < specs.size(), "condition id out of range");
+    const ConditionSpec &s = specs[id];
+    CondState &st = state[id];
+    bool out = false;
+
+    switch (s.kind) {
+      case ConditionSpec::Kind::Biased:
+      case ConditionSpec::Kind::DataDep:
+        out = rng.bernoulli(s.bias);
+        break;
+      case ConditionSpec::Kind::Loop:
+        out = (st.pos != s.period - 1);
+        st.pos = (st.pos + 1) % s.period;
+        break;
+      case ConditionSpec::Kind::Pattern:
+        out = (s.pattern >> st.pos) & 1;
+        st.pos = (st.pos + 1) % s.period;
+        break;
+      case ConditionSpec::Kind::Correlated: {
+        const bool a = state[s.srcs[0]].last;
+        const bool b =
+            s.srcs[1] == invalidCond ? false : state[s.srcs[1]].last;
+        switch (s.fn) {
+          case ConditionSpec::Fn::Copy: out = a; break;
+          case ConditionSpec::Fn::NotCopy: out = !a; break;
+          case ConditionSpec::Fn::And: out = a && b; break;
+          case ConditionSpec::Fn::Or: out = a || b; break;
+          case ConditionSpec::Fn::Xor: out = a != b; break;
+        }
+        if (s.noise > 0.0 && rng.bernoulli(s.noise))
+            out = !out;
+        break;
+      }
+    }
+
+    st.last = out;
+    return out;
+}
+
+} // namespace program
+} // namespace pp

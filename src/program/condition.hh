@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Branch-condition generators: the ground truth behind every compare.
+ *
+ * Each static compare instruction references a ConditionSpec by id. The
+ * functional emulator evaluates the condition in program order, which
+ * defines the true outcome stream of the program's control flow.
+ *
+ * The generator taxonomy models the behaviours that matter to the paper:
+ *
+ * - @c Biased:     i.i.d. Bernoulli(p). Easy for any predictor when p is
+ *                  extreme; hard when p is near 0.5.
+ * - @c Loop:       taken (period-1) out of period evaluations; a classic
+ *                  loop back-edge, learnable from local history.
+ * - @c Pattern:    a fixed repeating bit pattern, learnable from local
+ *                  history.
+ * - @c Correlated: a (linearly separable) boolean function of the *latest
+ *                  outcomes of other conditions*, optionally noisy. This is
+ *                  the carrier of inter-branch correlation: a global-history
+ *                  predictor that observes the source conditions can predict
+ *                  it; one that does not (e.g. a conventional branch
+ *                  predictor after if-conversion removed the source
+ *                  branches) cannot.
+ * - @c DataDep:    i.i.d. Bernoulli(p) standing for an irreducibly hard
+ *                  data-dependent condition; no predictor can beat p.
+ */
+
+#ifndef PP_PROGRAM_CONDITION_HH
+#define PP_PROGRAM_CONDITION_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace pp
+{
+namespace program
+{
+
+/** Id of a condition within a program's condition table. */
+using CondId = std::uint32_t;
+
+/** Sentinel for "no condition". */
+constexpr CondId invalidCond = 0xffffffff;
+
+/** Static description of one condition generator. */
+struct ConditionSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        Biased,
+        Loop,
+        Pattern,
+        Correlated,
+        DataDep,
+    };
+
+    /** Combination function for Correlated conditions. */
+    enum class Fn : std::uint8_t
+    {
+        Copy,    ///< out = src0
+        NotCopy, ///< out = !src0
+        And,     ///< out = src0 && src1
+        Or,      ///< out = src0 || src1
+        Xor,     ///< out = src0 ^ src1 (NOT linearly separable; stress case)
+    };
+
+    Kind kind = Kind::Biased;
+
+    /** Bernoulli probability of true (Biased / DataDep). */
+    double bias = 0.5;
+
+    /** Loop trip count, or pattern length (1..64). */
+    std::uint32_t period = 4;
+
+    /** Pattern bits, LSB first (Pattern only). */
+    std::uint64_t pattern = 0;
+
+    /** Source condition ids (Correlated only). */
+    std::array<CondId, 2> srcs = {invalidCond, invalidCond};
+
+    /** Combination function (Correlated only). */
+    Fn fn = Fn::Copy;
+
+    /** Probability the correlated output is flipped. */
+    double noise = 0.0;
+
+    /** @name Convenience factories */
+    /// @{
+    static ConditionSpec biased(double p);
+    static ConditionSpec loop(std::uint32_t trip_count);
+    static ConditionSpec makePattern(std::uint64_t bits, std::uint32_t len);
+    static ConditionSpec correlated(Fn fn, CondId s0,
+                                    CondId s1 = invalidCond,
+                                    double noise = 0.0);
+    static ConditionSpec dataDep(double p);
+    /// @}
+};
+
+/**
+ * Runtime evaluator for a program's conditions. Owns per-condition mutable
+ * state (loop counters, pattern positions, last outcomes) plus the RNG that
+ * realizes stochastic conditions. Deterministic given the seed.
+ */
+class ConditionTable
+{
+  public:
+    ConditionTable(std::vector<ConditionSpec> cond_specs,
+                   std::uint64_t seed);
+
+    /**
+     * Evaluate condition @p id in program order and record its outcome as
+     * the condition's latest value (visible to Correlated consumers).
+     */
+    bool evaluate(CondId id);
+
+    /** Latest recorded outcome of condition @p id (false before first). */
+    bool lastOutcome(CondId id) const { return state[id].last; }
+
+    /** Number of conditions. */
+    std::size_t size() const { return specs.size(); }
+
+    /** Access a spec (e.g. for the if-converter's hardness heuristics). */
+    const ConditionSpec &spec(CondId id) const { return specs[id]; }
+
+  private:
+    struct CondState
+    {
+        std::uint32_t pos = 0;
+        bool last = false;
+    };
+
+    std::vector<ConditionSpec> specs;
+    std::vector<CondState> state;
+    Rng rng;
+};
+
+} // namespace program
+} // namespace pp
+
+#endif // PP_PROGRAM_CONDITION_HH

@@ -1,0 +1,233 @@
+#include "program/emulator.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace pp
+{
+namespace program
+{
+
+Emulator::Emulator(const Program &prog, std::uint64_t seed)
+    : program(prog), conds(prog.conditions(), seed ^ 0xc0ffee123456789ull),
+      rng(seed), intRegs(isa::numIntRegs, 0), fpRegs(isa::numFpRegs, 0),
+      predRegs(isa::numPredRegs, false),
+      dataMem(prog.dataSize() / 8, 0), curPc(prog.entry())
+{
+    panicIfNot(isPowerOfTwo(prog.dataSize()),
+               "data segment size must be a power of two");
+    predRegs[isa::regP0] = true;
+    // Non-zero initial register contents so address streams vary.
+    for (RegIndex r = 1; r < isa::numIntRegs; ++r)
+        intRegs[r] = rng.next64();
+}
+
+std::uint64_t
+Emulator::readInt(RegIndex idx) const
+{
+    return idx == isa::regR0 ? 0 : intRegs[idx];
+}
+
+void
+Emulator::writeInt(RegIndex idx, std::uint64_t val)
+{
+    if (idx != isa::regR0)
+        intRegs[idx] = val;
+}
+
+void
+Emulator::writePred(RegIndex idx, bool val, bool &written_flag,
+                    bool &val_flag)
+{
+    if (idx == isa::regP0 || idx == invalidReg)
+        return; // p0 is read-only; writes are architecturally discarded
+    predRegs[idx] = val;
+    written_flag = true;
+    val_flag = val;
+}
+
+Addr
+Emulator::effAddr(std::uint64_t base, std::int64_t disp) const
+{
+    const std::uint64_t bytes = dataMem.size() * 8;
+    return (base + static_cast<std::uint64_t>(disp)) & (bytes - 1) & ~7ull;
+}
+
+ExecRecord
+Emulator::step()
+{
+    const isa::Instruction *ins = program.at(curPc);
+    panicIfNot(ins != nullptr, "emulator PC left the code image");
+
+    ExecRecord rec;
+    rec.pc = curPc;
+    rec.ins = ins;
+    rec.qpVal = predRegs[ins->qp];
+    rec.nextPc = curPc + isa::instBytes;
+
+    using isa::Opcode;
+
+    switch (ins->op) {
+      case Opcode::Nop:
+        break;
+
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IAnd:
+      case Opcode::IOr:
+      case Opcode::IXor:
+      case Opcode::IShl:
+      case Opcode::IMul: {
+        if (!rec.qpVal)
+            break;
+        const std::uint64_t a = readInt(ins->src1);
+        const std::uint64_t b =
+            ins->src2 == invalidReg ? 0 : readInt(ins->src2);
+        std::uint64_t r = 0;
+        switch (ins->op) {
+          case Opcode::IAdd: r = a + b; break;
+          case Opcode::ISub: r = a - b; break;
+          case Opcode::IAnd: r = a & b; break;
+          case Opcode::IOr: r = a | b; break;
+          case Opcode::IXor: r = a ^ b; break;
+          case Opcode::IShl: r = a << (ins->imm & 63); break;
+          case Opcode::IMul: r = a * b; break;
+          default: break;
+        }
+        writeInt(ins->dst, r);
+        break;
+      }
+
+      case Opcode::IMovImm:
+        if (rec.qpVal)
+            writeInt(ins->dst, static_cast<std::uint64_t>(ins->imm));
+        break;
+
+      case Opcode::IMov:
+        if (rec.qpVal)
+            writeInt(ins->dst, readInt(ins->src1));
+        break;
+
+      case Opcode::FAdd:
+      case Opcode::FMul:
+      case Opcode::FDiv: {
+        if (!rec.qpVal)
+            break;
+        // FP payloads are mixed integers: the oracle only needs
+        // deterministic, data-dependent-looking values.
+        const std::uint64_t a = fpRegs[ins->src1];
+        const std::uint64_t b =
+            ins->src2 == invalidReg ? 0 : fpRegs[ins->src2];
+        fpRegs[ins->dst] = mix64(a + 0x9e3779b97f4a7c15ull * (b + 1));
+        break;
+      }
+
+      case Opcode::FMov:
+        if (rec.qpVal)
+            fpRegs[ins->dst] = fpRegs[ins->src1];
+        break;
+
+      case Opcode::Ld:
+      case Opcode::FLd: {
+        if (!rec.qpVal)
+            break;
+        rec.memAddr = effAddr(readInt(ins->src1), ins->imm);
+        const std::uint64_t v = dataMem[rec.memAddr / 8];
+        if (ins->op == Opcode::Ld)
+            writeInt(ins->dst, v);
+        else
+            fpRegs[ins->dst] = v;
+        break;
+      }
+
+      case Opcode::St:
+      case Opcode::FSt: {
+        if (!rec.qpVal)
+            break;
+        rec.memAddr = effAddr(readInt(ins->src1), ins->imm);
+        const std::uint64_t v = ins->op == Opcode::St
+            ? readInt(ins->src2) : fpRegs[ins->src2];
+        dataMem[rec.memAddr / 8] = v;
+        break;
+      }
+
+      case Opcode::Cmp: {
+        // IA-64 compare-type semantics; see isa/opcodes.hh.
+        using isa::CmpType;
+        switch (ins->ctype) {
+          case CmpType::Unc:
+            // Always writes both targets: QP & cond / QP & !cond.
+            rec.condVal = rec.qpVal ? conds.evaluate(ins->condId) : false;
+            writePred(ins->pdst1, rec.qpVal && rec.condVal,
+                      rec.pd1Written, rec.pd1Val);
+            writePred(ins->pdst2, rec.qpVal && !rec.condVal,
+                      rec.pd2Written, rec.pd2Val);
+            break;
+          case CmpType::Normal:
+            if (rec.qpVal) {
+                rec.condVal = conds.evaluate(ins->condId);
+                writePred(ins->pdst1, rec.condVal, rec.pd1Written,
+                          rec.pd1Val);
+                writePred(ins->pdst2, !rec.condVal, rec.pd2Written,
+                          rec.pd2Val);
+            }
+            break;
+          case CmpType::And:
+            if (rec.qpVal) {
+                rec.condVal = conds.evaluate(ins->condId);
+                if (!rec.condVal) {
+                    writePred(ins->pdst1, false, rec.pd1Written,
+                              rec.pd1Val);
+                    writePred(ins->pdst2, false, rec.pd2Written,
+                              rec.pd2Val);
+                }
+            }
+            break;
+          case CmpType::Or:
+            if (rec.qpVal) {
+                rec.condVal = conds.evaluate(ins->condId);
+                if (rec.condVal) {
+                    writePred(ins->pdst1, true, rec.pd1Written, rec.pd1Val);
+                    writePred(ins->pdst2, true, rec.pd2Written, rec.pd2Val);
+                }
+            }
+            break;
+        }
+        break;
+      }
+
+      case Opcode::Br:
+        if (rec.qpVal) {
+            rec.branchTaken = true;
+            rec.nextPc = ins->target;
+        }
+        break;
+
+      case Opcode::BrCall:
+        if (rec.qpVal) {
+            rec.branchTaken = true;
+            callStack.push_back(curPc + isa::instBytes);
+            rec.nextPc = ins->target;
+        }
+        break;
+
+      case Opcode::BrRet:
+        if (rec.qpVal) {
+            panicIfNot(!callStack.empty(), "return with empty call stack");
+            rec.branchTaken = true;
+            rec.nextPc = callStack.back();
+            callStack.pop_back();
+        }
+        break;
+
+      default:
+        panic("emulator: unknown opcode");
+    }
+
+    curPc = rec.nextPc;
+    ++numInsts;
+    return rec;
+}
+
+} // namespace program
+} // namespace pp

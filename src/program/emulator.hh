@@ -1,0 +1,122 @@
+/**
+ * @file
+ * In-order functional emulator: the architectural oracle.
+ *
+ * The emulator executes the program in program order and produces one
+ * ExecRecord per architectural instruction. The out-of-order timing model
+ * consumes this stream for correct-path fetch; wrong-path instructions are
+ * fetched from the static image and never touch the emulator.
+ */
+
+#ifndef PP_PROGRAM_EMULATOR_HH
+#define PP_PROGRAM_EMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "isa/registers.hh"
+#include "program/condition.hh"
+#include "program/program.hh"
+
+namespace pp
+{
+namespace program
+{
+
+/** Everything the timing model needs to know about one executed inst. */
+struct ExecRecord
+{
+    Addr pc = 0;
+    const isa::Instruction *ins = nullptr;
+
+    /** Value of the qualifying predicate (true => executed). */
+    bool qpVal = true;
+
+    /** Raw condition outcome (compares with true QP only). */
+    bool condVal = false;
+
+    /** Which predicate targets were architecturally written, and values. */
+    bool pd1Written = false;
+    bool pd2Written = false;
+    bool pd1Val = false;
+    bool pd2Val = false;
+
+    /** Branch resolution. */
+    bool branchTaken = false;
+
+    /** Address of the next instruction in program order. */
+    Addr nextPc = 0;
+
+    /** Effective address (loads/stores with true QP). */
+    Addr memAddr = 0;
+
+    /** True when this record is a taken (executed) branch. */
+    bool isTakenBranch() const { return ins->isBranch() && branchTaken; }
+};
+
+/**
+ * Architectural state + program-order execution.
+ *
+ * Register values are modeled as 64-bit integers (FP registers carry
+ * integer payloads; the FP/INT distinction matters to the timing model, not
+ * to the oracle). Memory is a flat data segment; effective addresses wrap
+ * into it so generated programs can use arbitrary strides safely.
+ */
+class Emulator
+{
+  public:
+    /**
+     * @param prog program to execute (must outlive the emulator)
+     * @param seed RNG seed for stochastic conditions
+     */
+    Emulator(const Program &prog, std::uint64_t seed);
+
+    /** Execute one instruction; returns its record. */
+    ExecRecord step();
+
+    /** Current program counter. */
+    Addr pc() const { return curPc; }
+
+    /** Architectural predicate register value. */
+    bool predReg(RegIndex idx) const { return predRegs[idx]; }
+
+    /** Architectural integer register value. */
+    std::uint64_t intReg(RegIndex idx) const { return intRegs[idx]; }
+
+    /** Architectural FP register payload. */
+    std::uint64_t fpReg(RegIndex idx) const { return fpRegs[idx]; }
+
+    /** Number of instructions executed so far. */
+    std::uint64_t instCount() const { return numInsts; }
+
+    /** Depth of the emulated call stack. */
+    std::size_t callDepth() const { return callStack.size(); }
+
+  private:
+    std::uint64_t readInt(RegIndex idx) const;
+    void writeInt(RegIndex idx, std::uint64_t val);
+    void writePred(RegIndex idx, bool val, bool &written_flag,
+                   bool &val_flag);
+    Addr effAddr(std::uint64_t base, std::int64_t disp) const;
+
+    const Program &program;
+    ConditionTable conds;
+    Rng rng;
+
+    std::vector<std::uint64_t> intRegs;
+    std::vector<std::uint64_t> fpRegs;
+    std::vector<bool> predRegs;
+    std::vector<std::uint64_t> dataMem; ///< 8-byte words
+    std::vector<Addr> callStack;
+
+    Addr curPc;
+    std::uint64_t numInsts = 0;
+};
+
+} // namespace program
+} // namespace pp
+
+#endif // PP_PROGRAM_EMULATOR_HH

@@ -1,0 +1,100 @@
+#include "program/ifconvert.hh"
+
+#include "common/sat_counter.hh"
+#include "program/emulator.hh"
+
+namespace pp
+{
+namespace program
+{
+
+std::vector<double>
+profileConditionHardness(const AsmProgram &prog, const IfConvertOptions &opts)
+{
+    const Program binary = prog.assemble(1 << 20, "profile");
+    Emulator emu(binary, opts.profileSeed);
+
+    const std::size_t ncond = binary.conditions().size();
+    std::vector<SatCounter> bimodal(ncond, SatCounter(2, 1));
+    std::vector<std::uint64_t> evals(ncond, 0);
+    std::vector<std::uint64_t> misses(ncond, 0);
+
+    for (std::uint64_t i = 0; i < opts.profileSteps; ++i) {
+        const ExecRecord rec = emu.step();
+        if (!rec.ins->isCompare() || !rec.qpVal)
+            continue;
+        const CondId id = rec.ins->condId;
+        ++evals[id];
+        if (bimodal[id].taken() != rec.condVal)
+            ++misses[id];
+        if (rec.condVal)
+            bimodal[id].increment();
+        else
+            bimodal[id].decrement();
+    }
+
+    std::vector<double> rates(ncond, 0.0);
+    for (std::size_t c = 0; c < ncond; ++c) {
+        if (evals[c] >= opts.minEvals)
+            rates[c] = static_cast<double>(misses[c]) /
+                static_cast<double>(evals[c]);
+    }
+    return rates;
+}
+
+AsmProgram
+ifConvert(const AsmProgram &prog, const IfConvertOptions &opts,
+          IfConvertStats *stats)
+{
+    const std::vector<double> hardness =
+        profileConditionHardness(prog, opts);
+
+    const std::size_t n = prog.items().size();
+    std::vector<bool> keep(n, true);
+    std::vector<RegIndex> qp_override(n, invalidReg);
+
+    IfConvertStats local;
+    local.regionsTotal = prog.regions().size();
+
+    for (const Region &r : prog.regions()) {
+        const int block_len = static_cast<int>(
+            (r.thenEnd - r.thenBegin) +
+            (r.kind == Region::Kind::Diamond ? (r.elseEnd - r.elseBegin)
+                                             : 0));
+        RegionDecision dec;
+        dec.condId = r.condId;
+        dec.hardness = hardness[r.condId];
+        dec.blockLen = block_len;
+        dec.brIdx = r.brIdx;
+        local.decisions.push_back(dec);
+        if (hardness[r.condId] < opts.mispredThreshold)
+            continue;
+        if (block_len > opts.maxBlockLen)
+            continue;
+        local.decisions.back().converted = true;
+
+        // Remove the region branch; guard the blocks.
+        keep[r.brIdx] = false;
+        ++local.branchesRemoved;
+        for (std::size_t i = r.thenBegin; i < r.thenEnd; ++i) {
+            qp_override[i] = r.pTrue;
+            ++local.instsPredicated;
+        }
+        if (r.kind == Region::Kind::Diamond) {
+            keep[r.joinBrIdx] = false;
+            ++local.branchesRemoved;
+            for (std::size_t i = r.elseBegin; i < r.elseEnd; ++i) {
+                qp_override[i] = r.pFalse;
+                ++local.instsPredicated;
+            }
+        }
+        ++local.regionsConverted;
+    }
+
+    if (stats)
+        *stats = local;
+    return prog.rewrite(keep, qp_override);
+}
+
+} // namespace program
+} // namespace pp

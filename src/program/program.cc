@@ -1,0 +1,39 @@
+#include "program/program.hh"
+
+namespace pp
+{
+namespace program
+{
+
+std::size_t
+Program::countConditionalBranches() const
+{
+    std::size_t n = 0;
+    for (const auto &i : code)
+        if (i.isConditionalBranch())
+            ++n;
+    return n;
+}
+
+std::size_t
+Program::countCompares() const
+{
+    std::size_t n = 0;
+    for (const auto &i : code)
+        if (i.isCompare())
+            ++n;
+    return n;
+}
+
+std::size_t
+Program::countIfConverted() const
+{
+    std::size_t n = 0;
+    for (const auto &i : code)
+        if (i.ifConverted)
+            ++n;
+    return n;
+}
+
+} // namespace program
+} // namespace pp

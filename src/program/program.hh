@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The assembled, executable program image.
+ */
+
+#ifndef PP_PROGRAM_PROGRAM_HH
+#define PP_PROGRAM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "program/condition.hh"
+
+namespace pp
+{
+namespace program
+{
+
+/**
+ * An executable program: a flat code image (instruction i lives at address
+ * i * isa::instBytes), a data-segment size, and the condition specs that
+ * drive its compares. Programs are immutable once assembled; all mutable
+ * run state lives in the Emulator.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    Program(std::vector<isa::Instruction> code_image,
+            std::vector<ConditionSpec> cond_specs,
+            std::uint64_t data_bytes, std::string prog_name = "")
+        : code(std::move(code_image)), condSpecs(std::move(cond_specs)),
+          dataBytes(data_bytes), name(std::move(prog_name))
+    {}
+
+    /** Instruction at @p pc, or nullptr if pc is outside the image. */
+    const isa::Instruction *
+    at(Addr pc) const
+    {
+        const Addr idx = pc / isa::instBytes;
+        if (pc % isa::instBytes != 0 || idx >= code.size())
+            return nullptr;
+        return &code[idx];
+    }
+
+    /** Address of instruction index @p idx. */
+    static Addr addrOf(std::size_t idx) { return idx * isa::instBytes; }
+
+    /** Static instruction count. */
+    std::size_t size() const { return code.size(); }
+
+    /** Whole code image (read-only). */
+    const std::vector<isa::Instruction> &image() const { return code; }
+
+    /** Condition specifications. */
+    const std::vector<ConditionSpec> &conditions() const { return condSpecs; }
+
+    /** Data segment size in bytes (power of two). */
+    std::uint64_t dataSize() const { return dataBytes; }
+
+    /** Program entry point. */
+    Addr entry() const { return 0; }
+
+    /** Program name (benchmark name). */
+    const std::string &progName() const { return name; }
+
+    /** Count static conditional branches (needs prediction at fetch). */
+    std::size_t countConditionalBranches() const;
+
+    /** Count static compares. */
+    std::size_t countCompares() const;
+
+    /** Count instructions marked as if-converted. */
+    std::size_t countIfConverted() const;
+
+  private:
+    std::vector<isa::Instruction> code;
+    std::vector<ConditionSpec> condSpecs;
+    std::uint64_t dataBytes = 1 << 20;
+    std::string name;
+};
+
+} // namespace program
+} // namespace pp
+
+#endif // PP_PROGRAM_PROGRAM_HH

@@ -1,0 +1,133 @@
+#include "sim/simulator.hh"
+
+#include <cstdlib>
+
+#include "core/core.hh"
+#include "program/codegen.hh"
+
+namespace pp
+{
+namespace sim
+{
+
+program::Program
+buildBinary(const program::BenchmarkProfile &profile, bool if_convert,
+            program::IfConvertStats *ifc_stats)
+{
+    program::CodeGenerator gen(profile);
+    program::AsmProgram asm_prog = gen.generate();
+    if (!if_convert) {
+        return asm_prog.assemble(profile.dataBytes,
+                                 profile.name);
+    }
+    program::IfConvertOptions opts;
+    opts.mispredThreshold = profile.ifcMispredThreshold;
+    opts.maxBlockLen = profile.ifcMaxBlockLen;
+    opts.profileSeed = profile.seed ^ 0x5eedf00dull;
+    program::AsmProgram converted =
+        program::ifConvert(asm_prog, opts, ifc_stats);
+    return converted.assemble(profile.dataBytes, profile.name + ".ifc");
+}
+
+core::CoreStats
+statsDelta(const core::CoreStats &a, const core::CoreStats &b)
+{
+    core::CoreStats d;
+    d.cycles = b.cycles - a.cycles;
+    d.committedInsts = b.committedInsts - a.committedInsts;
+    d.committedCondBranches =
+        b.committedCondBranches - a.committedCondBranches;
+    d.mispredictedCondBranches =
+        b.mispredictedCondBranches - a.mispredictedCondBranches;
+    d.earlyResolvedBranches =
+        b.earlyResolvedBranches - a.earlyResolvedBranches;
+    d.overrideRedirects = b.overrideRedirects - a.overrideRedirects;
+    d.branchMispredFlushes =
+        b.branchMispredFlushes - a.branchMispredFlushes;
+    d.shadowMispredicts = b.shadowMispredicts - a.shadowMispredicts;
+    d.earlyResolvedShadowWrong =
+        b.earlyResolvedShadowWrong - a.earlyResolvedShadowWrong;
+    d.committedPredicated = b.committedPredicated - a.committedPredicated;
+    d.nullifiedAtRename = b.nullifiedAtRename - a.nullifiedAtRename;
+    d.unguardedAtRename = b.unguardedAtRename - a.unguardedAtRename;
+    d.cmovFallbacks = b.cmovFallbacks - a.cmovFallbacks;
+    d.predicateFlushes = b.predicateFlushes - a.predicateFlushes;
+    d.committedCompares = b.committedCompares - a.committedCompares;
+    d.comparePd1Mispredicts =
+        b.comparePd1Mispredicts - a.comparePd1Mispredicts;
+    return d;
+}
+
+RunResult
+run(const program::Program &binary,
+    const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
+    std::uint64_t warmup_insts, std::uint64_t measure_insts)
+{
+    core::CoreConfig cfg;
+    cfg.scheme = scheme.scheme;
+    cfg.predication = scheme.predication;
+    cfg.idealNoAlias = scheme.idealNoAlias;
+    cfg.idealPerfectHistory = scheme.idealPerfectHistory;
+    cfg.shadowConventional = scheme.shadowConventional;
+    if (scheme.splitPvt)
+        cfg.predicate.pvtMode = predictor::PvtMode::Split;
+    if (scheme.confidenceBits != 0)
+        cfg.predicate.confidenceBits = scheme.confidenceBits;
+
+    core::OoOCore cpu(binary, cfg, profile.seed ^ 0x0a11ce5ull);
+    cpu.run(warmup_insts);
+    const core::CoreStats at_warmup = cpu.coreStats();
+    cpu.run(warmup_insts + measure_insts);
+    const core::CoreStats window =
+        statsDelta(at_warmup, cpu.coreStats());
+
+    RunResult r;
+    r.benchmark = profile.name;
+    r.stats = window;
+    r.mispredRatePct = window.mispredRatePct();
+    r.accuracyPct = 100.0 - r.mispredRatePct;
+    r.ipc = window.ipc();
+    r.shadowMispredRatePct = window.shadowMispredRatePct();
+    r.earlyResolvedPct = window.committedCondBranches == 0 ? 0.0
+        : 100.0 * static_cast<double>(window.earlyResolvedBranches) /
+            static_cast<double>(window.committedCondBranches);
+    return r;
+}
+
+RunResult
+buildAndRun(const program::BenchmarkProfile &profile, bool if_convert,
+            const SchemeConfig &scheme, std::uint64_t warmup_insts,
+            std::uint64_t measure_insts)
+{
+    const program::Program binary = buildBinary(profile, if_convert);
+    return run(binary, profile, scheme, warmup_insts, measure_insts);
+}
+
+namespace
+{
+
+std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    return std::strtoull(v, nullptr, 10);
+}
+
+} // namespace
+
+std::uint64_t
+defaultInstructions()
+{
+    return envOr("REPRO_INSTRUCTIONS", 1000000);
+}
+
+std::uint64_t
+defaultWarmup()
+{
+    return envOr("REPRO_WARMUP", 150000);
+}
+
+} // namespace sim
+} // namespace pp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Public simulation API: build a benchmark binary (optionally
+ * if-converted) and run it on a configured core. This is the entry point
+ * examples and benchmark harnesses use.
+ */
+
+#ifndef PP_SIM_SIMULATOR_HH
+#define PP_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+#include "core/corestats.hh"
+#include "program/ifconvert.hh"
+#include "program/program.hh"
+#include "program/suite.hh"
+
+namespace pp
+{
+namespace sim
+{
+
+/** Prediction/predication scheme selection for one run. */
+struct SchemeConfig
+{
+    core::PredictionScheme scheme = core::PredictionScheme::Conventional;
+    core::PredicationModel predication = core::PredicationModel::Cmov;
+    bool idealNoAlias = false;
+    bool idealPerfectHistory = false;
+    bool shadowConventional = false;
+
+    /** §3.3 ablation: statically split PVT instead of dual hashing. */
+    bool splitPvt = false;
+
+    /** Confidence-counter width for selective predication (0 = default). */
+    unsigned confidenceBits = 0;
+};
+
+/** Result of one measured run. */
+struct RunResult
+{
+    std::string benchmark;
+    core::CoreStats stats;        ///< measurement window only
+
+    double mispredRatePct = 0.0;  ///< conditional-branch mispred %
+    double accuracyPct = 0.0;     ///< 100 - mispredRatePct
+    double ipc = 0.0;
+    double shadowMispredRatePct = 0.0;
+    double earlyResolvedPct = 0.0;///< early-resolved / committed branches
+};
+
+/**
+ * Build the binary for @p profile. With @p if_convert the profile's
+ * if-conversion policy is applied (profile-guided, see ifconvert.hh).
+ */
+program::Program buildBinary(const program::BenchmarkProfile &profile,
+                             bool if_convert,
+                             program::IfConvertStats *ifc_stats = nullptr);
+
+/**
+ * Run @p binary on a core configured per @p scheme. Statistics cover
+ * [warmup, warmup + measure) committed instructions.
+ */
+RunResult run(const program::Program &binary,
+              const program::BenchmarkProfile &profile,
+              const SchemeConfig &scheme, std::uint64_t warmup_insts,
+              std::uint64_t measure_insts);
+
+/** Convenience: build and run in one call. */
+RunResult buildAndRun(const program::BenchmarkProfile &profile,
+                      bool if_convert, const SchemeConfig &scheme,
+                      std::uint64_t warmup_insts,
+                      std::uint64_t measure_insts);
+
+/**
+ * Default measurement length: REPRO_INSTRUCTIONS env var, or 1,000,000.
+ * (The paper simulates 100M SPEC instructions; the synthetic workloads
+ * are stationary so ~1M is representative — see DESIGN.md §2.)
+ */
+std::uint64_t defaultInstructions();
+
+/** Default warmup length: REPRO_WARMUP env var, or 150,000. */
+std::uint64_t defaultWarmup();
+
+/** Difference of two CoreStats snapshots (b - a, fieldwise). */
+core::CoreStats statsDelta(const core::CoreStats &a,
+                           const core::CoreStats &b);
+
+} // namespace sim
+} // namespace pp
+
+#endif // PP_SIM_SIMULATOR_HH

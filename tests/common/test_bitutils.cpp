@@ -1,0 +1,78 @@
+/** @file Unit tests for bit utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "common/random.hh"
+
+using namespace pp;
+
+TEST(BitUtils, MaskWidths)
+{
+    EXPECT_EQ(mask(0), 0ull);
+    EXPECT_EQ(mask(1), 1ull);
+    EXPECT_EQ(mask(8), 0xffull);
+    EXPECT_EQ(mask(32), 0xffffffffull);
+    EXPECT_EQ(mask(64), ~0ull);
+}
+
+TEST(BitUtils, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xabcd, 0, 4), 0xdull);
+    EXPECT_EQ(bits(0xabcd, 4, 4), 0xcull);
+    EXPECT_EQ(bits(0xabcd, 8, 8), 0xabull);
+}
+
+TEST(BitUtils, FoldPreservesParity)
+{
+    // XOR-folding preserves total bit parity for any output width that
+    // divides the scan, and always fits in out_bits.
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = r.next64();
+        for (unsigned w : {4u, 8u, 13u, 16u}) {
+            const std::uint64_t f = foldBits(v, w);
+            EXPECT_EQ(f & ~mask(w), 0ull);
+            EXPECT_EQ(__builtin_parityll(f), __builtin_parityll(v));
+        }
+    }
+}
+
+TEST(BitUtils, FoldZeroWidth)
+{
+    EXPECT_EQ(foldBits(0x1234, 0), 0ull);
+}
+
+TEST(BitUtils, Mix64Bijective)
+{
+    // fmix64 is a bijection; at minimum distinct small inputs must not
+    // collide and the avalanche must flip many bits.
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = r.next64();
+        EXPECT_NE(mix64(a), mix64(a + 1));
+        const int flipped = __builtin_popcountll(mix64(a) ^ mix64(a + 1));
+        EXPECT_GT(flipped, 10);
+    }
+}
+
+TEST(BitUtils, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitUtils, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}

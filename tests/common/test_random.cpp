@@ -1,0 +1,82 @@
+/** @file Unit tests for the RNG infrastructure. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+using namespace pp;
+
+TEST(SplitMix64, DeterministicSequence)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(13);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= v == -3;
+        hit_hi |= v == 3;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class RngBernoulliTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngBernoulliTest, EmpiricalRateMatches)
+{
+    const double p = GetParam();
+    Rng r(23);
+    int hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(p);
+    EXPECT_NEAR(double(hits) / n, p, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngBernoulliTest,
+                         ::testing::Values(0.0, 0.05, 0.25, 0.5, 0.75,
+                                           0.95, 1.0));

@@ -1,0 +1,206 @@
+/** @file Core pipeline tests: basic execution, branches, recovery. */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "program/asmprog.hh"
+
+using namespace pp;
+using namespace pp::core;
+using namespace pp::program;
+using namespace pp::isa;
+
+namespace
+{
+
+/** Straight-line block in an infinite outer loop. */
+Program
+loopedProgram(const std::vector<Instruction> &body,
+              std::vector<ConditionSpec> conds = {})
+{
+    AsmProgram p;
+    for (const auto &c : conds)
+        p.addCondition(c);
+    const LabelId top = p.newLabel();
+    p.placeLabel(top);
+    for (const auto &ins : body)
+        p.emit(ins);
+    p.emit(makeBranch(0), top);
+    return p.assemble(1 << 20, "t");
+}
+
+} // namespace
+
+TEST(CoreBasic, CommitsRequestedInstructionCount)
+{
+    const Program bin = loopedProgram({
+        makeMovImm(1, 5),
+        makeAlu(Opcode::IAdd, 2, 1, 1),
+        makeAlu(Opcode::IMul, 3, 2, 2),
+    });
+    OoOCore cpu(bin, CoreConfig{}, 1);
+    cpu.run(10000);
+    EXPECT_GE(cpu.coreStats().committedInsts, 10000u);
+    EXPECT_LT(cpu.coreStats().committedInsts, 10000u + 8);
+}
+
+TEST(CoreBasic, IpcWithinMachineWidth)
+{
+    const Program bin = loopedProgram({
+        makeAlu(Opcode::IAdd, 1, 2, 3),
+        makeAlu(Opcode::IAdd, 4, 5, 6),
+        makeAlu(Opcode::IAdd, 7, 8, 9),
+        makeAlu(Opcode::IAdd, 10, 11, 12),
+    });
+    OoOCore cpu(bin, CoreConfig{}, 1);
+    cpu.run(50000);
+    const double ipc = cpu.coreStats().ipc();
+    EXPECT_GT(ipc, 0.5);
+    EXPECT_LE(ipc, 6.0);
+}
+
+TEST(CoreBasic, SerialDependenceChainLimitsIpc)
+{
+    // mul latency 5, fully serial: IPC must be ~1/5 for the muls.
+    const Program bin = loopedProgram({
+        makeAlu(Opcode::IMul, 1, 1, 1),
+        makeAlu(Opcode::IMul, 1, 1, 1),
+        makeAlu(Opcode::IMul, 1, 1, 1),
+    });
+    OoOCore cpu(bin, CoreConfig{}, 1);
+    cpu.run(20000);
+    EXPECT_LT(cpu.coreStats().ipc(), 0.45);
+}
+
+TEST(CoreBasic, PredictableBranchRarelyFlushes)
+{
+    const Program bin = loopedProgram(
+        {
+            makeCmp(CmpType::Unc, 1, 2, 0),
+            makeAlu(Opcode::IAdd, 3, 4, 5),
+        },
+        {ConditionSpec::loop(8)});
+    // The loop branch is embedded by hand: condition taken 7/8.
+    AsmProgram p;
+    p.addCondition(ConditionSpec::loop(8));
+    const LabelId top = p.newLabel();
+    p.placeLabel(top);
+    p.emit(makeCmp(CmpType::Unc, 1, 0, 0));
+    for (int i = 0; i < 4; ++i)
+        p.emit(makeAlu(Opcode::IAdd, 2 + i, 3 + i, 4 + i));
+    p.emit(makeBranch(0, 1), top);
+    const LabelId outer = p.newLabel();
+    p.placeLabel(outer);
+    p.emit(makeBranch(0), top);
+    const Program bin2 = p.assemble(1 << 20, "t");
+
+    OoOCore cpu(bin2, CoreConfig{}, 1);
+    cpu.run(60000);
+    EXPECT_LT(cpu.coreStats().mispredRatePct(), 2.0);
+}
+
+TEST(CoreBasic, HardBranchPaysRecovery)
+{
+    AsmProgram p;
+    p.addCondition(ConditionSpec::dataDep(0.5));
+    const LabelId top = p.newLabel();
+    p.placeLabel(top);
+    const LabelId skip = p.newLabel();
+    p.emit(makeCmp(CmpType::Unc, 1, 2, 0));
+    p.emit(makeBranch(0, 2), skip);
+    p.emit(makeAlu(Opcode::IAdd, 3, 4, 5));
+    p.emit(makeAlu(Opcode::IAdd, 6, 7, 8));
+    p.placeLabel(skip);
+    p.emit(makeBranch(0), top);
+    const Program bin = p.assemble(1 << 20, "t");
+
+    OoOCore cpu(bin, CoreConfig{}, 1);
+    cpu.run(50000);
+    const auto &s = cpu.coreStats();
+    // ~50% misprediction on the only conditional branch.
+    EXPECT_GT(s.mispredRatePct(), 35.0);
+    EXPECT_GT(s.branchMispredFlushes, 1000u);
+    // Flushes cost cycles: IPC well below width.
+    EXPECT_LT(s.ipc(), 3.0);
+}
+
+TEST(CoreBasic, CallReturnPredictedByRas)
+{
+    AsmProgram p;
+    const LabelId fn = p.newLabel();
+    const LabelId top = p.newLabel();
+    p.placeLabel(top);
+    p.emit(makeCall(0), fn);
+    p.emit(makeAlu(Opcode::IAdd, 1, 2, 3));
+    p.emit(makeBranch(0), top);
+    p.placeLabel(fn);
+    p.emit(makeAlu(Opcode::IAdd, 4, 5, 6));
+    p.emit(makeRet());
+    const Program bin = p.assemble(1 << 20, "t");
+
+    OoOCore cpu(bin, CoreConfig{}, 1);
+    cpu.run(40000);
+    // Returns resolve through the RAS: no branch flushes at all.
+    EXPECT_EQ(cpu.coreStats().branchMispredFlushes, 0u);
+}
+
+TEST(CoreBasic, DeterministicRuns)
+{
+    AsmProgram p;
+    p.addCondition(ConditionSpec::dataDep(0.5));
+    const LabelId top = p.newLabel();
+    p.placeLabel(top);
+    const LabelId skip = p.newLabel();
+    p.emit(makeCmp(CmpType::Unc, 1, 2, 0));
+    p.emit(makeBranch(0, 2), skip);
+    p.emit(makeLoad(3, 40, 8));
+    p.placeLabel(skip);
+    p.emit(makeStore(3, 40, 16));
+    p.emit(makeBranch(0), top);
+    const Program bin = p.assemble(1 << 20, "t");
+
+    OoOCore a(bin, CoreConfig{}, 77), b(bin, CoreConfig{}, 77);
+    a.run(30000);
+    b.run(30000);
+    EXPECT_EQ(a.coreStats().cycles, b.coreStats().cycles);
+    EXPECT_EQ(a.coreStats().mispredictedCondBranches,
+              b.coreStats().mispredictedCondBranches);
+}
+
+TEST(CoreBasic, MemoryBoundLoopSlowerThanCacheResident)
+{
+    auto make_prog = [](std::int64_t stride) {
+        AsmProgram p;
+        const LabelId top = p.newLabel();
+        p.placeLabel(top);
+        p.emit(makeMovImm(2, stride));
+        p.emit(makeAlu(Opcode::IAdd, 1, 1, 2));
+        p.emit(makeLoad(3, 1, 0));
+        p.emit(makeAlu(Opcode::IAdd, 4, 3, 4));
+        p.emit(makeBranch(0), top);
+        return p.assemble(1 << 24, "t");
+    };
+    const Program resident = make_prog(8);
+    const Program thrashing = make_prog(4096);
+    OoOCore small(resident, CoreConfig{}, 1);
+    OoOCore big(thrashing, CoreConfig{}, 1);
+    small.run(30000);
+    big.run(30000);
+    EXPECT_GT(small.coreStats().ipc(), big.coreStats().ipc() * 1.5);
+}
+
+TEST(CoreBasic, StoreLoadForwardingFasterThanCacheRoundTrip)
+{
+    // A dependent load right after a matching store must forward.
+    AsmProgram p;
+    const LabelId top = p.newLabel();
+    p.placeLabel(top);
+    p.emit(makeStore(1, 40, 0));
+    p.emit(makeLoad(2, 40, 0));
+    p.emit(makeAlu(Opcode::IAdd, 1, 2, 2));
+    p.emit(makeBranch(0), top);
+    const Program bin = p.assemble(1 << 20, "t");
+    OoOCore cpu(bin, CoreConfig{}, 1);
+    cpu.run(20000);
+    EXPECT_GT(cpu.coreStats().ipc(), 0.5);
+}

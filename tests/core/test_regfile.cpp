@@ -1,0 +1,144 @@
+/** @file Unit tests for rename maps and the PPRF. */
+
+#include <gtest/gtest.h>
+
+#include "core/regfile.hh"
+#include "isa/registers.hh"
+
+using namespace pp;
+using namespace pp::core;
+
+TEST(RenameMap, InitialIdentityMapping)
+{
+    RenameMap m(8, 16);
+    for (RegIndex l = 0; l < 8; ++l) {
+        EXPECT_EQ(m.lookup(l), l);
+        EXPECT_TRUE(m.isReady(l, 0));
+    }
+    EXPECT_EQ(m.freeCount(), 8u);
+}
+
+TEST(RenameMap, AllocateRemapsAndMarksPending)
+{
+    RenameMap m(8, 16);
+    const PhysRegIndex old = m.lookup(3);
+    const PhysRegIndex neu = m.allocate(3);
+    EXPECT_NE(neu, old);
+    EXPECT_EQ(m.lookup(3), neu);
+    EXPECT_FALSE(m.isReady(neu, 1000000));
+    m.setReady(neu, 5);
+    EXPECT_TRUE(m.isReady(neu, 5));
+    EXPECT_FALSE(m.isReady(neu, 4));
+}
+
+TEST(RenameMap, RestoreUndoesAllocation)
+{
+    RenameMap m(8, 16);
+    const PhysRegIndex old = m.lookup(2);
+    const std::size_t free_before = m.freeCount();
+    const PhysRegIndex neu = m.allocate(2);
+    m.restore(2, old, neu);
+    EXPECT_EQ(m.lookup(2), old);
+    EXPECT_EQ(m.freeCount(), free_before);
+}
+
+TEST(RenameMap, ReleaseRecyclesOldMapping)
+{
+    RenameMap m(8, 16);
+    const PhysRegIndex old = m.lookup(1);
+    m.allocate(1);
+    const std::size_t free_now = m.freeCount();
+    m.release(old); // at commit of the redefining instruction
+    EXPECT_EQ(m.freeCount(), free_now + 1);
+}
+
+TEST(RenameMap, FreeListConservationProperty)
+{
+    // Allocate-release cycles never leak registers.
+    RenameMap m(8, 32);
+    const std::size_t total = m.freeCount();
+    for (int round = 0; round < 100; ++round) {
+        std::vector<PhysRegIndex> olds;
+        for (RegIndex l = 0; l < 8; ++l) {
+            olds.push_back(m.lookup(l));
+            m.allocate(l);
+        }
+        for (const PhysRegIndex p : olds)
+            m.release(p);
+    }
+    EXPECT_EQ(m.freeCount(), total);
+}
+
+TEST(RenameMapDeath, ExhaustionPanics)
+{
+    RenameMap m(4, 6);
+    m.allocate(0);
+    m.allocate(1);
+    EXPECT_FALSE(m.hasFree());
+    EXPECT_DEATH(m.allocate(2), "");
+}
+
+TEST(Pprf, P0IsConstantTrue)
+{
+    Pprf pprf(64, 128);
+    EXPECT_EQ(pprf.lookup(isa::regP0), 0);
+    EXPECT_TRUE(pprf.entry(0).value);
+    EXPECT_FALSE(pprf.entry(0).speculative);
+    EXPECT_LE(pprf.entry(0).readyCycle, 0u);
+}
+
+TEST(Pprf, PredictionThenComputedProtocol)
+{
+    Pprf pprf(64, 128);
+    const PhysRegIndex p = pprf.allocate(5, 100);
+    pprf.writePrediction(p, true, true);
+    const PprfEntry &e = pprf.entry(p);
+    EXPECT_TRUE(e.speculative);
+    EXPECT_TRUE(e.value);
+    EXPECT_TRUE(e.confident);
+    EXPECT_FALSE(e.mispredicted);
+    EXPECT_EQ(e.producerSeq, 100u);
+
+    pprf.writeComputed(p, false, 42); // prediction was wrong
+    EXPECT_FALSE(e.speculative);
+    EXPECT_FALSE(e.value);
+    EXPECT_TRUE(e.mispredicted);
+    EXPECT_EQ(e.readyCycle, 42u);
+}
+
+TEST(Pprf, CorrectPredictionNotFlaggedMispredicted)
+{
+    Pprf pprf(64, 128);
+    const PhysRegIndex p = pprf.allocate(6, 7);
+    pprf.writePrediction(p, false, false);
+    pprf.writeComputed(p, false, 9);
+    EXPECT_FALSE(pprf.entry(p).mispredicted);
+}
+
+TEST(Pprf, ComputedWithoutPredictionIsClean)
+{
+    // Conventional scheme: no prediction is written; the computed value
+    // must not raise the mispredict flag.
+    Pprf pprf(64, 128);
+    const PhysRegIndex p = pprf.allocate(7, 8);
+    pprf.writeComputed(p, true, 3);
+    EXPECT_FALSE(pprf.entry(p).mispredicted);
+    EXPECT_FALSE(pprf.entry(p).speculative);
+    EXPECT_TRUE(pprf.entry(p).value);
+}
+
+TEST(Pprf, AllocateResetsEntryState)
+{
+    Pprf pprf(64, 128);
+    const PhysRegIndex p1 = pprf.allocate(9, 1);
+    pprf.writePrediction(p1, true, true);
+    pprf.entry(p1).robPtrValid = true;
+    const PhysRegIndex old = pprf.lookup(9);
+    EXPECT_EQ(old, p1);
+    pprf.release(p1);
+    // The recycled register must come back clean.
+    const PhysRegIndex p2 = pprf.allocate(10, 2);
+    EXPECT_EQ(p2, p1);
+    EXPECT_FALSE(pprf.entry(p2).robPtrValid);
+    EXPECT_FALSE(pprf.entry(p2).hasPrediction);
+}

@@ -1,0 +1,104 @@
+/** @file Unit tests for the ISA definitions and instruction builders. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+#include "isa/registers.hh"
+
+using namespace pp;
+using namespace pp::isa;
+
+TEST(Opcodes, ClassMapping)
+{
+    EXPECT_EQ(opClass(Opcode::IAdd), OpClass::IntAlu);
+    EXPECT_EQ(opClass(Opcode::IMul), OpClass::IntMult);
+    EXPECT_EQ(opClass(Opcode::FAdd), OpClass::FloatAdd);
+    EXPECT_EQ(opClass(Opcode::FMul), OpClass::FloatMult);
+    EXPECT_EQ(opClass(Opcode::FDiv), OpClass::FloatDiv);
+    EXPECT_EQ(opClass(Opcode::Ld), OpClass::MemRead);
+    EXPECT_EQ(opClass(Opcode::FSt), OpClass::MemWrite);
+    EXPECT_EQ(opClass(Opcode::Cmp), OpClass::Compare);
+    EXPECT_EQ(opClass(Opcode::Br), OpClass::Branch);
+    EXPECT_EQ(opClass(Opcode::BrRet), OpClass::Branch);
+    EXPECT_EQ(opClass(Opcode::Nop), OpClass::No_OpClass);
+}
+
+TEST(Opcodes, Predicates)
+{
+    EXPECT_TRUE(isBranchOp(Opcode::Br));
+    EXPECT_TRUE(isBranchOp(Opcode::BrCall));
+    EXPECT_TRUE(isBranchOp(Opcode::BrRet));
+    EXPECT_FALSE(isBranchOp(Opcode::Cmp));
+    EXPECT_TRUE(isLoadOp(Opcode::FLd));
+    EXPECT_FALSE(isLoadOp(Opcode::St));
+    EXPECT_TRUE(isStoreOp(Opcode::FSt));
+    EXPECT_TRUE(isFpOp(Opcode::FLd));
+    EXPECT_FALSE(isFpOp(Opcode::Ld));
+}
+
+TEST(Instruction, ConditionalVsUnconditionalBranch)
+{
+    // In the compare-branch model, a branch guarded by p0 is
+    // unconditional; any other guard makes it conditional — including
+    // the region branches if-conversion creates.
+    const Instruction uncond = makeBranch(0x100);
+    EXPECT_TRUE(uncond.isUnconditionalBranch());
+    EXPECT_FALSE(uncond.isConditionalBranch());
+
+    const Instruction cond = makeBranch(0x100, 7);
+    EXPECT_FALSE(cond.isUnconditionalBranch());
+    EXPECT_TRUE(cond.isConditionalBranch());
+    EXPECT_TRUE(cond.isPredicated());
+}
+
+TEST(Instruction, CompareBuilderFields)
+{
+    const Instruction c = makeCmp(CmpType::Unc, 3, 4, 17);
+    EXPECT_TRUE(c.isCompare());
+    EXPECT_EQ(c.pdst1, 3);
+    EXPECT_EQ(c.pdst2, 4);
+    EXPECT_EQ(c.condId, 17u);
+    EXPECT_EQ(c.ctype, CmpType::Unc);
+    EXPECT_EQ(c.qp, regP0);
+}
+
+TEST(Instruction, LoadStoreBuilders)
+{
+    const Instruction ld = makeLoad(5, 40, 64);
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_EQ(ld.dst, 5);
+    EXPECT_EQ(ld.src1, 40);
+    EXPECT_EQ(ld.imm, 64);
+
+    const Instruction fst = makeStore(9, 41, 8, regP0, true);
+    EXPECT_TRUE(fst.isStore());
+    EXPECT_TRUE(fst.isFp());
+    EXPECT_EQ(fst.src2, 9);
+}
+
+TEST(Instruction, DisassemblyContainsKeyTokens)
+{
+    EXPECT_NE(makeCmp(CmpType::Unc, 1, 2, 5).disassemble()
+                  .find("cmp.unc p1,p2 = cond5"), std::string::npos);
+    EXPECT_NE(makeBranch(0x40, 3).disassemble().find("(p3) br"),
+              std::string::npos);
+    EXPECT_NE(makeLoad(4, 40, 16).disassemble().find("[r40+16]"),
+              std::string::npos);
+    EXPECT_NE(makeRet().disassemble().find("br.ret"), std::string::npos);
+}
+
+TEST(Instruction, IfConvertedMarkerInDisassembly)
+{
+    Instruction i = makeMov(3, 4, 9);
+    i.ifConverted = true;
+    EXPECT_NE(i.disassemble().find(";ifc"), std::string::npos);
+}
+
+TEST(Registers, Constants)
+{
+    EXPECT_EQ(numIntRegs, 64);
+    EXPECT_EQ(numPredRegs, 64);
+    EXPECT_EQ(regP0, 0);
+    EXPECT_EQ(regR0, 0);
+}

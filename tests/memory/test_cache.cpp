@@ -1,0 +1,166 @@
+/** @file Unit tests for the cache timing model. */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.hh"
+
+using namespace pp;
+using namespace pp::memory;
+
+namespace
+{
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.name = "test";
+    c.sizeBytes = 1024; // 4 sets x 4 ways x 64B
+    c.assoc = 4;
+    c.blockBytes = 64;
+    c.hitLatency = 2;
+    c.mshrs = 2;
+    return c;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHitLatency)
+{
+    Cache c(smallCache(), nullptr, 100);
+    const Cycle miss_done = c.access(0x1000, false, 10);
+    EXPECT_EQ(miss_done, 10 + 2 + 100);
+    EXPECT_EQ(c.misses(), 1u);
+    const Cycle hit_done = c.access(0x1000, false, 200);
+    EXPECT_EQ(hit_done, 202u);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, SameBlockDifferentWordHits)
+{
+    Cache c(smallCache(), nullptr, 100);
+    c.access(0x1000, false, 0);
+    c.access(0x1038, false, 200);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    auto cfg = smallCache();
+    Cache c(cfg, nullptr, 100);
+    // Fill one set (stride = 4 sets * 64B = 256B keeps the same set).
+    for (int w = 0; w < 4; ++w)
+        c.access(0x10000 + w * 256, false, w * 1000);
+    EXPECT_TRUE(c.probe(0x10000));
+    // A fifth block evicts the LRU (the first touched).
+    c.access(0x10000 + 4 * 256, false, 10000);
+    EXPECT_FALSE(c.probe(0x10000));
+    EXPECT_TRUE(c.probe(0x10000 + 1 * 256));
+}
+
+TEST(Cache, LruUpdatedByTouch)
+{
+    Cache c(smallCache(), nullptr, 100);
+    for (int w = 0; w < 4; ++w)
+        c.access(0x10000 + w * 256, false, w * 1000);
+    // Touch the oldest so the second-oldest becomes the victim.
+    c.access(0x10000, false, 9000);
+    c.access(0x10000 + 4 * 256, false, 10000);
+    EXPECT_TRUE(c.probe(0x10000));
+    EXPECT_FALSE(c.probe(0x10000 + 256));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache c(smallCache(), nullptr, 100);
+    c.access(0x10000, true, 0); // dirty fill
+    for (int w = 1; w <= 4; ++w)
+        c.access(0x10000 + w * 256, false, w * 1000);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, MshrLimitsOverlap)
+{
+    auto cfg = smallCache();
+    cfg.mshrs = 1;
+    Cache c(cfg, nullptr, 100);
+    const Cycle d1 = c.access(0x20000, false, 0);
+    // Second concurrent miss must wait for the only MSHR.
+    const Cycle d2 = c.access(0x30000, false, 0);
+    EXPECT_EQ(d1, 0 + 2 + 100);
+    EXPECT_GE(d2, d1);
+}
+
+TEST(Cache, TwoMshrsOverlapMisses)
+{
+    auto cfg = smallCache();
+    cfg.mshrs = 2;
+    Cache c(cfg, nullptr, 100);
+    const Cycle d1 = c.access(0x20000, false, 0);
+    const Cycle d2 = c.access(0x30000, false, 0);
+    EXPECT_EQ(d1, d2); // fully overlapped
+}
+
+TEST(Cache, HierarchyChargesLowerLevel)
+{
+    CacheConfig l2cfg = smallCache();
+    l2cfg.sizeBytes = 4096;
+    l2cfg.hitLatency = 8;
+    Cache l2(l2cfg, nullptr, 100);
+    Cache l1(smallCache(), &l2, 100);
+
+    // L1 miss + L2 miss -> memory.
+    const Cycle cold = l1.access(0x40000, false, 0);
+    EXPECT_EQ(cold, 0 + 2 + 8 + 100);
+    // L1 miss (conflict) but L2 hit later: evict from L1 via stride.
+    for (int w = 1; w <= 4; ++w)
+        l1.access(0x40000 + w * 256, false, 1000 * w);
+    const Cycle l2hit = l1.access(0x40000, false, 50000);
+    EXPECT_EQ(l2hit, 50000 + 2 + 8);
+}
+
+TEST(Cache, FlushAllInvalidates)
+{
+    Cache c(smallCache(), nullptr, 100);
+    c.access(0x1000, false, 0);
+    EXPECT_TRUE(c.probe(0x1000));
+    c.flushAll();
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometryTest, FillsWholeCapacityWithoutConflicts)
+{
+    const auto [size_kb, assoc] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = size_kb * 1024;
+    cfg.assoc = assoc;
+    cfg.blockBytes = 64;
+    Cache c(cfg, nullptr, 100);
+    const unsigned blocks = cfg.sizeBytes / cfg.blockBytes;
+    for (unsigned b = 0; b < blocks; ++b)
+        c.access(static_cast<Addr>(b) * 64, false, b);
+    EXPECT_EQ(c.misses(), blocks);
+    // Everything still resident: full sweep hits.
+    for (unsigned b = 0; b < blocks; ++b)
+        EXPECT_TRUE(c.probe(static_cast<Addr>(b) * 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometryTest,
+                         ::testing::Values(std::make_tuple(32u, 4u),
+                                           std::make_tuple(64u, 4u),
+                                           std::make_tuple(64u, 8u),
+                                           std::make_tuple(1024u, 16u)));
+
+TEST(CacheDeath, BadGeometryPanics)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1000; // not 2^n sets
+    cfg.assoc = 3;
+    cfg.blockBytes = 64;
+    EXPECT_DEATH({ Cache c(cfg, nullptr, 100); (void)c; }, "");
+}

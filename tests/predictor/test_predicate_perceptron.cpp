@@ -1,0 +1,199 @@
+/** @file Unit tests for the paper's predicate perceptron predictor. */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "predictor/predicate_perceptron.hh"
+
+using namespace pp;
+using namespace pp::predictor;
+
+namespace
+{
+
+/** Trace-driven: one compare with known outcomes. */
+PredPredState
+step(PredicatePerceptron &p, Addr pc, bool a1, bool a2, bool need2 = true)
+{
+    CompareContext ctx;
+    ctx.pc = pc;
+    ctx.needSecond = need2;
+    PredPredState st;
+    p.predict(ctx, st);
+    if (st.pred1 != a1)
+        p.correctHistoryAtDepth(ctx, st, a1, 0, 0);
+    p.resolve(ctx, st, a1, a2);
+    return st;
+}
+
+} // namespace
+
+TEST(PredicatePerceptron, StorageNearBudget)
+{
+    const std::uint64_t kb =
+        PredicatePerceptron().storageBytes() / 1024;
+    EXPECT_GE(kb, 140u);
+    EXPECT_LE(kb, 158u);
+}
+
+TEST(PredicatePerceptron, DualHashRowsDiffer)
+{
+    PredicatePerceptron p;
+    CompareContext ctx;
+    ctx.pc = 0x1000;
+    ctx.needSecond = true;
+    PredPredState st;
+    p.predict(ctx, st);
+    EXPECT_NE(st.idx1, st.idx2);
+}
+
+TEST(PredicatePerceptron, SingleDestinationSkipsSecondRow)
+{
+    PredicatePerceptron p;
+    CompareContext ctx;
+    ctx.pc = 0x1000;
+    ctx.needSecond = false;
+    PredPredState st;
+    p.predict(ctx, st);
+    EXPECT_EQ(st.idx1, st.idx2);
+    EXPECT_EQ(st.pred2, !st.pred1);
+}
+
+TEST(PredicatePerceptron, LearnsBothDestinationsIndependently)
+{
+    // cmp.and/or style: the two targets are not complements; the paper's
+    // point that two independent predictions are needed (§3.1).
+    PredicatePerceptron p;
+    int miss1 = 0, miss2 = 0, n = 0;
+    Rng rng(9);
+    for (int i = 0; i < 8000; ++i) {
+        const bool a1 = true;          // constant
+        const bool a2 = rng.bernoulli(0.9); // mostly true, not !a1
+        const auto st = step(p, 0x2000, a1, a2);
+        if (i > 2000) {
+            ++n;
+            miss1 += st.pred1 != a1;
+            miss2 += st.pred2 != a2;
+        }
+    }
+    EXPECT_LT(double(miss1) / n, 0.01);
+    EXPECT_LT(double(miss2) / n, 0.15);
+}
+
+TEST(PredicatePerceptron, OneHistoryShiftPerCompare)
+{
+    PredicatePerceptron p;
+    const std::uint64_t h0 = p.history();
+    CompareContext ctx;
+    ctx.pc = 0x3000;
+    ctx.needSecond = true; // two predictions, still ONE shift (§3.3)
+    PredPredState st;
+    p.predict(ctx, st);
+    const std::uint64_t h1 = p.history();
+    EXPECT_EQ(h1 >> 1, h0 & ((1ull << 29) - 1));
+}
+
+TEST(PredicatePerceptron, LearnsCrossCompareCorrelation)
+{
+    PredicatePerceptron p;
+    Rng rng(11);
+    int miss = 0, n = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const bool c1 = rng.bernoulli(0.5);
+        const bool c2 = rng.bernoulli(0.5);
+        const bool c3 = c1 && c2;
+        step(p, 0x100, c1, !c1);
+        step(p, 0x200, c2, !c2);
+        const auto st = step(p, 0x300, c3, !c3);
+        if (i > 3000) {
+            ++n;
+            miss += st.pred1 != c3;
+        }
+    }
+    EXPECT_LT(double(miss) / n, 0.02);
+}
+
+TEST(PredicatePerceptron, SquashRestoresHistory)
+{
+    PredicatePerceptron p;
+    CompareContext ctx;
+    ctx.pc = 0x4000;
+    ctx.needSecond = false;
+    const std::uint64_t before = p.history();
+    PredPredState s1, s2;
+    p.predict(ctx, s1);
+    p.predict(ctx, s2);
+    p.squash(s2);
+    p.squash(s1);
+    EXPECT_EQ(p.history(), before);
+}
+
+TEST(PredicatePerceptron, CorrectHistoryFlipsBitAtDepth)
+{
+    PredicatePerceptron p;
+    CompareContext ctx;
+    ctx.pc = 0x5000;
+    ctx.needSecond = false;
+    PredPredState st;
+    p.predict(ctx, st);
+    // Two more compares shift after the first.
+    PredPredState s2, s3;
+    ctx.pc = 0x5004;
+    p.predict(ctx, s2);
+    ctx.pc = 0x5008;
+    p.predict(ctx, s3);
+    const std::uint64_t before = p.history();
+    // The first compare's prediction turns out wrong: its bit is 2 deep.
+    ctx.pc = 0x5000;
+    p.correctHistoryAtDepth(ctx, st, !st.pred1, 2, 0);
+    EXPECT_EQ(p.history() ^ before, 0b100u);
+}
+
+TEST(PredicatePerceptron, CorrectHistoryNoopWhenPredictionRight)
+{
+    PredicatePerceptron p;
+    CompareContext ctx;
+    ctx.pc = 0x6000;
+    PredPredState st;
+    p.predict(ctx, st);
+    const std::uint64_t before = p.history();
+    p.correctHistoryAtDepth(ctx, st, st.pred1, 0, 0);
+    EXPECT_EQ(p.history(), before);
+}
+
+TEST(PredicatePerceptron, ConfidenceSaturatesOnStreak)
+{
+    PredicatePredictorConfig cfg;
+    cfg.confidenceBits = 3;
+    PredicatePerceptron p(cfg);
+    // Constant outcome: after enough correct predictions, confident.
+    PredPredState st;
+    for (int i = 0; i < 50; ++i)
+        st = step(p, 0x7000, true, false);
+    EXPECT_TRUE(st.conf1);
+    // One wrong outcome zeroes the counter.
+    st = step(p, 0x7000, false, true);
+    CompareContext ctx;
+    ctx.pc = 0x7000;
+    ctx.needSecond = true;
+    PredPredState probe;
+    p.predict(ctx, probe);
+    EXPECT_FALSE(probe.conf1);
+}
+
+TEST(PredicatePerceptron, SplitModeUsesDisjointHalves)
+{
+    PredicatePredictorConfig cfg;
+    cfg.pvtMode = PvtMode::Split;
+    PredicatePerceptron p(cfg);
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        CompareContext ctx;
+        ctx.pc = 0x1000 + rng.below(1024) * 4;
+        ctx.needSecond = true;
+        PredPredState st;
+        p.predict(ctx, st);
+        EXPECT_LT(st.idx1, cfg.tableEntries / 2);
+        EXPECT_GE(st.idx2, cfg.tableEntries / 2);
+    }
+}

@@ -1,0 +1,116 @@
+/** @file Unit tests for the label-based program representation. */
+
+#include <gtest/gtest.h>
+
+#include "program/asmprog.hh"
+
+using namespace pp;
+using namespace pp::program;
+using namespace pp::isa;
+
+TEST(AsmProgram, AssembleResolvesForwardAndBackwardLabels)
+{
+    AsmProgram p;
+    const LabelId top = p.newLabel();
+    const LabelId fwd = p.newLabel();
+    p.placeLabel(top);
+    p.emit(makeNop());                 // 0
+    p.emit(makeBranch(0, 3), fwd);     // 1 -> forward
+    p.emit(makeNop());                 // 2
+    p.placeLabel(fwd);
+    p.emit(makeNop());                 // 3
+    p.emit(makeBranch(0), top);        // 4 -> backward
+
+    const Program bin = p.assemble(1 << 20, "t");
+    EXPECT_EQ(bin.at(4)->target, Program::addrOf(3));
+    EXPECT_EQ(bin.at(16)->target, Program::addrOf(0));
+}
+
+TEST(AsmProgram, ConditionIds)
+{
+    AsmProgram p;
+    EXPECT_EQ(p.addCondition(ConditionSpec::biased(0.5)), 0u);
+    EXPECT_EQ(p.addCondition(ConditionSpec::loop(4)), 1u);
+    EXPECT_EQ(p.conditions().size(), 2u);
+}
+
+TEST(AsmProgram, RewriteDropsAndReguards)
+{
+    AsmProgram p;
+    const LabelId skip = p.newLabel();
+    p.emit(makeCmp(CmpType::Unc, 1, 2, 0));        // 0 keep
+    p.emit(makeBranch(0, 2), skip);                // 1 drop
+    p.emit(makeAlu(Opcode::IAdd, 3, 4, 5));        // 2 guard with p1
+    p.placeLabel(skip);
+    p.emit(makeAlu(Opcode::IOr, 6, 3, 7));         // 3 keep
+    p.addCondition(ConditionSpec::biased(0.5));
+
+    std::vector<bool> keep = {true, false, true, true};
+    std::vector<RegIndex> qp = {invalidReg, invalidReg, 1, invalidReg};
+    const AsmProgram out = p.rewrite(keep, qp);
+
+    ASSERT_EQ(out.items().size(), 3u);
+    EXPECT_TRUE(out.items()[0].ins.isCompare());
+    EXPECT_EQ(out.items()[1].ins.qp, 1);
+    EXPECT_TRUE(out.items()[1].ins.ifConverted);
+    EXPECT_EQ(out.items()[2].ins.qp, regP0);
+    // The label moved onto the next surviving instruction.
+    EXPECT_EQ(out.positionOf(skip), 2u);
+    // Conditions carried over.
+    EXPECT_EQ(out.conditions().size(), 1u);
+}
+
+TEST(AsmProgram, RewriteRemapsLabelOfDroppedInstruction)
+{
+    AsmProgram p;
+    const LabelId lab = p.newLabel();
+    p.emit(makeNop());            // 0
+    p.placeLabel(lab);
+    p.emit(makeNop());            // 1 dropped; label must move to 2
+    p.emit(makeNop());            // 2
+    std::vector<bool> keep = {true, false, true};
+    std::vector<RegIndex> qp(3, invalidReg);
+    const AsmProgram out = p.rewrite(keep, qp);
+    EXPECT_EQ(out.positionOf(lab), 1u);
+}
+
+TEST(AsmProgramDeath, DoublePlacedLabelPanics)
+{
+    AsmProgram p;
+    const LabelId l = p.newLabel();
+    p.placeLabel(l);
+    EXPECT_DEATH(p.placeLabel(l), "");
+}
+
+TEST(AsmProgramDeath, UnplacedLabelPanicsOnAssemble)
+{
+    AsmProgram p;
+    const LabelId l = p.newLabel();
+    p.emit(makeBranch(0), l);
+    EXPECT_DEATH(p.assemble(1 << 20, "t"), "");
+}
+
+TEST(ProgramImage, AtRejectsOutOfRangeAndMisaligned)
+{
+    AsmProgram p;
+    p.emit(makeNop());
+    const Program bin = p.assemble(1 << 20, "t");
+    EXPECT_NE(bin.at(0), nullptr);
+    EXPECT_EQ(bin.at(2), nullptr);  // misaligned
+    EXPECT_EQ(bin.at(4), nullptr);  // past the end
+}
+
+TEST(ProgramImage, Counters)
+{
+    AsmProgram p;
+    p.emit(makeCmp(CmpType::Unc, 1, 2, 0));
+    const LabelId l = p.newLabel();
+    p.emit(makeBranch(0, 2), l);
+    p.placeLabel(l);
+    p.emit(makeBranch(0), l);  // unconditional: not counted as conditional
+    p.addCondition(ConditionSpec::biased(0.5));
+    const Program bin = p.assemble(1 << 20, "t");
+    EXPECT_EQ(bin.countCompares(), 1u);
+    EXPECT_EQ(bin.countConditionalBranches(), 1u);
+    EXPECT_EQ(bin.countIfConverted(), 0u);
+}

@@ -1,0 +1,142 @@
+/** @file Unit tests for the condition generators. */
+
+#include <gtest/gtest.h>
+
+#include "program/condition.hh"
+
+using namespace pp;
+using namespace pp::program;
+
+namespace
+{
+
+ConditionTable
+makeTable(std::vector<ConditionSpec> specs, std::uint64_t seed = 99)
+{
+    return ConditionTable(std::move(specs), seed);
+}
+
+} // namespace
+
+TEST(Condition, LoopPeriodicity)
+{
+    auto t = makeTable({ConditionSpec::loop(5)});
+    // taken (true) 4 times, then false, repeating.
+    for (int rep = 0; rep < 3; ++rep) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(t.evaluate(0)) << "rep " << rep << " iter " << i;
+        EXPECT_FALSE(t.evaluate(0)) << "rep " << rep;
+    }
+}
+
+TEST(Condition, LoopMinimumTripIsTwo)
+{
+    auto t = makeTable({ConditionSpec::loop(0)});
+    EXPECT_TRUE(t.evaluate(0));
+    EXPECT_FALSE(t.evaluate(0));
+}
+
+TEST(Condition, PatternCycles)
+{
+    // Pattern 0b1011 of length 4, LSB first: 1,1,0,1, repeating.
+    auto t = makeTable({ConditionSpec::makePattern(0b1011, 4)});
+    const bool expect[] = {true, true, false, true};
+    for (int rep = 0; rep < 4; ++rep)
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(t.evaluate(0), expect[i]);
+}
+
+class BiasedConditionTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BiasedConditionTest, EmpiricalBias)
+{
+    const double p = GetParam();
+    auto t = makeTable({ConditionSpec::biased(p)});
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += t.evaluate(0);
+    EXPECT_NEAR(double(hits) / n, p, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, BiasedConditionTest,
+                         ::testing::Values(0.05, 0.3, 0.5, 0.8, 0.95));
+
+TEST(Condition, CorrelatedCopy)
+{
+    std::vector<ConditionSpec> specs;
+    specs.push_back(ConditionSpec::biased(0.5));
+    specs.push_back(ConditionSpec::correlated(ConditionSpec::Fn::Copy, 0));
+    auto t = makeTable(std::move(specs));
+    for (int i = 0; i < 1000; ++i) {
+        const bool src = t.evaluate(0);
+        EXPECT_EQ(t.evaluate(1), src);
+    }
+}
+
+TEST(Condition, CorrelatedLogicFunctions)
+{
+    std::vector<ConditionSpec> specs;
+    specs.push_back(ConditionSpec::biased(0.5));
+    specs.push_back(ConditionSpec::biased(0.5));
+    specs.push_back(ConditionSpec::correlated(ConditionSpec::Fn::And, 0, 1));
+    specs.push_back(ConditionSpec::correlated(ConditionSpec::Fn::Or, 0, 1));
+    specs.push_back(ConditionSpec::correlated(ConditionSpec::Fn::Xor, 0, 1));
+    specs.push_back(
+        ConditionSpec::correlated(ConditionSpec::Fn::NotCopy, 0));
+    auto t = makeTable(std::move(specs));
+    for (int i = 0; i < 1000; ++i) {
+        const bool a = t.evaluate(0);
+        const bool b = t.evaluate(1);
+        EXPECT_EQ(t.evaluate(2), a && b);
+        EXPECT_EQ(t.evaluate(3), a || b);
+        EXPECT_EQ(t.evaluate(4), a != b);
+        EXPECT_EQ(t.evaluate(5), !a);
+    }
+}
+
+TEST(Condition, CorrelatedNoiseRate)
+{
+    std::vector<ConditionSpec> specs;
+    specs.push_back(ConditionSpec::biased(0.5));
+    specs.push_back(ConditionSpec::correlated(ConditionSpec::Fn::Copy, 0,
+                                              invalidCond, 0.1));
+    auto t = makeTable(std::move(specs));
+    int flips = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const bool src = t.evaluate(0);
+        flips += t.evaluate(1) != src;
+    }
+    EXPECT_NEAR(double(flips) / n, 0.1, 0.01);
+}
+
+TEST(Condition, LastOutcomeTracksEvaluation)
+{
+    auto t = makeTable({ConditionSpec::loop(3)});
+    EXPECT_FALSE(t.lastOutcome(0)); // before first evaluation
+    EXPECT_TRUE(t.evaluate(0));
+    EXPECT_TRUE(t.lastOutcome(0));
+    t.evaluate(0);
+    EXPECT_FALSE(t.evaluate(0)); // third of period 3
+    EXPECT_FALSE(t.lastOutcome(0));
+}
+
+TEST(Condition, DeterministicAcrossInstances)
+{
+    std::vector<ConditionSpec> specs = {ConditionSpec::dataDep(0.4)};
+    auto a = makeTable(specs, 5);
+    auto b = makeTable(specs, 5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.evaluate(0), b.evaluate(0));
+}
+
+TEST(ConditionDeath, CorrelatedWithInvalidSourcePanics)
+{
+    std::vector<ConditionSpec> specs;
+    specs.push_back(
+        ConditionSpec::correlated(ConditionSpec::Fn::Copy, invalidCond));
+    EXPECT_DEATH({ ConditionTable t(std::move(specs), 1); (void)t; }, "");
+}

@@ -1,0 +1,290 @@
+/** @file Unit tests for the functional emulator (the oracle). */
+
+#include <gtest/gtest.h>
+
+#include "program/asmprog.hh"
+#include "program/emulator.hh"
+
+using namespace pp;
+using namespace pp::program;
+using namespace pp::isa;
+
+namespace
+{
+
+/** Build a tiny program ending in an infinite self-loop. */
+Program
+assembleWithLoop(AsmProgram &p)
+{
+    const LabelId self = p.newLabel();
+    p.placeLabel(self);
+    p.emit(makeBranch(0), self);
+    return p.assemble(1 << 20, "t");
+}
+
+} // namespace
+
+TEST(Emulator, IntegerAluOps)
+{
+    AsmProgram p;
+    p.emit(makeMovImm(1, 6));
+    p.emit(makeMovImm(2, 3));
+    p.emit(makeAlu(Opcode::IAdd, 3, 1, 2));
+    p.emit(makeAlu(Opcode::ISub, 4, 1, 2));
+    p.emit(makeAlu(Opcode::IAnd, 5, 1, 2));
+    p.emit(makeAlu(Opcode::IOr, 6, 1, 2));
+    p.emit(makeAlu(Opcode::IXor, 7, 1, 2));
+    p.emit(makeAlu(Opcode::IMul, 8, 1, 2));
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    for (int i = 0; i < 8; ++i)
+        emu.step();
+    EXPECT_EQ(emu.intReg(3), 9u);
+    EXPECT_EQ(emu.intReg(4), 3u);
+    EXPECT_EQ(emu.intReg(5), 2u);
+    EXPECT_EQ(emu.intReg(6), 7u);
+    EXPECT_EQ(emu.intReg(7), 5u);
+    EXPECT_EQ(emu.intReg(8), 18u);
+}
+
+TEST(Emulator, R0ReadsZeroAndDiscardsWrites)
+{
+    AsmProgram p;
+    p.emit(makeMovImm(0, 55));
+    p.emit(makeAlu(Opcode::IAdd, 1, 0, 0));
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    emu.step();
+    emu.step();
+    EXPECT_EQ(emu.intReg(0), 0u);
+    EXPECT_EQ(emu.intReg(1), 0u);
+}
+
+TEST(Emulator, StoreLoadRoundTrip)
+{
+    AsmProgram p;
+    p.emit(makeMovImm(1, 0x100));
+    p.emit(makeMovImm(2, 0xdead));
+    p.emit(makeStore(2, 1, 8));
+    p.emit(makeLoad(3, 1, 8));
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    for (int i = 0; i < 4; ++i)
+        emu.step();
+    EXPECT_EQ(emu.intReg(3), 0xdeadu);
+}
+
+TEST(Emulator, EffectiveAddressWrapsIntoSegment)
+{
+    AsmProgram p;
+    p.emit(makeMovImm(1, -1)); // huge unsigned base
+    p.emit(makeStore(1, 1, 0));
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    emu.step();
+    const ExecRecord rec = emu.step();
+    EXPECT_LT(rec.memAddr, bin.dataSize());
+    EXPECT_EQ(rec.memAddr % 8, 0u);
+}
+
+TEST(Emulator, PredicationSuppressesExecution)
+{
+    AsmProgram p;
+    const CondId c = p.addCondition(ConditionSpec::biased(0.0)); // false
+    p.emit(makeMovImm(1, 7));
+    p.emit(makeCmp(CmpType::Unc, 2, 3, c)); // p2=false, p3=true
+    p.emit(makeMovImm(1, 99, 2));           // guarded by false p2
+    p.emit(makeMovImm(4, 42, 3));           // guarded by true p3
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    for (int i = 0; i < 4; ++i)
+        emu.step();
+    EXPECT_EQ(emu.intReg(1), 7u);  // unchanged
+    EXPECT_EQ(emu.intReg(4), 42u); // executed
+}
+
+TEST(Emulator, CmpUncWritesBothTargets)
+{
+    AsmProgram p;
+    const CondId c = p.addCondition(ConditionSpec::biased(1.0)); // true
+    p.emit(makeCmp(CmpType::Unc, 1, 2, c));
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    const ExecRecord rec = emu.step();
+    EXPECT_TRUE(rec.pd1Written);
+    EXPECT_TRUE(rec.pd2Written);
+    EXPECT_TRUE(rec.pd1Val);
+    EXPECT_FALSE(rec.pd2Val);
+    EXPECT_TRUE(emu.predReg(1));
+    EXPECT_FALSE(emu.predReg(2));
+}
+
+TEST(Emulator, CmpUncWithFalseQpClearsBoth)
+{
+    AsmProgram p;
+    const CondId cf = p.addCondition(ConditionSpec::biased(0.0));
+    const CondId ct = p.addCondition(ConditionSpec::biased(1.0));
+    p.emit(makeCmp(CmpType::Unc, 1, 2, cf)); // p1=0 p2=1
+    // cmp.unc guarded by the false p1: both targets cleared.
+    p.emit(makeCmp(CmpType::Unc, 3, 4, ct, invalidReg, invalidReg, 1));
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    emu.step();
+    const ExecRecord rec = emu.step();
+    EXPECT_FALSE(rec.qpVal);
+    EXPECT_TRUE(rec.pd1Written);
+    EXPECT_FALSE(rec.pd1Val);
+    EXPECT_FALSE(rec.pd2Val);
+}
+
+TEST(Emulator, CmpNormalLeavesTargetsWhenQpFalse)
+{
+    AsmProgram p;
+    const CondId cf = p.addCondition(ConditionSpec::biased(0.0));
+    const CondId ct = p.addCondition(ConditionSpec::biased(1.0));
+    p.emit(makeCmp(CmpType::Unc, 5, 6, ct));  // p5=1 p6=0
+    p.emit(makeCmp(CmpType::Unc, 1, 2, cf));  // p1=0 p2=1
+    Instruction normal = makeCmp(CmpType::Normal, 5, 6, ct);
+    normal.qp = 1; // false guard
+    p.emit(normal);
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    emu.step();
+    emu.step();
+    const ExecRecord rec = emu.step();
+    EXPECT_FALSE(rec.pd1Written);
+    EXPECT_TRUE(emu.predReg(5));  // unchanged
+    EXPECT_FALSE(emu.predReg(6));
+}
+
+TEST(Emulator, CmpAndOrSemantics)
+{
+    AsmProgram p;
+    const CondId ct = p.addCondition(ConditionSpec::biased(1.0));
+    const CondId cf = p.addCondition(ConditionSpec::biased(0.0));
+    p.emit(makeCmp(CmpType::Unc, 1, 2, ct));  // p1=1, p2=0
+    // and-type with false condition: clears both targets.
+    p.emit(makeCmp(CmpType::And, 1, 3, cf));
+    // or-type with true condition: sets both targets.
+    p.emit(makeCmp(CmpType::Or, 2, 4, ct));
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    emu.step();
+    emu.step();
+    EXPECT_FALSE(emu.predReg(1)); // cleared by cmp.and
+    emu.step();
+    EXPECT_TRUE(emu.predReg(2)); // set by cmp.or
+    EXPECT_TRUE(emu.predReg(4));
+}
+
+TEST(Emulator, P0IsNeverWritten)
+{
+    AsmProgram p;
+    const CondId cf = p.addCondition(ConditionSpec::biased(0.0));
+    p.emit(makeCmp(CmpType::Unc, 1, 0, cf)); // pdst2 == p0
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    const ExecRecord rec = emu.step();
+    EXPECT_FALSE(rec.pd2Written);
+    EXPECT_TRUE(emu.predReg(0));
+}
+
+TEST(Emulator, BranchTakenAndNotTaken)
+{
+    AsmProgram p;
+    const CondId ct = p.addCondition(ConditionSpec::biased(1.0));
+    const LabelId target = p.newLabel();
+    p.emit(makeCmp(CmpType::Unc, 1, 2, ct)); // p1=1, p2=0
+    p.emit(makeBranch(0, 2), target);        // not taken (p2 false)
+    p.emit(makeBranch(0, 1), target);        // taken (p1 true)
+    p.emit(makeNop());
+    p.placeLabel(target);
+    p.emit(makeNop());
+    const Program bin = assembleWithLoop(p);
+    Emulator emu(bin, 1);
+    emu.step();
+    const ExecRecord nt = emu.step();
+    EXPECT_FALSE(nt.branchTaken);
+    EXPECT_EQ(nt.nextPc, nt.pc + instBytes);
+    const ExecRecord tk = emu.step();
+    EXPECT_TRUE(tk.branchTaken);
+    EXPECT_EQ(tk.nextPc, Program::addrOf(4));
+}
+
+TEST(Emulator, CallAndReturn)
+{
+    AsmProgram p;
+    const LabelId func = p.newLabel();
+    p.emit(makeCall(0), func);  // 0
+    p.emit(makeNop());          // 1 <- return lands here
+    const LabelId self = p.newLabel();
+    p.placeLabel(self);
+    p.emit(makeBranch(0), self);// 2
+    p.placeLabel(func);
+    p.emit(makeNop());          // 3
+    p.emit(makeRet());          // 4
+    const Program bin = p.assemble(1 << 20, "t");
+    Emulator emu(bin, 1);
+    const ExecRecord call = emu.step();
+    EXPECT_TRUE(call.branchTaken);
+    EXPECT_EQ(call.nextPc, Program::addrOf(3));
+    EXPECT_EQ(emu.callDepth(), 1u);
+    emu.step(); // nop in func
+    const ExecRecord ret = emu.step();
+    EXPECT_EQ(ret.nextPc, Program::addrOf(1));
+    EXPECT_EQ(emu.callDepth(), 0u);
+}
+
+TEST(Emulator, DeterministicReplay)
+{
+    AsmProgram p;
+    const CondId c = p.addCondition(ConditionSpec::dataDep(0.5));
+    const LabelId skip = p.newLabel();
+    p.emit(makeCmp(CmpType::Unc, 1, 2, c));
+    p.emit(makeBranch(0, 2), skip);
+    p.emit(makeAlu(Opcode::IAdd, 3, 3, 3));
+    p.placeLabel(skip);
+    const LabelId top = p.newLabel();
+    // Loop back to the start (address 0).
+    p.emit(makeBranch(0), top);
+    // place the label at the first instruction via a second program copy:
+    const Program bin = [&] {
+        AsmProgram q;
+        const CondId qc = q.addCondition(ConditionSpec::dataDep(0.5));
+        const LabelId qtop = q.newLabel();
+        q.placeLabel(qtop);
+        const LabelId qskip = q.newLabel();
+        q.emit(makeCmp(CmpType::Unc, 1, 2, qc));
+        q.emit(makeBranch(0, 2), qskip);
+        q.emit(makeAlu(Opcode::IAdd, 3, 3, 3));
+        q.placeLabel(qskip);
+        q.emit(makeBranch(0), qtop);
+        return q.assemble(1 << 20, "t");
+    }();
+    Emulator a(bin, 42), b(bin, 42);
+    for (int i = 0; i < 5000; ++i) {
+        const ExecRecord ra = a.step();
+        const ExecRecord rb = b.step();
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.branchTaken, rb.branchTaken);
+    }
+}
+
+TEST(EmulatorDeath, RunningOffImagePanics)
+{
+    AsmProgram p;
+    p.emit(makeNop());
+    const Program bin = p.assemble(1 << 20, "t");
+    Emulator emu(bin, 1);
+    emu.step();
+    EXPECT_DEATH(emu.step(), "");
+}
+
+TEST(EmulatorDeath, ReturnWithEmptyStackPanics)
+{
+    AsmProgram p;
+    p.emit(makeRet());
+    const Program bin = p.assemble(1 << 20, "t");
+    Emulator emu(bin, 1);
+    EXPECT_DEATH(emu.step(), "");
+}
