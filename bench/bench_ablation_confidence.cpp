@@ -11,18 +11,23 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pp;
     using namespace pp::bench;
 
+    const BenchOptions opts = parseBenchArgs(
+        argc, argv,
+        "confidence-width ablation (REPRO_FULL=1 for the full suite)");
+
     // A representative subset keeps this sweep fast; the full suite can
-    // be enabled by REPRO_FULL=1.
+    // be enabled by REPRO_FULL=1 (and narrowed again with --filter).
     std::vector<program::BenchmarkProfile> suite;
     const bool full = std::getenv("REPRO_FULL") != nullptr;
     for (const auto &p : program::spec2000Suite()) {
@@ -34,6 +39,18 @@ main()
     }
 
     const unsigned widths[] = {1, 2, 3, 4, 5};
+    std::vector<SchemeColumn> columns;
+    for (const unsigned w : widths) {
+        SchemeColumn col;
+        col.name = "conf=" + std::to_string(w);
+        col.cfg.scheme = core::PredictionScheme::PredicatePredictor;
+        col.cfg.predication = core::PredicationModel::SelectivePrediction;
+        col.cfg.confidenceBits = w;
+        columns.push_back(col);
+    }
+
+    const auto sweep =
+        sweepSuite(opts, std::move(suite), /*if_convert=*/true, columns);
 
     TextTable t;
     t.setHeader({"benchmark", "conf=1 IPC", "conf=2 IPC", "conf=3 IPC",
@@ -42,43 +59,33 @@ main()
     std::vector<double> sums(5, 0.0);
     std::vector<std::uint64_t> flushes(5, 0);
     std::vector<std::uint64_t> fallbacks(5, 0);
-    for (const auto &prof : suite) {
-        std::fprintf(stderr, "  [%s]", prof.name.c_str());
-        const program::Program binary = sim::buildBinary(prof, true);
+    for (std::size_t b = 0; b < sweep.benchmarks.size(); ++b) {
         std::vector<double> ipcs;
         for (std::size_t w = 0; w < 5; ++w) {
-            sim::SchemeConfig cfgs;
-            cfgs.scheme = core::PredictionScheme::PredicatePredictor;
-            cfgs.predication =
-                core::PredicationModel::SelectivePrediction;
-            cfgs.confidenceBits = widths[w];
-            const auto r = sim::run(binary, prof, cfgs,
-                                    sim::defaultWarmup(),
-                                    sim::defaultInstructions());
+            const auto &r = sweep.results[b][w];
             ipcs.push_back(r.ipc);
             sums[w] += r.ipc;
             flushes[w] += r.stats.predicateFlushes;
             fallbacks[w] += r.stats.cmovFallbacks;
-            std::fprintf(stderr, ".");
         }
-        t.addRow(prof.name, ipcs, 3);
+        t.addRow(sweep.benchmarks[b], ipcs, 3);
     }
-    std::fprintf(stderr, "\n");
-    const double n = static_cast<double>(suite.size());
+    const double n = static_cast<double>(sweep.benchmarks.size());
     t.addRow("AVERAGE", {sums[0] / n, sums[1] / n, sums[2] / n,
                          sums[3] / n, sums[4] / n}, 3);
 
-    std::printf("\n== Confidence-width ablation (selective predication, "
-                "if-converted code) ==\n");
-    t.print(std::cout);
-    std::printf("\npredicate flushes per width:");
+    std::FILE *out = reportFile(opts);
+    std::fprintf(out, "\n== Confidence-width ablation (selective "
+                 "predication, if-converted code) ==\n");
+    t.print(reportStream(opts));
+    std::fprintf(out, "\npredicate flushes per width:");
     for (std::size_t w = 0; w < 5; ++w)
-        std::printf("  %u:%llu", widths[w],
-                    static_cast<unsigned long long>(flushes[w]));
-    std::printf("\ncmov fallbacks per width:   ");
+        std::fprintf(out, "  %u:%llu", widths[w],
+                     static_cast<unsigned long long>(flushes[w]));
+    std::fprintf(out, "\ncmov fallbacks per width:   ");
     for (std::size_t w = 0; w < 5; ++w)
-        std::printf("  %u:%llu", widths[w],
-                    static_cast<unsigned long long>(fallbacks[w]));
-    std::printf("\n");
+        std::fprintf(out, "  %u:%llu", widths[w],
+                     static_cast<unsigned long long>(fallbacks[w]));
+    std::fprintf(out, "\n");
     return 0;
 }

@@ -10,56 +10,51 @@
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pp;
     using namespace pp::bench;
+
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "PVT organization ablation");
 
     std::vector<SchemeColumn> columns(2);
     columns[0].name = "dual-hash";
     columns[0].cfg.scheme = core::PredictionScheme::PredicatePredictor;
     columns[1].name = "split-pvt";
     columns[1].cfg.scheme = core::PredictionScheme::PredicatePredictor;
+    columns[1].cfg.splitPvt = true;
 
-    // The split mode is selected through the predictor config; runs are
-    // done manually so we can alter it.
-    auto suite = program::spec2000Suite();
+    const auto sweep = sweepSuite(opts, program::spec2000Suite(),
+                                  /*if_convert=*/true, columns);
+
     TextTable t;
     t.setHeader({"benchmark", "dual-hash miss%", "split-pvt miss%"});
 
     double sum_dual = 0.0;
     double sum_split = 0.0;
-    for (const auto &prof : suite) {
-        std::fprintf(stderr, "  [%s]", prof.name.c_str());
-        const program::Program binary = sim::buildBinary(prof, true);
-
-        sim::SchemeConfig dual;
-        dual.scheme = core::PredictionScheme::PredicatePredictor;
-        auto r_dual = sim::run(binary, prof, dual, sim::defaultWarmup(),
-                               sim::defaultInstructions());
-
-        sim::SchemeConfig split = dual;
-        split.splitPvt = true;
-        auto r_split = sim::run(binary, prof, split, sim::defaultWarmup(),
-                                sim::defaultInstructions());
-
-        sum_dual += r_dual.mispredRatePct;
-        sum_split += r_split.mispredRatePct;
-        t.addRow(prof.name,
-                 {r_dual.mispredRatePct, r_split.mispredRatePct});
+    for (std::size_t b = 0; b < sweep.benchmarks.size(); ++b) {
+        const auto &dual = sweep.results[b][0];
+        const auto &split = sweep.results[b][1];
+        sum_dual += dual.mispredRatePct;
+        sum_split += split.mispredRatePct;
+        t.addRow(sweep.benchmarks[b],
+                 {dual.mispredRatePct, split.mispredRatePct});
     }
-    std::fprintf(stderr, "\n");
-    const double n = static_cast<double>(suite.size());
+    const double n = static_cast<double>(sweep.benchmarks.size());
     t.addRow("AVERAGE", {sum_dual / n, sum_split / n});
 
-    std::printf("\n== PVT organization ablation (if-converted code) ==\n");
-    t.print(std::cout);
-    std::printf("\ndual-hash advantage: %+0.3f%% accuracy (paper argues "
-                "the split table wastes space on single-prediction "
-                "compares)\n", (sum_split - sum_dual) / n);
+    std::FILE *out = reportFile(opts);
+    std::fprintf(out, "\n== PVT organization ablation (if-converted code)"
+                 " ==\n");
+    t.print(reportStream(opts));
+    std::fprintf(out, "\ndual-hash advantage: %+0.3f%% accuracy (paper "
+                 "argues the split table wastes space on single-"
+                 "prediction compares)\n", (sum_split - sum_dual) / n);
     return 0;
 }

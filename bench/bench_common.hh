@@ -1,19 +1,27 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: suite iteration, run
- * caching, and paper-style table printing.
+ * Shared helpers for the experiment harnesses: the common command-line
+ * interface (--threads/--json/--csv/--filter/--stress), sweep execution
+ * on the parallel driver (driver::RunMatrix + driver::SweepEngine), and
+ * paper-style table printing.
  */
 
 #ifndef PP_BENCH_BENCH_COMMON_HH
 #define PP_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
-#include <numeric>
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "driver/result_sink.hh"
+#include "driver/run_matrix.hh"
+#include "driver/sweep_engine.hh"
 #include "program/suite.hh"
 #include "sim/simulator.hh"
 
@@ -28,6 +36,135 @@ struct SchemeColumn
     std::string name;
     sim::SchemeConfig cfg;
 };
+
+/** Options every harness accepts. */
+struct BenchOptions
+{
+    unsigned threads = 0;       ///< 0 = one per hardware thread
+    std::string jsonPath;       ///< write JSON results here ("-" = stdout)
+    std::string csvPath;        ///< write CSV results here ("-" = stdout)
+    std::string filter;         ///< benchmark-name regex
+    bool stress = false;        ///< append program::stressSuite()
+    std::uint64_t warmup = 0;
+    std::uint64_t measure = 0;
+};
+
+inline void
+printUsage(const char *prog, const char *what, bool sweep_flags)
+{
+    std::fprintf(stderr, "%s — %s\n\n", prog, what);
+    if (sweep_flags) {
+        std::fprintf(stderr,
+            "  --threads N        worker threads (default: hardware"
+            " threads; 1 = serial)\n");
+    }
+    std::fprintf(stderr,
+        "  --json PATH        write results as JSON (\"-\" for"
+        " stdout)\n");
+    if (sweep_flags) {
+        std::fprintf(stderr,
+            "  --csv PATH         write results as CSV (\"-\" for"
+            " stdout)\n"
+            "  --filter REGEX     sweep only benchmarks matching REGEX\n"
+            "  --stress           include the stress presets (ifcmax,"
+            " aliasstorm)\n"
+            "  --warmup N         warmup instructions (default:"
+            " REPRO_WARMUP or 150000)\n"
+            "  --instructions N   measured instructions (default:"
+            " REPRO_INSTRUCTIONS or 1000000)\n");
+    }
+    std::fprintf(stderr, "  --help             this text\n");
+}
+
+/** Strict base-10 parse; fatal() on garbage, partial parse or overflow. */
+inline std::uint64_t
+parseU64(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE) {
+        fatal(std::string("invalid number for ") + flag + ": '" + value +
+              "'");
+    }
+    return v;
+}
+
+/**
+ * Parse the shared flags; exits on --help or bad usage. Harnesses that
+ * run no sweep (bench_table1_config) pass @p sweep_flags = false and
+ * accept only --json/--help, so no advertised flag is silently ignored.
+ */
+inline BenchOptions
+parseBenchArgs(int argc, char **argv, const char *what,
+               bool sweep_flags = true)
+{
+    BenchOptions opts;
+    opts.warmup = sim::defaultWarmup();
+    opts.measure = sim::defaultInstructions();
+
+    auto need_value = [&](int i) -> const char * {
+        if (i + 1 >= argc) {
+            printUsage(argv[0], what, sweep_flags);
+            fatal(std::string("missing value for ") + argv[i]);
+        }
+        return argv[i + 1];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (sweep_flags && std::strcmp(a, "--threads") == 0) {
+            opts.threads =
+                static_cast<unsigned>(parseU64(a, need_value(i)));
+            ++i;
+        } else if (std::strcmp(a, "--json") == 0) {
+            opts.jsonPath = need_value(i);
+            ++i;
+        } else if (sweep_flags && std::strcmp(a, "--csv") == 0) {
+            opts.csvPath = need_value(i);
+            ++i;
+        } else if (sweep_flags && std::strcmp(a, "--filter") == 0) {
+            opts.filter = need_value(i);
+            ++i;
+        } else if (sweep_flags && std::strcmp(a, "--stress") == 0) {
+            opts.stress = true;
+        } else if (sweep_flags && std::strcmp(a, "--warmup") == 0) {
+            opts.warmup = parseU64(a, need_value(i));
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--instructions") == 0) {
+            opts.measure = parseU64(a, need_value(i));
+            ++i;
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            printUsage(argv[0], what, sweep_flags);
+            std::exit(0);
+        } else {
+            printUsage(argv[0], what, sweep_flags);
+            fatal(std::string("unknown argument: ") + a);
+        }
+    }
+    return opts;
+}
+
+/**
+ * Where the human-readable report goes: stdout normally, stderr when a
+ * machine-readable sink targets stdout — "--json - | jq ." must see
+ * only the document.
+ */
+inline std::FILE *
+reportFile(const BenchOptions &opts)
+{
+    return opts.jsonPath == "-" || opts.csvPath == "-" ? stderr : stdout;
+}
+
+/** Stream twin of reportFile() for TextTable printing. */
+inline std::ostream &
+reportStream(const BenchOptions &opts)
+{
+    return opts.jsonPath == "-" || opts.csvPath == "-" ? std::cerr
+                                                       : std::cout;
+}
 
 /** Results matrix: result[benchmark][column]. */
 struct SweepResult
@@ -47,38 +184,78 @@ struct SweepResult
     }
 };
 
+/** Emit the requested sinks for a finished sweep. */
+inline void
+writeSinks(const BenchOptions &opts,
+           const std::vector<driver::RunSpec> &specs,
+           const std::vector<sim::RunResult> &results)
+{
+    auto emit = [&](const driver::ResultSink &sink,
+                    const std::string &path) {
+        if (!path.empty())
+            sink.writeFile(path, specs, results);
+    };
+    emit(driver::JsonSink{}, opts.jsonPath);
+    emit(driver::CsvSink{}, opts.csvPath);
+}
+
 /**
- * Run every benchmark of the suite under every scheme column on the same
- * binary (built once per benchmark), printing progress to stderr.
+ * Run every benchmark of @p suite under every scheme column through the
+ * parallel sweep engine. The binary for each benchmark is generated
+ * once and shared across columns and threads; results are ordered
+ * deterministically whatever the thread count.
  */
 inline SweepResult
-sweepSuite(const std::vector<program::BenchmarkProfile> &suite,
-           bool if_convert, const std::vector<SchemeColumn> &columns,
-           std::uint64_t warmup, std::uint64_t measure)
+sweepSuite(const BenchOptions &opts,
+           std::vector<program::BenchmarkProfile> suite, bool if_convert,
+           const std::vector<SchemeColumn> &columns)
 {
+    if (opts.stress)
+        for (auto &p : program::stressSuite())
+            suite.push_back(std::move(p));
+
+    driver::RunMatrix matrix;
+    matrix.benchmarks(std::move(suite))
+        .ifConvert(if_convert)
+        .window(opts.warmup, opts.measure)
+        .filterBenchmarks(opts.filter);
+    for (const auto &col : columns)
+        matrix.addScheme(col.name, col.cfg);
+
+    const std::vector<driver::RunSpec> specs = matrix.specs();
+    if (specs.empty())
+        fatal("sweep is empty (filter matched no benchmarks?)");
+
+    driver::SweepOptions sweep_opts;
+    sweep_opts.threads = opts.threads;
+    sweep_opts.progress = true;
+    driver::SweepEngine engine(sweep_opts);
+    std::fprintf(stderr, "sweep: %zu runs, %zu binaries\n", specs.size(),
+                 specs.size() / columns.size());
+    const std::vector<sim::RunResult> results = engine.run(specs);
+
+    writeSinks(opts, specs, results);
+
+    // Reshape into the benchmark × column table the reports consume.
+    // specs() enumerates benchmark-major then scheme, so rows are
+    // contiguous.
     SweepResult out;
     for (const auto &col : columns)
         out.columns.push_back(col.name);
-    for (const auto &prof : suite) {
-        std::fprintf(stderr, "  [%s]", prof.name.c_str());
-        const program::Program binary =
-            sim::buildBinary(prof, if_convert);
+    for (std::size_t i = 0; i < specs.size(); i += columns.size()) {
+        out.benchmarks.push_back(specs[i].profile.name);
         std::vector<sim::RunResult> row;
-        for (const auto &col : columns) {
-            row.push_back(
-                sim::run(binary, prof, col.cfg, warmup, measure));
-            std::fprintf(stderr, ".");
-        }
-        out.benchmarks.push_back(prof.name);
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            row.push_back(results[i + c]);
         out.results.push_back(std::move(row));
     }
-    std::fprintf(stderr, "\n");
     return out;
 }
 
 /** Print a "mispred-rate per benchmark per scheme" table plus averages. */
 inline void
-printMispredTable(const SweepResult &sweep, const std::string &title)
+printMispredTable(const BenchOptions &opts, const SweepResult &sweep,
+                  const std::string &title)
 {
     TextTable t;
     std::vector<std::string> header = {"benchmark"};
@@ -100,8 +277,8 @@ printMispredTable(const SweepResult &sweep, const std::string &title)
         avgs.push_back(s / static_cast<double>(sweep.benchmarks.size()));
     t.addRow("AVERAGE", avgs);
 
-    std::printf("\n== %s ==\n", title.c_str());
-    t.print(std::cout);
+    std::fprintf(reportFile(opts), "\n== %s ==\n", title.c_str());
+    t.print(reportStream(opts));
 }
 
 } // namespace bench

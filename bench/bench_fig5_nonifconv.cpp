@@ -17,10 +17,13 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pp;
     using namespace pp::bench;
+
+    const BenchOptions opts = parseBenchArgs(
+        argc, argv, "Figure 5: mispred rate, non-if-converted suite");
 
     std::vector<SchemeColumn> columns(4);
     columns[0].name = "conventional";
@@ -36,11 +39,10 @@ main()
     columns[3].cfg.idealNoAlias = true;
     columns[3].cfg.idealPerfectHistory = true;
 
-    const auto sweep =
-        sweepSuite(program::spec2000Suite(), /*if_convert=*/false, columns,
-                   sim::defaultWarmup(), sim::defaultInstructions());
+    const auto sweep = sweepSuite(opts, program::spec2000Suite(),
+                                  /*if_convert=*/false, columns);
 
-    printMispredTable(sweep,
+    printMispredTable(opts, sweep,
                       "Figure 5: misprediction rate, non-if-converted");
 
     auto acc = [](const sim::RunResult &r) { return r.accuracyPct; };
@@ -56,13 +58,14 @@ main()
             ++ideal_exceptions;
     }
 
-    std::printf("\npredicate accuracy delta (realistic): %+0.2f%% "
-                "(paper: +1.86%%), exceptions: %d (paper: 3)\n",
-                d_real, exceptions);
-    std::printf("predicate accuracy delta (idealized): %+0.2f%% "
-                "(paper: +2.24%%), exceptions: %d (paper: 0)\n",
-                d_ideal, ideal_exceptions);
-    std::printf("negative-effect magnitude (ideal minus real delta): "
-                "%0.2f%% (paper: < 0.40%%)\n", d_ideal - d_real);
+    std::FILE *out = reportFile(opts);
+    std::fprintf(out, "\npredicate accuracy delta (realistic): %+0.2f%% "
+                 "(paper: +1.86%%), exceptions: %d (paper: 3)\n",
+                 d_real, exceptions);
+    std::fprintf(out, "predicate accuracy delta (idealized): %+0.2f%% "
+                 "(paper: +2.24%%), exceptions: %d (paper: 0)\n",
+                 d_ideal, ideal_exceptions);
+    std::fprintf(out, "negative-effect magnitude (ideal minus real "
+                 "delta): %0.2f%% (paper: < 0.40%%)\n", d_ideal - d_real);
     return 0;
 }

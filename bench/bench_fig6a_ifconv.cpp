@@ -11,15 +11,19 @@
  * history selection).
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pp;
     using namespace pp::bench;
+
+    const BenchOptions opts = parseBenchArgs(
+        argc, argv, "Figure 6a: mispred rate, if-converted suite");
 
     std::vector<SchemeColumn> columns(3);
     columns[0].name = "pep-pa";
@@ -29,11 +33,10 @@ main()
     columns[2].name = "predicate";
     columns[2].cfg.scheme = core::PredictionScheme::PredicatePredictor;
 
-    const auto sweep =
-        sweepSuite(program::spec2000Suite(), /*if_convert=*/true, columns,
-                   sim::defaultWarmup(), sim::defaultInstructions());
+    const auto sweep = sweepSuite(opts, program::spec2000Suite(),
+                                  /*if_convert=*/true, columns);
 
-    printMispredTable(sweep,
+    printMispredTable(opts, sweep,
                       "Figure 6a: misprediction rate, if-converted");
 
     int exceptions = 0;
@@ -49,15 +52,16 @@ main()
     }
     const double n = static_cast<double>(sweep.results.size());
 
-    std::printf("\npredicate accuracy delta vs best other scheme: "
+    std::FILE *out = reportFile(opts);
+    std::fprintf(out, "\npredicate accuracy delta vs best other scheme: "
                 "%+0.2f%% (paper: +1.5%%)\n",
                 (pred_acc - best_other_acc) / n);
-    std::printf("benchmarks where predicate is not best: %d (paper: 1, "
-                "twolf)\n", exceptions);
+    std::fprintf(out, "benchmarks where predicate is not best: %d "
+                 "(paper: 1, twolf)\n", exceptions);
 
     auto acc = [](const sim::RunResult &r) { return r.accuracyPct; };
-    std::printf("PEP-PA vs conventional accuracy delta: %+0.2f%% "
-                "(paper: negative)\n",
+    std::fprintf(out, "PEP-PA vs conventional accuracy delta: %+0.2f%% "
+                 "(paper: negative)\n",
                 sweep.mean(0, acc) - sweep.mean(1, acc));
     return 0;
 }

@@ -23,19 +23,21 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pp;
     using namespace pp::bench;
+
+    const BenchOptions opts = parseBenchArgs(
+        argc, argv, "Figure 6b: accuracy-difference breakdown");
 
     std::vector<SchemeColumn> columns(1);
     columns[0].name = "predicate";
     columns[0].cfg.scheme = core::PredictionScheme::PredicatePredictor;
     columns[0].cfg.shadowConventional = true;
 
-    const auto sweep =
-        sweepSuite(program::spec2000Suite(), /*if_convert=*/true, columns,
-                   sim::defaultWarmup(), sim::defaultInstructions());
+    const auto sweep = sweepSuite(opts, program::spec2000Suite(),
+                                  /*if_convert=*/true, columns);
 
     TextTable t;
     t.setHeader({"benchmark", "pred miss%", "shadow-conv miss%",
@@ -64,12 +66,13 @@ main()
     const double n = static_cast<double>(sweep.benchmarks.size());
     t.addRow("AVERAGE", {0.0, 0.0, sum_early / n, sum_corr / n});
 
-    std::printf("\n== Figure 6b: accuracy-difference breakdown "
-                "(if-converted) ==\n");
-    t.print(std::cout);
-    std::printf("\nearly-resolved contribution: %+0.2f%% (paper: +0.5%%)\n",
-                sum_early / n);
-    std::printf("correlation contribution:    %+0.2f%% (paper: +1.0%%, "
-                "negative for twolf)\n", sum_corr / n);
+    std::FILE *out = reportFile(opts);
+    std::fprintf(out, "\n== Figure 6b: accuracy-difference breakdown "
+                 "(if-converted) ==\n");
+    t.print(reportStream(opts));
+    std::fprintf(out, "\nearly-resolved contribution: %+0.2f%% "
+                 "(paper: +0.5%%)\n", sum_early / n);
+    std::fprintf(out, "correlation contribution:    %+0.2f%% "
+                 "(paper: +1.0%%, negative for twolf)\n", sum_corr / n);
     return 0;
 }

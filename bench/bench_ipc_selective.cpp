@@ -25,10 +25,13 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pp;
     using namespace pp::bench;
+
+    const BenchOptions opts = parseBenchArgs(
+        argc, argv, "selective predicate prediction IPC experiment");
 
     std::vector<SchemeColumn> columns(2);
     columns[0].name = "cmov";
@@ -39,9 +42,8 @@ main()
     columns[1].cfg.predication =
         core::PredicationModel::SelectivePrediction;
 
-    const auto sweep =
-        sweepSuite(program::spec2000Suite(), /*if_convert=*/true, columns,
-                   sim::defaultWarmup(), sim::defaultInstructions());
+    const auto sweep = sweepSuite(opts, program::spec2000Suite(),
+                                  /*if_convert=*/true, columns);
 
     TextTable t;
     t.setHeader({"benchmark", "cmov IPC", "selective IPC", "speedup%",
@@ -61,13 +63,14 @@ main()
                   std::to_string(sel.stats.cmovFallbacks)});
     }
 
-    std::printf("\n== Selective predicate prediction IPC "
-                "(if-converted code) ==\n");
-    t.print(std::cout);
+    std::FILE *out = reportFile(opts);
+    std::fprintf(out, "\n== Selective predicate prediction IPC "
+                 "(if-converted code) ==\n");
+    t.print(reportStream(opts));
     const double gmean = 100.0 *
         (std::exp(log_speedup /
                   static_cast<double>(sweep.benchmarks.size())) - 1.0);
-    std::printf("\ngeometric-mean IPC speedup of selective predicate "
+    std::fprintf(out, "\ngeometric-mean IPC speedup of selective predicate "
                 "prediction over CMOV-style predication: %+0.2f%%\n"
                 "(the ICS'06 scheme the paper builds on reported +11%% "
                 "over prior predicate-execution techniques)\n", gmean);

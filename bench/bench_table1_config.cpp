@@ -6,25 +6,35 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hh"
 #include "common/table.hh"
 #include "core/config.hh"
+#include "driver/result_sink.hh"
 #include "predictor/gshare.hh"
 #include "predictor/peppa.hh"
 #include "predictor/perceptron.hh"
 #include "predictor/predicate_perceptron.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pp;
+
+    // No sweep here, so only --json/--help are accepted.
+    const bench::BenchOptions opts = bench::parseBenchArgs(
+        argc, argv, "Table 1 parameter dump (--json writes the rows)",
+        /*sweep_flags=*/false);
 
     const core::CoreConfig cfg;
 
     TextTable t;
     t.setHeader({"parameter", "simulated", "paper (Table 1)"});
+    std::vector<std::vector<std::string>> rows;
     auto row = [&](const char *a, const std::string &b, const char *c) {
         t.addRow({a, b, c});
+        rows.push_back({a, b, c});
     };
 
     row("Fetch width", std::to_string(cfg.fetchWidth) + " insts (2 bundles)",
@@ -90,14 +100,15 @@ main()
     row("Mispredict recovery",
         std::to_string(cfg.mispredictRecovery) + " cycles", "10 cycles");
 
-    std::printf("== Table 1: architectural parameters ==\n");
-    t.print(std::cout);
+    std::FILE *out = bench::reportFile(opts);
+    std::fprintf(out, "== Table 1: architectural parameters ==\n");
+    t.print(bench::reportStream(opts));
 
     // Self-checks (hard constraints of the reproduction).
     bool ok = true;
     auto check = [&](bool cond, const char *what) {
         if (!cond) {
-            std::printf("MISMATCH: %s\n", what);
+            std::fprintf(out, "MISMATCH: %s\n", what);
             ok = false;
         }
     };
@@ -111,7 +122,28 @@ main()
     check(peppa.storageBytes() / 1024 >= 136 &&
           peppa.storageBytes() / 1024 <= 152, "PEP-PA ~144KB");
     check(cfg.mem.memLatency == 120, "memory latency");
-    std::printf("%s\n", ok ? "\nall parameter checks PASSED"
-                           : "\nparameter checks FAILED");
+    std::fprintf(out, "%s\n", ok ? "\nall parameter checks PASSED"
+                                 : "\nparameter checks FAILED");
+
+    if (!opts.jsonPath.empty()) {
+        driver::withOutputStream(opts.jsonPath, [&](std::ostream &os) {
+            driver::JsonWriter w(os);
+            w.beginObject();
+            w.field("schema", "pp.table1.v1");
+            w.field("checks_passed", ok);
+            w.key("parameters");
+            w.beginArray();
+            for (const auto &r : rows) {
+                w.beginObject();
+                w.field("parameter", r[0]);
+                w.field("simulated", r[1]);
+                w.field("paper", r[2]);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+            os << "\n";
+        });
+    }
     return ok ? 0 : 1;
 }

@@ -10,10 +10,16 @@
  * correlation information a conventional predictor sees (bad for the
  * remaining branches), while the predicate predictor keeps that
  * information because the compares survive.
+ *
+ * The six runs (plain/if-converted × three schemes) are described as a
+ * driver::RunMatrix and executed by the parallel SweepEngine — the same
+ * machinery the full-suite harnesses use.
  */
 
 #include <cstdio>
 
+#include "driver/run_matrix.hh"
+#include "driver/sweep_engine.hh"
 #include "program/ifconvert.hh"
 #include "sim/simulator.hh"
 
@@ -25,6 +31,8 @@ main(int argc, char **argv)
     const std::string name = argc > 1 ? argv[1] : "crafty";
     const program::BenchmarkProfile prof = program::profileByName(name);
 
+    // Build once here only for the static-code report; the engine's own
+    // binary cache rebuilds deterministically from the same seed.
     program::IfConvertStats ifc;
     const program::Program plain = sim::buildBinary(prof, false);
     const program::Program conv = sim::buildBinary(prof, true, &ifc);
@@ -43,9 +51,6 @@ main(int argc, char **argv)
     std::printf("  static compares (unchanged!): %zu -> %zu\n",
                 plain.countCompares(), conv.countCompares());
 
-    const std::uint64_t warm = 60000;
-    const std::uint64_t insts = 400000;
-
     sim::SchemeConfig conv_bp;
     conv_bp.scheme = core::PredictionScheme::Conventional;
     sim::SchemeConfig pred_bp;
@@ -53,18 +58,25 @@ main(int argc, char **argv)
     sim::SchemeConfig peppa_bp;
     peppa_bp.scheme = core::PredictionScheme::PepPa;
 
-    struct Row
-    {
-        const char *label;
-        const program::Program *bin;
-    };
-    const Row rows[] = {{"plain", &plain}, {"if-converted", &conv}};
+    driver::RunMatrix matrix;
+    matrix.addBenchmark(prof)
+        .ifConvertBoth()
+        .addScheme("pep-pa", peppa_bp)
+        .addScheme("conventional", conv_bp)
+        .addScheme("predicate", pred_bp)
+        .window(60000, 400000);
 
-    for (const Row &row : rows) {
-        std::printf("\n--- %s binary ---\n", row.label);
-        const auto rc = sim::run(*row.bin, prof, conv_bp, warm, insts);
-        const auto rp = sim::run(*row.bin, prof, pred_bp, warm, insts);
-        const auto ra = sim::run(*row.bin, prof, peppa_bp, warm, insts);
+    const auto specs = matrix.specs();
+    const auto results = driver::SweepEngine{}.run(specs);
+
+    // specs() is ifc-major within the benchmark: rows 0-2 plain, 3-5
+    // converted, each in scheme order (pep-pa, conventional, predicate).
+    for (int half = 0; half < 2; ++half) {
+        std::printf("\n--- %s binary ---\n",
+                    half == 0 ? "plain" : "if-converted");
+        const auto &ra = results[half * 3 + 0];
+        const auto &rc = results[half * 3 + 1];
+        const auto &rp = results[half * 3 + 2];
         std::printf("  PEP-PA       : miss %5.2f%%  IPC %.3f\n",
                     ra.mispredRatePct, ra.ipc);
         std::printf("  conventional : miss %5.2f%%  IPC %.3f\n",

@@ -1,0 +1,374 @@
+#include "driver/result_sink.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pp
+{
+namespace driver
+{
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+JsonWriter::separate()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    if (!firstInScope_.back())
+        os_ << ",";
+    firstInScope_.back() = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    firstInScope_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    firstInScope_.pop_back();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    firstInScope_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    firstInScope_.pop_back();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    os_ << "\"" << escapeJson(k) << "\":";
+    afterKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << "\"" << escapeJson(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    os_ << formatDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+// ---------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Counter fields serialized per run, in fixed schema order. */
+struct CounterField
+{
+    const char *name;
+    std::uint64_t core::CoreStats::*member;
+};
+
+constexpr CounterField kCounters[] = {
+    {"cycles", &core::CoreStats::cycles},
+    {"committed_insts", &core::CoreStats::committedInsts},
+    {"committed_cond_branches", &core::CoreStats::committedCondBranches},
+    {"mispredicted_cond_branches",
+     &core::CoreStats::mispredictedCondBranches},
+    {"early_resolved_branches", &core::CoreStats::earlyResolvedBranches},
+    {"override_redirects", &core::CoreStats::overrideRedirects},
+    {"branch_mispred_flushes", &core::CoreStats::branchMispredFlushes},
+    {"shadow_mispredicts", &core::CoreStats::shadowMispredicts},
+    {"early_resolved_shadow_wrong",
+     &core::CoreStats::earlyResolvedShadowWrong},
+    {"committed_predicated", &core::CoreStats::committedPredicated},
+    {"nullified_at_rename", &core::CoreStats::nullifiedAtRename},
+    {"unguarded_at_rename", &core::CoreStats::unguardedAtRename},
+    {"cmov_fallbacks", &core::CoreStats::cmovFallbacks},
+    {"predicate_flushes", &core::CoreStats::predicateFlushes},
+    {"committed_compares", &core::CoreStats::committedCompares},
+    {"compare_pd1_mispredicts", &core::CoreStats::comparePd1Mispredicts},
+};
+
+void
+checkAligned(const std::vector<RunSpec> &specs,
+             const std::vector<sim::RunResult> &results)
+{
+    if (specs.size() != results.size())
+        panic("result sink: specs/results size mismatch");
+}
+
+} // namespace
+
+void
+withOutputStream(const std::string &path,
+                 const std::function<void(std::ostream &)> &emit)
+{
+    if (path == "-") {
+        emit(std::cout);
+        std::cout.flush();
+        if (!std::cout)
+            fatal("error writing results to stdout");
+        return;
+    }
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open result file: " + path);
+    emit(os);
+    os.flush();
+    if (!os)
+        fatal("error writing result file: " + path);
+}
+
+std::string
+ResultSink::toString(const std::vector<RunSpec> &specs,
+                     const std::vector<sim::RunResult> &results) const
+{
+    std::ostringstream os;
+    write(os, specs, results);
+    return os.str();
+}
+
+void
+ResultSink::writeFile(const std::string &path,
+                      const std::vector<RunSpec> &specs,
+                      const std::vector<sim::RunResult> &results) const
+{
+    withOutputStream(path, [&](std::ostream &os) {
+        write(os, specs, results);
+    });
+}
+
+void
+JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
+                const std::vector<sim::RunResult> &results) const
+{
+    checkAligned(specs, results);
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "pp.sweep.v1");
+    w.key("runs");
+    w.beginArray();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &s = specs[i];
+        const sim::RunResult &r = results[i];
+        w.beginObject();
+        w.field("benchmark", s.profile.name);
+        w.field("suite", s.profile.isFp ? "fp" : "int");
+        w.field("if_converted", s.ifConvert);
+        w.field("scheme", s.schemeName);
+        w.field("config", s.configName);
+        w.field("seed", s.profile.seed);
+        w.field("warmup_insts", s.warmupInsts);
+        w.field("measure_insts", s.measureInsts);
+        w.field("ipc", r.ipc);
+        w.field("mispred_pct", r.mispredRatePct);
+        w.field("accuracy_pct", r.accuracyPct);
+        w.field("early_resolved_pct", r.earlyResolvedPct);
+        w.field("shadow_mispred_pct", r.shadowMispredRatePct);
+        w.key("counters");
+        w.beginObject();
+        for (const auto &f : kCounters)
+            w.field(f.name, r.stats.*f.member);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+CsvSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
+               const std::vector<sim::RunResult> &results) const
+{
+    checkAligned(specs, results);
+    os << "benchmark,suite,if_converted,scheme,config,seed,warmup_insts,"
+          "measure_insts,ipc,mispred_pct,accuracy_pct,early_resolved_pct,"
+          "shadow_mispred_pct";
+    for (const auto &f : kCounters)
+        os << "," << f.name;
+    os << "\n";
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &s = specs[i];
+        const sim::RunResult &r = results[i];
+        os << s.profile.name << "," << (s.profile.isFp ? "fp" : "int")
+           << "," << (s.ifConvert ? 1 : 0) << "," << s.schemeName << ","
+           << s.configName << "," << s.profile.seed << ","
+           << s.warmupInsts << "," << s.measureInsts << ","
+           << formatDouble(r.ipc) << ","
+           << formatDouble(r.mispredRatePct) << ","
+           << formatDouble(r.accuracyPct) << ","
+           << formatDouble(r.earlyResolvedPct) << ","
+           << formatDouble(r.shadowMispredRatePct);
+        for (const auto &f : kCounters)
+            os << "," << r.stats.*f.member;
+        os << "\n";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------
+
+std::vector<SchemeAggregate>
+aggregate(const std::vector<RunSpec> &specs,
+          const std::vector<sim::RunResult> &results)
+{
+    checkAligned(specs, results);
+
+    struct Bucket
+    {
+        SchemeAggregate agg;
+        double logIpcSum = 0.0;
+    };
+
+    // Scheme axis labels in first-appearance order.
+    std::vector<std::string> schemes;
+    for (const auto &s : specs) {
+        std::string label = s.schemeName;
+        if (!s.configName.empty())
+            label += "/" + s.configName;
+        bool seen = false;
+        for (const auto &k : schemes)
+            seen = seen || k == label;
+        if (!seen)
+            schemes.push_back(label);
+    }
+
+    std::vector<SchemeAggregate> out;
+    for (const auto &scheme : schemes) {
+        const char *suites[] = {"int", "fp", "all"};
+        for (const char *suite : suites) {
+            Bucket b;
+            b.agg.scheme = scheme;
+            b.agg.suite = suite;
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                const RunSpec &s = specs[i];
+                std::string label = s.schemeName;
+                if (!s.configName.empty())
+                    label += "/" + s.configName;
+                if (label != scheme)
+                    continue;
+                const bool want_fp = suite[0] == 'f';
+                if (suite[0] != 'a' && s.profile.isFp != want_fp)
+                    continue;
+                const sim::RunResult &r = results[i];
+                ++b.agg.runs;
+                b.agg.meanIpc += r.ipc;
+                b.agg.meanMispredPct += r.mispredRatePct;
+                b.agg.meanAccuracyPct += r.accuracyPct;
+                b.agg.meanEarlyResolvedPct += r.earlyResolvedPct;
+                b.logIpcSum += std::log(r.ipc > 0.0 ? r.ipc : 1e-12);
+            }
+            if (b.agg.runs == 0)
+                continue;
+            const double n = static_cast<double>(b.agg.runs);
+            b.agg.meanIpc /= n;
+            b.agg.meanMispredPct /= n;
+            b.agg.meanAccuracyPct /= n;
+            b.agg.meanEarlyResolvedPct /= n;
+            b.agg.geomeanIpc = std::exp(b.logIpcSum / n);
+            out.push_back(b.agg);
+        }
+    }
+    return out;
+}
+
+} // namespace driver
+} // namespace pp

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Result sinks for sweep output: machine-readable JSON and CSV with a
+ * stable schema (benchmark, scheme, ipc, mispred %, breakdown counters),
+ * plus the per-suite aggregation the paper's INT/FP summaries use.
+ *
+ * Serialization is fully deterministic — fixed key order, fixed float
+ * formatting — so the same (specs, results) pair always produces the
+ * same bytes, whatever thread count computed it.
+ */
+
+#ifndef PP_DRIVER_RESULT_SINK_HH
+#define PP_DRIVER_RESULT_SINK_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/run_matrix.hh"
+#include "sim/simulator.hh"
+
+namespace pp
+{
+namespace driver
+{
+
+/**
+ * Minimal deterministic JSON emitter (objects, arrays, scalars).
+ * Doubles are printed with %.17g so values round-trip exactly and the
+ * bytes never depend on locale or stream state.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    JsonWriter &key(const std::string &k);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void separate();
+
+    std::ostream &os_;
+    std::vector<bool> firstInScope_{true};
+    bool afterKey_ = false;
+};
+
+/**
+ * Open @p path ("-" = stdout) and run @p emit on it. fatal() if the
+ * file cannot be opened or the stream is bad after emitting (e.g. disk
+ * full), so a truncated document can never pass silently.
+ */
+void withOutputStream(const std::string &path,
+                      const std::function<void(std::ostream &)> &emit);
+
+/** Abstract sink: serialize one sweep (specs + aligned results). */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+    virtual void write(std::ostream &os, const std::vector<RunSpec> &specs,
+                       const std::vector<sim::RunResult> &results) const = 0;
+
+    /** Serialize to a string (the byte-identity unit tests use this). */
+    std::string toString(const std::vector<RunSpec> &specs,
+                         const std::vector<sim::RunResult> &results) const;
+
+    /** Serialize to @p path; fatal() on I/O failure. */
+    void writeFile(const std::string &path,
+                   const std::vector<RunSpec> &specs,
+                   const std::vector<sim::RunResult> &results) const;
+};
+
+/** JSON document: {"schema": "pp.sweep.v1", "runs": [...]}. */
+class JsonSink : public ResultSink
+{
+  public:
+    void write(std::ostream &os, const std::vector<RunSpec> &specs,
+               const std::vector<sim::RunResult> &results) const override;
+};
+
+/** Flat CSV, one row per run, same fields as the JSON runs. */
+class CsvSink : public ResultSink
+{
+  public:
+    void write(std::ostream &os, const std::vector<RunSpec> &specs,
+               const std::vector<sim::RunResult> &results) const override;
+};
+
+/**
+ * Per-scheme summary over a subset of runs — the "average over SPECint /
+ * SPECfp" rows of the paper's figures.
+ */
+struct SchemeAggregate
+{
+    std::string scheme;         ///< scheme[/config] axis label
+    std::string suite;          ///< "int", "fp" or "all"
+    std::size_t runs = 0;
+    double meanIpc = 0.0;
+    double geomeanIpc = 0.0;
+    double meanMispredPct = 0.0;
+    double meanAccuracyPct = 0.0;
+    double meanEarlyResolvedPct = 0.0;
+};
+
+/**
+ * Aggregate results per scheme axis, split into int/fp/all suites.
+ * Scheme order follows first appearance in @p specs; within one scheme
+ * the suites are ordered int, fp, all (suites with no runs are omitted).
+ */
+std::vector<SchemeAggregate>
+aggregate(const std::vector<RunSpec> &specs,
+          const std::vector<sim::RunResult> &results);
+
+} // namespace driver
+} // namespace pp
+
+#endif // PP_DRIVER_RESULT_SINK_HH

@@ -1,0 +1,143 @@
+#include "driver/sweep_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace pp
+{
+namespace driver
+{
+
+namespace
+{
+
+/**
+ * Run fn(0..n-1) on up to @p threads workers pulling indices from a
+ * shared atomic counter. The first exception thrown by any task is
+ * rethrown on the calling thread after all workers join.
+ */
+void
+parallelFor(std::size_t n, unsigned threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mutex;
+    std::exception_ptr first_error;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    const unsigned spawn =
+        static_cast<unsigned>(std::min<std::size_t>(threads, n));
+    std::vector<std::thread> pool;
+    pool.reserve(spawn);
+    for (unsigned t = 0; t < spawn; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts) {}
+
+std::vector<sim::RunResult>
+SweepEngine::run(const RunMatrix &matrix)
+{
+    return run(matrix.specs());
+}
+
+std::vector<sim::RunResult>
+SweepEngine::run(const std::vector<RunSpec> &specs)
+{
+    const unsigned threads = resolveThreads(opts_.threads);
+    threadsUsed_ = threads;
+
+    // Phase 1: build each distinct binary once. The build set is derived
+    // from the spec list in order, so the cache layout is deterministic;
+    // the builds themselves parallelize (codegen + if-conversion is the
+    // second-most expensive step after simulation).
+    struct BuildJob
+    {
+        const RunSpec *spec;    ///< first spec needing this binary
+        sim::ProgramRef binary;
+    };
+    std::vector<BuildJob> builds;
+    std::unordered_map<std::string, std::size_t> key_to_build;
+    std::vector<std::size_t> spec_build(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::string key = specs[i].binaryKey();
+        auto it = key_to_build.find(key);
+        if (it == key_to_build.end()) {
+            it = key_to_build.emplace(key, builds.size()).first;
+            builds.push_back(BuildJob{&specs[i], nullptr});
+        }
+        spec_build[i] = it->second;
+    }
+    binariesBuilt_ = builds.size();
+
+    parallelFor(builds.size(), threads, [&](std::size_t i) {
+        builds[i].binary = sim::buildBinaryShared(
+            builds[i].spec->profile, builds[i].spec->ifConvert);
+    });
+
+    // Phase 2: execute every run. results[i] belongs to specs[i]
+    // regardless of which worker produced it or when.
+    std::vector<sim::RunResult> results(specs.size());
+    std::mutex progress_mutex;
+    parallelFor(specs.size(), threads, [&](std::size_t i) {
+        const RunSpec &s = specs[i];
+        const sim::ProgramRef &binary = builds[spec_build[i]].binary;
+        results[i] = sim::run(*binary, s.profile, s.scheme, s.config,
+                              s.warmupInsts, s.measureInsts);
+        if (opts_.progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            std::fprintf(stderr, ".");
+        }
+    });
+    if (opts_.progress && !specs.empty())
+        std::fprintf(stderr, "\n");
+    return results;
+}
+
+} // namespace driver
+} // namespace pp

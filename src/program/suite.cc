@@ -249,10 +249,66 @@ spec2000Suite()
     return v;
 }
 
+std::vector<BenchmarkProfile>
+stressSuite()
+{
+    std::vector<BenchmarkProfile> v;
+
+    {   // ifcmax: a compiler that if-converts everything it can. Zero
+        // misprediction threshold plus a huge block-length cap means the
+        // predicated fraction dwarfs any SPEC-like profile, stressing
+        // rename-time nullification, CMOV fallback and the predicate
+        // flush path.
+        auto p = base("ifcmax", false, 0x5717e1);
+        p.ifcMispredThreshold = 0.0;
+        p.ifcMaxBlockLen = 64;
+        p.blockLenMin = 4;
+        p.blockLenMax = 14;
+        p.wHammock = 0.40;
+        p.wDiamond = 0.26;
+        p.wInnerLoop = 0.10;
+        p.wCompute = 0.14;
+        p.pMidBiased = 0.30;
+        p.pEasyBiased = 0.22;
+        p.dataDepLo = 0.38; p.dataDepHi = 0.62;
+        v.push_back(p);
+    }
+    {   // aliasstorm: predictor alias pressure far beyond twolf. The
+        // static compare/branch population overwhelms the PVT and
+        // perceptron tables, and near-random conditions keep every entry
+        // hot, so destructive aliasing dominates accuracy.
+        auto p = base("aliasstorm", false, 0x5717e2);
+        p.numFunctions = 48;
+        p.regionsPerFunction = 44;
+        p.pEasyBiased = 0.12;
+        p.pMidBiased = 0.16;
+        p.pPattern = 0.02;
+        p.pCorrGuard = 0.0;
+        p.wCorrChain = 0.0;
+        p.wCall = 0.10;
+        p.dataDepLo = 0.44; p.dataDepHi = 0.56;
+        p.corrNoise = 0.16;
+        p.hoistFrac = 0.05;
+        p.cmpBrDistMax = 2;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+std::vector<BenchmarkProfile>
+extendedSuite()
+{
+    auto v = spec2000Suite();
+    auto s = stressSuite();
+    v.insert(v.end(), s.begin(), s.end());
+    return v;
+}
+
 BenchmarkProfile
 profileByName(const std::string &name)
 {
-    for (const auto &p : spec2000Suite())
+    for (const auto &p : extendedSuite())
         if (p.name == name)
             return p;
     fatal("unknown benchmark profile: " + name);

@@ -94,7 +94,19 @@ std::vector<BenchmarkProfile> fpSuite();
 /** Full 22-benchmark suite, int then fp. */
 std::vector<BenchmarkProfile> spec2000Suite();
 
-/** Look up a profile by name; fatal() if unknown. */
+/**
+ * Stress presets exercising corners the SPEC-like suite leaves cold:
+ * "ifcmax" (an if-conversion-everything compiler: every profiled region
+ * converted, huge predicated blocks) and "aliasstorm" (pathological
+ * predictor alias pressure: an enormous static branch/compare population
+ * of near-random conditions). Swept via the driver's --stress flag.
+ */
+std::vector<BenchmarkProfile> stressSuite();
+
+/** spec2000Suite() plus stressSuite(). */
+std::vector<BenchmarkProfile> extendedSuite();
+
+/** Look up a profile by name (extended suite); fatal() if unknown. */
 BenchmarkProfile profileByName(const std::string &name);
 
 } // namespace program

@@ -58,12 +58,29 @@ statsDelta(const core::CoreStats &a, const core::CoreStats &b)
     return d;
 }
 
+ProgramRef
+buildBinaryShared(const program::BenchmarkProfile &profile, bool if_convert)
+{
+    return std::make_shared<const program::Program>(
+        buildBinary(profile, if_convert));
+}
+
 RunResult
 run(const program::Program &binary,
     const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
     std::uint64_t warmup_insts, std::uint64_t measure_insts)
 {
-    core::CoreConfig cfg;
+    return run(binary, profile, scheme, core::CoreConfig{}, warmup_insts,
+               measure_insts);
+}
+
+RunResult
+run(const program::Program &binary,
+    const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
+    const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
+    std::uint64_t measure_insts)
+{
+    core::CoreConfig cfg = base_cfg;
     cfg.scheme = scheme.scheme;
     cfg.predication = scheme.predication;
     cfg.idealNoAlias = scheme.idealNoAlias;

@@ -9,6 +9,7 @@
 #define PP_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "core/config.hh"
@@ -60,6 +61,18 @@ program::Program buildBinary(const program::BenchmarkProfile &profile,
                              program::IfConvertStats *ifc_stats = nullptr);
 
 /**
+ * Immutable shared handle to a built binary. Programs never change after
+ * assembly, so concurrent runs may execute the same image; the driver's
+ * binary cache builds each (profile, if-convert) pair once and hands the
+ * same ProgramRef to every run that needs it.
+ */
+using ProgramRef = std::shared_ptr<const program::Program>;
+
+/** buildBinary(), wrapped for shared cross-thread use. */
+ProgramRef buildBinaryShared(const program::BenchmarkProfile &profile,
+                             bool if_convert);
+
+/**
  * Run @p binary on a core configured per @p scheme. Statistics cover
  * [warmup, warmup + measure) committed instructions.
  */
@@ -67,6 +80,16 @@ RunResult run(const program::Program &binary,
               const program::BenchmarkProfile &profile,
               const SchemeConfig &scheme, std::uint64_t warmup_insts,
               std::uint64_t measure_insts);
+
+/**
+ * As above, but layering the scheme on top of @p base_cfg instead of the
+ * default machine — the hook the experiment driver uses for core-config
+ * override axes (ROB/queue sizing studies etc.).
+ */
+RunResult run(const program::Program &binary,
+              const program::BenchmarkProfile &profile,
+              const SchemeConfig &scheme, const core::CoreConfig &base_cfg,
+              std::uint64_t warmup_insts, std::uint64_t measure_insts);
 
 /** Convenience: build and run in one call. */
 RunResult buildAndRun(const program::BenchmarkProfile &profile,

@@ -95,8 +95,9 @@ TEST(CorePredicate, EarlyResolvedNeverMispredicts)
     OoOCore cpu(bin, cfg, 3);
     cpu.run(50000);
     for (const auto &[pc, prof] : cpu.branchProfiles()) {
-        if (prof.earlyResolved == prof.executed)
+        if (prof.earlyResolved == prof.executed) {
             EXPECT_EQ(prof.mispredicted, 0u) << "pc " << pc;
+        }
     }
 }
 

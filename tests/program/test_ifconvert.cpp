@@ -63,11 +63,13 @@ TEST(IfConvert, HardRegionsConvertedEasyOnesKept)
     auto opts = fastOpts(prof);
     ifConvert(plain, opts, &stats);
     for (const auto &d : stats.decisions) {
-        if (d.hardness >= 0.30 && d.blockLen <= opts.maxBlockLen)
+        if (d.hardness >= 0.30 && d.blockLen <= opts.maxBlockLen) {
             EXPECT_TRUE(d.converted)
                 << "hard region (rate " << d.hardness << ") not converted";
-        if (d.converted)
+        }
+        if (d.converted) {
             EXPECT_GE(d.hardness, opts.mispredThreshold);
+        }
     }
 }
 
@@ -95,8 +97,9 @@ TEST(IfConvert, ThresholdZeroConvertsAllSmallRegions)
     IfConvertStats stats;
     ifConvert(plain, opts, &stats);
     for (const auto &d : stats.decisions) {
-        if (d.blockLen <= opts.maxBlockLen)
+        if (d.blockLen <= opts.maxBlockLen) {
             EXPECT_TRUE(d.converted);
+        }
     }
 }
 
