@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: host-side KIPS (simulated
+ * kilo-instructions per host second) per (benchmark, scheme) workload,
+ * single-threaded, so hot-path changes to the cycle loop are measurable
+ * and tracked over time in BENCH_sim_throughput.json.
+ *
+ * Protocol per workload: build the binary (untimed), run one short
+ * untimed settle pass (predictor tables, caches, allocator warmup), then
+ * time `--repeat` full runs of (warmup + instructions) committed
+ * instructions and report the best — the repeat that suffered least
+ * host-side interference. KIPS counts every committed instruction in the
+ * timed run, warmup included, against wall time.
+ *
+ *   bench_sim_throughput [--json PATH] [--stress NAME]
+ *                        [--warmup N] [--instructions N] [--repeat N]
+ *
+ * --stress NAME restricts the workload list to the named stress profile
+ * (e.g. "ifcmax") across all schemes — the CI perf-smoke configuration.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "driver/result_sink.hh"
+#include "sim/simulator.hh"
+
+using namespace pp;
+
+namespace
+{
+
+struct Workload
+{
+    std::string benchmark;
+    bool ifConvert = true;
+    std::string schemeName;
+    sim::SchemeConfig scheme;
+};
+
+struct Measurement
+{
+    Workload load;
+    double hostMs = 0.0; ///< best (fastest) timed repeat
+    double kips = 0.0;
+    double ipc = 0.0;
+};
+
+std::vector<Workload>
+defaultWorkloads()
+{
+    sim::SchemeConfig conv;
+    conv.scheme = core::PredictionScheme::Conventional;
+    sim::SchemeConfig peppa;
+    peppa.scheme = core::PredictionScheme::PepPa;
+    sim::SchemeConfig pred;
+    pred.scheme = core::PredictionScheme::PredicatePredictor;
+    sim::SchemeConfig sel;
+    sel.scheme = core::PredictionScheme::PredicatePredictor;
+    sel.predication = core::PredicationModel::SelectivePrediction;
+
+    // One workload per scheme, spread over int/fp/stress benchmarks, so
+    // the number covers the conventional branch path, the predicate
+    // predictor's compare path, and rename-time predication.
+    return {
+        {"gzip", true, "conventional", conv},
+        {"swim", true, "peppa", peppa},
+        {"crafty", true, "predicate", pred},
+        {"ifcmax", true, "selective", sel},
+    };
+}
+
+std::vector<Workload>
+stressWorkloads(const std::string &name)
+{
+    auto all = defaultWorkloads();
+    std::vector<Workload> out;
+    for (auto &w : all) {
+        w.benchmark = name;
+        out.push_back(w);
+    }
+    return out;
+}
+
+Measurement
+measure(const Workload &w, std::uint64_t warmup, std::uint64_t insts,
+        unsigned repeats)
+{
+    const auto profile = program::profileByName(w.benchmark);
+    const sim::ProgramRef binary =
+        sim::buildBinaryShared(profile, w.ifConvert);
+
+    // Untimed settle pass.
+    sim::run(*binary, profile, w.scheme, warmup, std::min<std::uint64_t>(
+        insts, 50000));
+
+    Measurement m;
+    m.load = w;
+    for (unsigned r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::RunResult res =
+            sim::run(*binary, profile, w.scheme, warmup, insts);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (m.hostMs == 0.0 || ms < m.hostMs) {
+            m.hostMs = ms;
+            m.kips = static_cast<double>(warmup + insts) / ms;
+            m.ipc = res.ipc;
+        }
+    }
+    return m;
+}
+
+/**
+ * All simulated instructions over all host time — the single number
+ * tracked in the BENCH_sim_throughput.json trajectory. Computed once
+ * here so the printed report and the JSON document cannot diverge.
+ */
+double
+aggregateKips(const std::vector<Measurement> &ms, std::uint64_t warmup,
+              std::uint64_t insts)
+{
+    double total_ms = 0.0;
+    for (const Measurement &m : ms)
+        total_ms += m.hostMs;
+    return static_cast<double>(ms.size()) *
+        static_cast<double>(warmup + insts) / total_ms;
+}
+
+void
+writeJson(const std::string &path, const std::vector<Measurement> &ms,
+          std::uint64_t warmup, std::uint64_t insts, unsigned repeats)
+{
+    driver::withOutputStream(path, [&](std::ostream &os) {
+        driver::JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", "pp.bench.sim_throughput.v1");
+        w.field("warmup_insts", warmup);
+        w.field("measure_insts", insts);
+        w.field("repeats", std::uint64_t(repeats));
+        w.key("runs");
+        w.beginArray();
+        for (const Measurement &m : ms) {
+            w.beginObject();
+            w.field("benchmark", m.load.benchmark);
+            w.field("if_converted", m.load.ifConvert);
+            w.field("scheme", m.load.schemeName);
+            w.field("host_ms", m.hostMs);
+            w.field("kips", m.kips);
+            w.field("ipc", m.ipc);
+            w.endObject();
+        }
+        w.endArray();
+        w.field("aggregate_kips", aggregateKips(ms, warmup, insts));
+        w.endObject();
+        os << "\n";
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_sim_throughput.json";
+    std::string stress;
+    std::uint64_t warmup = 20000;
+    std::uint64_t insts = 400000;
+    unsigned repeats = 5;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto need_value = [&](void) -> const char * {
+            if (i + 1 >= argc)
+                fatal(std::string("missing value for ") + a);
+            return argv[++i];
+        };
+        if (std::strcmp(a, "--json") == 0) {
+            json_path = need_value();
+        } else if (std::strcmp(a, "--stress") == 0) {
+            stress = need_value();
+        } else if (std::strcmp(a, "--warmup") == 0) {
+            warmup = bench::parseU64(a, need_value());
+        } else if (std::strcmp(a, "--instructions") == 0) {
+            insts = bench::parseU64(a, need_value());
+        } else if (std::strcmp(a, "--repeat") == 0) {
+            repeats = static_cast<unsigned>(
+                bench::parseU64(a, need_value()));
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            std::fprintf(stderr,
+                "%s — simulator host-throughput benchmark (KIPS)\n\n"
+                "  --json PATH        output document (default "
+                "BENCH_sim_throughput.json, \"-\" = stdout)\n"
+                "  --stress NAME      run every scheme on stress profile "
+                "NAME instead of the default mix\n"
+                "  --warmup N         warmup instructions (default "
+                "20000)\n"
+                "  --instructions N   measured instructions (default "
+                "400000)\n"
+                "  --repeat N         timed repeats, best wins (default "
+                "5)\n",
+                argv[0]);
+            return 0;
+        } else {
+            fatal(std::string("unknown argument: ") + a);
+        }
+        if (repeats == 0)
+            fatal("--repeat must be at least 1");
+    }
+
+    const std::vector<Workload> loads =
+        stress.empty() ? defaultWorkloads() : stressWorkloads(stress);
+
+    std::vector<Measurement> results;
+    for (const Workload &w : loads) {
+        results.push_back(measure(w, warmup, insts, repeats));
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+
+    const bool json_to_stdout = json_path == "-";
+    std::FILE *report = json_to_stdout ? stderr : stdout;
+    TextTable t;
+    t.setHeader({"workload", "host_ms", "KIPS", "IPC"});
+    for (const Measurement &m : results) {
+        t.addRow(m.load.benchmark + "/" + m.load.schemeName,
+                 {m.hostMs, m.kips, m.ipc});
+    }
+    std::fprintf(report, "\n== simulator throughput (best of %u) ==\n",
+                 repeats);
+    t.print(json_to_stdout ? std::cerr : std::cout);
+    std::fprintf(report, "aggregate: %.1f KIPS over %zu workloads\n",
+                 aggregateKips(results, warmup, insts), results.size());
+
+    writeJson(json_path, results, warmup, insts, repeats);
+    return 0;
+}

@@ -28,47 +28,52 @@ OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
     panicIfNot(cfg.predication != PredicationModel::SelectivePrediction ||
                cfg.scheme == PredictionScheme::PredicatePredictor,
                "selective predication requires the predicate predictor");
+
+    rob.init(cfg.robEntries + cfg.fetchBufferEntries);
+    intIqReady.reserve(cfg.intIqEntries);
+    fpIqReady.reserve(cfg.fpIqEntries);
+    brIqReady.reserve(cfg.brIqEntries);
+    intWaiters.resize(cfg.intPhysRegs);
+    fpWaiters.resize(cfg.fpPhysRegs);
+    predWaiters.resize(cfg.predPhysRegs);
+    eventHeap.reserve(cfg.robEntries);
+    dueScratch.reserve(cfg.robEntries);
 }
 
-void
-OoOCore::ensureOracle(std::uint64_t idx)
+std::vector<DynInst *> &
+OoOCore::readyList(IqClass c)
 {
-    while (oracleBase + oracleBuf.size() <= idx)
-        oracleBuf.push_back(emu.step());
-}
-
-const program::ExecRecord &
-OoOCore::oracleAt(std::uint64_t idx)
-{
-    ensureOracle(idx);
-    return oracleBuf[idx - oracleBase];
-}
-
-void
-OoOCore::trimOracle(std::uint64_t committed_idx)
-{
-    while (oracleBase <= committed_idx && !oracleBuf.empty()) {
-        oracleBuf.pop_front();
-        ++oracleBase;
+    switch (c) {
+      case IqClass::Fp: return fpIqReady;
+      case IqClass::Br: return brIqReady;
+      default: return intIqReady;
     }
 }
 
-DynInst *
-OoOCore::findInRob(InstSeqNum seq)
+unsigned &
+OoOCore::iqCount(IqClass c)
 {
-    auto it = std::lower_bound(rob.begin(), rob.end(), seq,
-                               [](const DynInst &d, InstSeqNum s) {
-                                   return d.seq < s;
-                               });
-    if (it == rob.end() || it->seq != seq)
-        return nullptr;
-    return &*it;
+    switch (c) {
+      case IqClass::Fp: return fpIqCount;
+      case IqClass::Br: return brIqCount;
+      default: return intIqCount;
+    }
 }
 
-bool
-OoOCore::isIntDest(const DynInst &d) const
+void
+OoOCore::pushReadyAtRename(DynInst *d)
 {
-    return d.ins->dst != invalidReg && !d.ins->isFp();
+    readyList(d->iqClass).push_back(d);
+}
+
+void
+OoOCore::pushReadyAtWakeup(DynInst *d)
+{
+    std::vector<DynInst *> &ready = readyList(d->iqClass);
+    const auto pos = std::lower_bound(
+        ready.begin(), ready.end(), d->seq,
+        [](const DynInst *e, InstSeqNum s) { return e->seq < s; });
+    ready.insert(pos, d);
 }
 
 // ---------------------------------------------------------------------
@@ -83,7 +88,7 @@ OoOCore::doFetch()
 
     unsigned fetched = 0;
     while (fetched < cfg.fetchWidth &&
-           frontEnd.size() < cfg.fetchBufferEntries) {
+           rob.feSize() < cfg.fetchBufferEntries) {
         // Instruction cache: charge one access per line touched.
         const Addr line = fetchPc / cfg.mem.l1i.blockBytes;
         if (line != lastFetchLine) {
@@ -95,14 +100,18 @@ OoOCore::doFetch()
             }
         }
 
-        // Correct-path check against the oracle stream.
+        // Correct-path check against the oracle stream. The record
+        // reference stays valid below: the window only grows at the back
+        // and is trimmed at commit, never here.
         bool correct = false;
         std::uint64_t oracle_idx = wrongPathOracle;
+        const program::ExecRecord *oracle_rec = nullptr;
         if (fetchOnOracle) {
             const program::ExecRecord &rec = oracleAt(oracleCursor);
             if (rec.pc == fetchPc) {
                 correct = true;
                 oracle_idx = oracleCursor;
+                oracle_rec = &rec;
             } else {
                 fetchOnOracle = false;
                 if (traceOn) {
@@ -119,7 +128,7 @@ OoOCore::doFetch()
 
         const isa::Instruction *ins;
         if (correct) {
-            ins = oracleAt(oracle_idx).ins;
+            ins = oracle_rec->ins;
         } else {
             ins = program.at(fetchPc);
             if (ins == nullptr) {
@@ -130,14 +139,16 @@ OoOCore::doFetch()
             }
         }
 
-        DynInst d;
+        // Built in place in its final ring slot: DynInst is large enough
+        // that a copy per fetched instruction is measurable in sweeps.
+        DynInst &d = rob.emplaceBack();
         d.seq = ++seqCounter;
         d.pc = fetchPc;
         d.ins = ins;
         d.correctPath = correct;
         d.oracleIdx = oracle_idx;
         if (correct)
-            d.rec = oracleAt(oracle_idx);
+            d.rec = *oracle_rec;
         d.stage = InstStage::Fetched;
         d.fetchCycle = now;
         d.renameReadyCycle = now + cfg.frontEndDepth;
@@ -202,7 +213,6 @@ OoOCore::doFetch()
             fetchPc += isa::instBytes;
         }
 
-        frontEnd.push_back(d);
         ++fetched;
         if (ends_group)
             break;
@@ -249,9 +259,9 @@ OoOCore::renameBranch(DynInst &d)
                          (unsigned long long)d.pc, d.correctPath,
                          (int)d.finalPredTaken);
         }
-        while (!frontEnd.empty()) {
-            undoInst(frontEnd.back());
-            frontEnd.pop_back();
+        while (rob.feSize() > 0) {
+            undoInst(rob.back());
+            rob.popBack();
         }
         bpu.l1->reforecast(d.l1State, final_dir);
 
@@ -300,6 +310,7 @@ OoOCore::renamePredicated(DynInst &d)
     if (!e.robPtrValid) {
         e.robPtrValid = true;
         e.robPtr = d.seq;
+        e.robPtrSlot = d.robSlot;
         d.robPtrEntry = d.qpPhys;
     }
     if (!e.value) {
@@ -314,10 +325,10 @@ OoOCore::renamePredicated(DynInst &d)
 bool
 OoOCore::renameOne()
 {
-    DynInst &fd = frontEnd.front();
+    DynInst &fd = rob.feFront();
     if (fd.renameReadyCycle > now)
         return false;
-    if (rob.size() >= cfg.robEntries)
+    if (rob.robSize() >= cfg.robEntries)
         return false;
 
     const isa::Instruction *ins = fd.ins;
@@ -326,13 +337,13 @@ OoOCore::renameOne()
     // Issue-queue admission.
     if (!fd.nullified) {
         if (cls == OpClass::Branch) {
-            if (brIq.size() >= cfg.brIqEntries)
+            if (brIqCount >= cfg.brIqEntries)
                 return false;
         } else if (ins->isFp() && !ins->isLoad() && !ins->isStore()) {
-            if (fpIq.size() >= cfg.fpIqEntries)
+            if (fpIqCount >= cfg.fpIqEntries)
                 return false;
         } else if (cls != OpClass::No_OpClass) {
-            if (intIq.size() >= cfg.intIqEntries)
+            if (intIqCount >= cfg.intIqEntries)
                 return false;
         }
     }
@@ -355,9 +366,8 @@ OoOCore::renameOne()
             return false;
     }
 
-    rob.push_back(std::move(fd));
-    frontEnd.pop_front();
-    DynInst &d = rob.back();
+    rob.promoteFront();
+    DynInst &d = fd; // same slot: rename moves no data
 
     d.qpPhys = pprf.lookup(ins->qp);
 
@@ -388,18 +398,20 @@ OoOCore::renameOne()
 
     // Destination renaming.
     if (ins->isCompare()) {
-        int slot = 0;
+        int uslot = 0;
         if (ins->pdst1 != isa::regP0 && ins->pdst1 != invalidReg) {
             const PhysRegIndex old = pprf.lookup(ins->pdst1);
             d.pdstPhys1 = pprf.allocate(ins->pdst1, d.seq);
-            d.renames[slot++] = {RenameUndo::Class::Pred, ins->pdst1, old,
-                                 d.pdstPhys1};
+            predWaiters[d.pdstPhys1].clear();
+            d.renames[uslot++] = {RenameUndo::Class::Pred, ins->pdst1, old,
+                                  d.pdstPhys1};
         }
         if (ins->pdst2 != isa::regP0 && ins->pdst2 != invalidReg) {
             const PhysRegIndex old = pprf.lookup(ins->pdst2);
             d.pdstPhys2 = pprf.allocate(ins->pdst2, d.seq);
-            d.renames[slot++] = {RenameUndo::Class::Pred, ins->pdst2, old,
-                                 d.pdstPhys2};
+            predWaiters[d.pdstPhys2].clear();
+            d.renames[uslot++] = {RenameUndo::Class::Pred, ins->pdst2, old,
+                                  d.pdstPhys2};
         }
         if (cfg.scheme == PredictionScheme::PredicatePredictor) {
             if (d.pdstPhys1 != invalidPhysReg)
@@ -415,6 +427,7 @@ OoOCore::renameOne()
                                         : RenameUndo::Class::Int;
         d.oldDstPhys = map.lookup(ins->dst);
         d.dstPhys = map.allocate(ins->dst);
+        (ins->isFp() ? fpWaiters : intWaiters)[d.dstPhys].clear();
         d.renames[0] = {rclass, ins->dst, d.oldDstPhys, d.dstPhys};
     }
 
@@ -424,10 +437,12 @@ OoOCore::renameOne()
         d.memAddr = d.correctPath
             ? d.rec.memAddr
             : (mix64(d.pc ^ d.seq) & (program.dataSize() - 1) & ~7ull);
-        if (ins->isLoad())
+        if (ins->isLoad()) {
             loadQ.push_back(d.seq);
-        else
-            storeQ.push_back(d.seq);
+        } else {
+            d.sqPos = sqBase + storeQ.size();
+            storeQ.push_back({d.seq, d.memAddr >> 3, 0, false});
+        }
     }
 
     // Branches consult the second level / PPRF here (3-cycle latency has
@@ -440,15 +455,19 @@ OoOCore::renameOne()
         d.stage = InstStage::Done;
         d.doneCycle = now;
     } else if (cls == OpClass::Branch) {
-        brIq.push_back(d.seq);
+        d.iqClass = IqClass::Br;
     } else if (ins->isFp() && !ins->isLoad() && !ins->isStore()) {
-        fpIq.push_back(d.seq);
+        d.iqClass = IqClass::Fp;
     } else if (cls != OpClass::No_OpClass) {
-        intIq.push_back(d.seq);
+        d.iqClass = IqClass::Int;
     } else {
         // True nop: completes immediately.
         d.stage = InstStage::Done;
         d.doneCycle = now;
+    }
+    if (d.iqClass != IqClass::None) {
+        ++iqCount(d.iqClass);
+        enqueueForIssue(d);
     }
     return true;
 }
@@ -456,7 +475,7 @@ OoOCore::renameOne()
 void
 OoOCore::doRename()
 {
-    for (unsigned i = 0; i < cfg.renameWidth && !frontEnd.empty(); ++i) {
+    for (unsigned i = 0; i < cfg.renameWidth && rob.feSize() > 0; ++i) {
         if (!renameOne())
             break;
     }
@@ -466,48 +485,108 @@ OoOCore::doRename()
 // Issue / execute
 // ---------------------------------------------------------------------
 
-bool
-OoOCore::srcsReady(const DynInst &d) const
+void
+OoOCore::enqueueForIssue(DynInst &d)
 {
     const isa::Instruction *ins = d.ins;
     const bool fp_srcs = ins->isFp() && !ins->isLoad() && !ins->isStore();
 
-    auto int_ready = [&](PhysRegIndex p) { return intMap.isReady(p, now); };
-    auto fp_ready = [&](PhysRegIndex p) { return fpMap.isReady(p, now); };
-    auto pred_ready = [&](PhysRegIndex p) {
-        return p == invalidPhysReg || pprf.entry(p).readyCycle <= now;
+    // Resolve the FU pool once; doIssue re-checks budgets every cycle.
+    switch (ins->opClass()) {
+      case OpClass::IntAlu:
+      case OpClass::Compare: d.fuIndex = 0; break;
+      case OpClass::IntMult: d.fuIndex = 1; break;
+      case OpClass::FloatAdd: d.fuIndex = 2; break;
+      case OpClass::FloatMult:
+      case OpClass::FloatDiv: d.fuIndex = 3; break;
+      case OpClass::MemRead:
+      case OpClass::MemWrite: d.fuIndex = 4; break;
+      case OpClass::Branch: d.fuIndex = 5; break;
+      default: d.fuIndex = DynInst::noFu; break;
+    }
+
+    d.waitCount = 0;
+    auto wait_int = [&](PhysRegIndex p) {
+        if (p == invalidPhysReg || intMap.isReady(p, now))
+            return;
+        intWaiters[p].push_back({d.robSlot, d.seq});
+        ++d.waitCount;
+    };
+    auto wait_fp = [&](PhysRegIndex p) {
+        if (p == invalidPhysReg || fpMap.isReady(p, now))
+            return;
+        fpWaiters[p].push_back({d.robSlot, d.seq});
+        ++d.waitCount;
+    };
+    auto wait_pred = [&](PhysRegIndex p) {
+        if (p == invalidPhysReg || pprf.entry(p).readyCycle <= now)
+            return;
+        predWaiters[p].push_back({d.robSlot, d.seq});
+        ++d.waitCount;
     };
 
     if (fp_srcs) {
-        if (!fp_ready(d.srcPhys1) || !fp_ready(d.srcPhys2))
-            return false;
+        wait_fp(d.srcPhys1);
+        wait_fp(d.srcPhys2);
     } else if (ins->isStore()) {
-        if (!int_ready(d.srcPhys1))
-            return false;
-        if (d.srcPhys2 != invalidPhysReg &&
-            !(ins->isFp() ? fp_ready(d.srcPhys2) : int_ready(d.srcPhys2)))
-            return false;
+        wait_int(d.srcPhys1);
+        if (ins->isFp())
+            wait_fp(d.srcPhys2);
+        else
+            wait_int(d.srcPhys2);
     } else {
-        if (!int_ready(d.srcPhys1) || !int_ready(d.srcPhys2))
-            return false;
+        wait_int(d.srcPhys1);
+        wait_int(d.srcPhys2);
     }
 
     // Qualifying predicate: branches resolve by reading it; CMOV-mode
     // instructions carry it (plus the old destination) as extra operands.
-    if (ins->isBranch() && ins->isConditionalBranch() &&
-        !pred_ready(d.qpPhys)) {
-        return false;
-    }
+    if (ins->isBranch() && ins->isConditionalBranch())
+        wait_pred(d.qpPhys);
     if (d.cmovMode) {
-        if (!pred_ready(d.qpPhys))
-            return false;
-        if (d.oldDstPhys != invalidPhysReg &&
-            !(ins->isFp() ? fp_ready(d.oldDstPhys)
-                          : int_ready(d.oldDstPhys))) {
-            return false;
-        }
+        wait_pred(d.qpPhys);
+        if (ins->isFp())
+            wait_fp(d.oldDstPhys);
+        else
+            wait_int(d.oldDstPhys);
     }
-    return true;
+
+    if (d.waitCount == 0)
+        pushReadyAtRename(&d);
+}
+
+void
+OoOCore::wakeWaiters(std::vector<RobRef> &waiters)
+{
+    for (const RobRef &ref : waiters) {
+        DynInst *w = rob.at(ref);
+        if (w == nullptr || w->stage != InstStage::Renamed)
+            continue; // squashed since it registered
+        if (--w->waitCount == 0)
+            pushReadyAtWakeup(w);
+    }
+    waiters.clear();
+}
+
+namespace
+{
+
+/** Min-heap ordering for completion events: earliest (cycle, seq) first. */
+template <typename Event>
+bool
+eventAfter(const Event &a, const Event &b)
+{
+    return a.cycle != b.cycle ? a.cycle > b.cycle : a.seq > b.seq;
+}
+
+} // namespace
+
+void
+OoOCore::scheduleCompletion(const DynInst &d, Cycle done)
+{
+    eventHeap.push_back({done, d.seq, d.robSlot});
+    std::push_heap(eventHeap.begin(), eventHeap.end(),
+                   eventAfter<CompletionEvent>);
 }
 
 Cycle
@@ -535,59 +614,48 @@ OoOCore::doIssue()
     unsigned fp_mul = cfg.fpMulUnits;
     unsigned mem_ports = cfg.memPorts;
     unsigned br_units = cfg.branchUnits;
+    unsigned *const budgets[6] = {&int_alu, &int_mult, &fp_add,
+                                  &fp_mul,  &mem_ports, &br_units};
 
-    auto issue_from = [&](std::vector<InstSeqNum> &iq) {
-        for (auto it = iq.begin(); it != iq.end();) {
-            DynInst *d = findInRob(*it);
-            if (d == nullptr) { // squashed
-                it = iq.erase(it);
+    // Only operand-ready instructions are examined: the lists were filled
+    // by producer broadcasts (and rename, for born-ready instructions).
+    // Scanning oldest-first preserves the polling scheduler's seq-order
+    // FU allocation; entries that lose on a budget (or a load blocked on
+    // store disambiguation) are compacted in place and retry next cycle.
+    auto issue_from = [&](std::vector<DynInst *> &ready) {
+        std::size_t keep = 0;
+        for (DynInst *d : ready) {
+            // Functional-unit availability (pool resolved at rename).
+            if (d->fuIndex == DynInst::noFu) {
+                ready[keep++] = d;
                 continue;
             }
-            if (d->stage != InstStage::Renamed || !srcsReady(*d)) {
-                ++it;
-                continue;
-            }
-
-            // Functional-unit availability.
-            unsigned *budget = nullptr;
-            switch (d->ins->opClass()) {
-              case OpClass::IntAlu:
-              case OpClass::Compare: budget = &int_alu; break;
-              case OpClass::IntMult: budget = &int_mult; break;
-              case OpClass::FloatAdd: budget = &fp_add; break;
-              case OpClass::FloatMult:
-              case OpClass::FloatDiv: budget = &fp_mul; break;
-              case OpClass::MemRead:
-              case OpClass::MemWrite: budget = &mem_ports; break;
-              case OpClass::Branch: budget = &br_units; break;
-              default: break;
-            }
-            if (budget == nullptr || *budget == 0) {
-                ++it;
+            unsigned *budget = budgets[d->fuIndex];
+            if (*budget == 0) {
+                ready[keep++] = d;
                 continue;
             }
 
             Cycle done;
             if (d->isLoad()) {
                 // Conservative disambiguation: wait until every older
-                // store in the SQ has computed its address.
+                // store in the SQ has computed its address. The SQ caches
+                // that state flat, so this never touches the ROB.
                 bool blocked = false;
-                const DynInst *fwd = nullptr;
-                for (const InstSeqNum sseq : storeQ) {
-                    if (sseq >= d->seq)
+                const StoreRecord *fwd = nullptr;
+                const Addr line_key = d->memAddr >> 3;
+                for (const StoreRecord &s : storeQ) {
+                    if (s.seq >= d->seq)
                         break;
-                    DynInst *s = findInRob(sseq);
-                    if (s == nullptr)
-                        continue;
-                    if (!s->addrReady || s->addrReadyCycle > now) {
+                    if (!s.addrReady || s.addrReadyCycle > now) {
                         blocked = true;
                         break;
                     }
-                    if ((s->memAddr >> 3) == (d->memAddr >> 3))
-                        fwd = s; // youngest older match wins
+                    if (s.lineKey == line_key)
+                        fwd = &s; // youngest older match wins
                 }
                 if (blocked) {
-                    ++it;
+                    ready[keep++] = d;
                     continue;
                 }
                 if (fwd != nullptr) {
@@ -598,8 +666,9 @@ OoOCore::doIssue()
                 }
             } else if (d->isStore()) {
                 done = now + cfg.agenLat;
-                d->addrReady = true;
-                d->addrReadyCycle = done;
+                StoreRecord &rec = storeQ[d->sqPos - sqBase];
+                rec.addrReady = true;
+                rec.addrReadyCycle = done;
             } else {
                 done = now + executeLatency(*d);
             }
@@ -607,14 +676,15 @@ OoOCore::doIssue()
             --*budget;
             d->stage = InstStage::Issued;
             d->doneCycle = done;
-            completionEvents.emplace(done, d->seq);
-            it = iq.erase(it);
+            scheduleCompletion(*d, done);
+            --iqCount(d->iqClass);
         }
+        ready.resize(keep);
     };
 
-    issue_from(brIq);
-    issue_from(intIq);
-    issue_from(fpIq);
+    issue_from(brIqReady);
+    issue_from(intIqReady);
+    issue_from(fpIqReady);
 }
 
 // ---------------------------------------------------------------------
@@ -643,10 +713,14 @@ OoOCore::completeCompare(DynInst &d)
     d.actualPd1 = v1;
     d.actualPd2 = v2;
 
-    if (d.pdstPhys1 != invalidPhysReg)
+    if (d.pdstPhys1 != invalidPhysReg) {
         pprf.writeComputed(d.pdstPhys1, v1, d.doneCycle);
-    if (d.pdstPhys2 != invalidPhysReg)
+        wakeWaiters(predWaiters[d.pdstPhys1]);
+    }
+    if (d.pdstPhys2 != invalidPhysReg) {
         pprf.writeComputed(d.pdstPhys2, v2, d.doneCycle);
+        wakeWaiters(predWaiters[d.pdstPhys2]);
+    }
 
     if (!d.correctPath)
         return;
@@ -684,10 +758,7 @@ OoOCore::completeCompare(DynInst &d)
             }
             ++ghr_depth;
         };
-        for (DynInst &y : rob)
-            patch(y);
-        for (DynInst &y : frontEnd)
-            patch(y);
+        rob.forEach(patch); // ROB then fetch buffer: global age order
         CompareContext cctx;
         cctx.pc = d.pc;
         bpu.predicate->correctHistoryAtDepth(cctx, d.ppState, v1,
@@ -697,17 +768,20 @@ OoOCore::completeCompare(DynInst &d)
     // Selective predication: a wrong prediction consumed by an
     // if-converted instruction flushes from the first consumer.
     InstSeqNum flush_seq = invalidSeqNum;
+    std::uint32_t flush_slot = 0;
     for (const PhysRegIndex p : {d.pdstPhys1, d.pdstPhys2}) {
         if (p == invalidPhysReg)
             continue;
         const PprfEntry &e = pprf.entry(p);
         if (e.mispredicted && e.robPtrValid) {
-            if (flush_seq == invalidSeqNum || e.robPtr < flush_seq)
+            if (flush_seq == invalidSeqNum || e.robPtr < flush_seq) {
                 flush_seq = e.robPtr;
+                flush_slot = e.robPtrSlot;
+            }
         }
     }
     if (flush_seq != invalidSeqNum) {
-        DynInst *victim = findInRob(flush_seq);
+        DynInst *victim = rob.at(flush_slot, flush_seq);
         if (victim != nullptr && victim->correctPath) {
             ++stats_.predicateFlushes;
             const Addr refetch = victim->pc;
@@ -760,24 +834,44 @@ OoOCore::completeBranch(DynInst &d)
 void
 OoOCore::processCompletions()
 {
-    // Collect every event due this cycle, oldest instruction first.
-    std::vector<InstSeqNum> due;
-    while (!completionEvents.empty() &&
-           completionEvents.begin()->first <= now) {
-        due.push_back(completionEvents.begin()->second);
-        completionEvents.erase(completionEvents.begin());
+    // Collect every event due this cycle into the reused scratch buffer,
+    // oldest instruction first. The heap pops in (cycle, seq) order, so
+    // a batch drawn from a single cycle — the norm, since every event is
+    // scheduled strictly in the future and drained every cycle — is
+    // already seq-sorted. Only a batch spanning distinct cycles (possible
+    // under zero-latency configs) needs the seq-only re-sort hardware
+    // retirement order implies.
+    dueScratch.clear();
+    Cycle first_cycle = 0;
+    bool multi_cycle = false;
+    while (!eventHeap.empty() && eventHeap.front().cycle <= now) {
+        if (dueScratch.empty())
+            first_cycle = eventHeap.front().cycle;
+        else if (eventHeap.front().cycle != first_cycle)
+            multi_cycle = true;
+        std::pop_heap(eventHeap.begin(), eventHeap.end(),
+                      eventAfter<CompletionEvent>);
+        dueScratch.emplace_back(eventHeap.back().seq,
+                                eventHeap.back().slot);
+        eventHeap.pop_back();
     }
-    std::sort(due.begin(), due.end());
+    if (multi_cycle)
+        std::sort(dueScratch.begin(), dueScratch.end());
 
-    for (const InstSeqNum seq : due) {
-        DynInst *d = findInRob(seq);
+    for (const auto &[seq, slot] : dueScratch) {
+        DynInst *d = rob.at(slot, seq);
         if (d == nullptr || d->stage != InstStage::Issued)
             continue; // squashed (possibly by an older event this cycle)
         d->stage = InstStage::Done;
 
         if (d->dstPhys != invalidPhysReg) {
-            (d->ins->isFp() ? fpMap : intMap).setReady(d->dstPhys,
-                                                       d->doneCycle);
+            if (d->ins->isFp()) {
+                fpMap.setReady(d->dstPhys, d->doneCycle);
+                wakeWaiters(fpWaiters[d->dstPhys]);
+            } else {
+                intMap.setReady(d->dstPhys, d->doneCycle);
+                wakeWaiters(intWaiters[d->dstPhys]);
+            }
         }
         if (d->isCompare())
             completeCompare(*d);
@@ -875,7 +969,7 @@ OoOCore::commitTrain(DynInst &d)
 void
 OoOCore::doCommit()
 {
-    for (unsigned i = 0; i < cfg.commitWidth && !rob.empty(); ++i) {
+    for (unsigned i = 0; i < cfg.commitWidth && rob.robSize() > 0; ++i) {
         DynInst &h = rob.front();
         if (h.stage != InstStage::Done || h.doneCycle > now)
             break;
@@ -890,8 +984,10 @@ OoOCore::doCommit()
         // instruction, if any, is at the queue head).
         if (!loadQ.empty() && loadQ.front() == h.seq)
             loadQ.pop_front();
-        if (!storeQ.empty() && storeQ.front() == h.seq)
+        if (!storeQ.empty() && storeQ.front().seq == h.seq) {
             storeQ.pop_front();
+            ++sqBase;
+        }
 
         commitTrain(h);
 
@@ -906,7 +1002,7 @@ OoOCore::doCommit()
 
         ++stats_.committedInsts;
         trimOracle(h.oracleIdx);
-        rob.pop_front();
+        rob.popFront();
     }
 }
 
@@ -959,45 +1055,45 @@ OoOCore::undoInst(DynInst &d)
 void
 OoOCore::sweepQueues(InstSeqNum first_bad)
 {
-    auto prune_vec = [&](std::vector<InstSeqNum> &q) {
+    // Ready lists hold raw pointers into still-live ROB slots, so they
+    // are pruned before the squash loop pops those slots. Waiter lists
+    // are left alone: their (slot, seq) references go stale the moment
+    // the slot is popped and are dropped lazily at the next broadcast.
+    auto prune_ready = [&](std::vector<DynInst *> &q) {
         q.erase(std::remove_if(q.begin(), q.end(),
-                               [&](InstSeqNum s) { return s >= first_bad; }),
+                               [&](const DynInst *d) {
+                                   return d->seq >= first_bad;
+                               }),
                 q.end());
     };
-    prune_vec(intIq);
-    prune_vec(fpIq);
-    prune_vec(brIq);
+    prune_ready(intIqReady);
+    prune_ready(fpIqReady);
+    prune_ready(brIqReady);
 
-    auto prune_deq = [&](std::deque<InstSeqNum> &q) {
-        while (!q.empty() && q.back() >= first_bad)
-            q.pop_back();
-    };
-    prune_deq(loadQ);
-    prune_deq(storeQ);
+    while (!loadQ.empty() && loadQ.back() >= first_bad)
+        loadQ.pop_back();
+    while (!storeQ.empty() && storeQ.back().seq >= first_bad)
+        storeQ.pop_back();
 }
 
 void
 OoOCore::squashFrom(InstSeqNum first_bad, Addr new_pc, Cycle resume_delay)
 {
-    // Youngest first: the front-end queue holds the youngest instructions.
+    sweepQueues(first_bad);
+
+    // Youngest first: the ring tail walks the fetch buffer, then the
+    // renamed region — global reverse age order, exactly as the separate
+    // front-end and ROB walks did.
     std::uint64_t min_oracle = wrongPathOracle;
-    while (!frontEnd.empty()) {
-        DynInst &d = frontEnd.back();
-        if (d.seq < first_bad)
-            break;
-        if (d.correctPath && d.oracleIdx < min_oracle)
-            min_oracle = d.oracleIdx;
-        undoInst(d);
-        frontEnd.pop_back();
-    }
-    while (!rob.empty() && rob.back().seq >= first_bad) {
+    while (rob.total() > 0 && rob.back().seq >= first_bad) {
         DynInst &d = rob.back();
         if (d.correctPath && d.oracleIdx < min_oracle)
             min_oracle = d.oracleIdx;
+        if (d.stage == InstStage::Renamed && d.iqClass != IqClass::None)
+            --iqCount(d.iqClass);
         undoInst(d);
-        rob.pop_back();
+        rob.popBack();
     }
-    sweepQueues(first_bad);
 
     if (min_oracle != wrongPathOracle) {
         oracleCursor = min_oracle;
@@ -1066,12 +1162,12 @@ OoOCore::dumpState() const
 {
     std::fprintf(stderr,
                  "cycle=%llu committed=%llu rob=%zu fe=%zu iq(i/f/b)="
-                 "%zu/%zu/%zu lq=%zu sq=%zu events=%zu\n",
+                 "%u/%u/%u lq=%zu sq=%zu events=%zu\n",
                  static_cast<unsigned long long>(now),
                  static_cast<unsigned long long>(stats_.committedInsts),
-                 rob.size(), frontEnd.size(), intIq.size(), fpIq.size(),
-                 brIq.size(), loadQ.size(), storeQ.size(),
-                 completionEvents.size());
+                 rob.robSize(), rob.feSize(), intIqCount, fpIqCount,
+                 brIqCount, loadQ.size(), storeQ.size(),
+                 eventHeap.size());
     std::fprintf(stderr,
                  "fetchPc=0x%llx resume=%llu halted=%d onOracle=%d "
                  "cursor=%llu base=%llu free(i/f/p)=%zu/%zu\n",
@@ -1081,29 +1177,35 @@ OoOCore::dumpState() const
                  static_cast<unsigned long long>(oracleCursor),
                  static_cast<unsigned long long>(oracleBase),
                  intMap.freeCount(), fpMap.freeCount());
-    int n = 0;
-    for (const DynInst &d : rob) {
-        if (++n > 8)
-            break;
+    for (std::size_t i = 0; i < rob.robSize() && i < 8; ++i) {
+        const DynInst &d = rob.atIndex(i);
         std::fprintf(stderr,
-                     "  rob[%d] seq=%llu pc=0x%llx stage=%d cp=%d done=%llu"
-                     "  %s\n",
-                     n, static_cast<unsigned long long>(d.seq),
+                     "  rob[%zu] seq=%llu pc=0x%llx stage=%d cp=%d "
+                     "done=%llu  %s\n",
+                     i + 1, static_cast<unsigned long long>(d.seq),
                      static_cast<unsigned long long>(d.pc),
                      static_cast<int>(d.stage), d.correctPath,
                      static_cast<unsigned long long>(d.doneCycle),
                      d.ins->disassemble().c_str());
     }
-    n = 0;
-    for (const DynInst &d : frontEnd) {
-        if (++n > 4)
-            break;
-        std::fprintf(stderr, "  fe[%d] seq=%llu pc=0x%llx rdy=%llu %s\n", n,
-                     static_cast<unsigned long long>(d.seq),
+    for (std::size_t i = 0; i < rob.feSize() && i < 4; ++i) {
+        const DynInst &d = rob.atIndex(rob.robSize() + i);
+        std::fprintf(stderr, "  fe[%zu] seq=%llu pc=0x%llx rdy=%llu %s\n",
+                     i + 1, static_cast<unsigned long long>(d.seq),
                      static_cast<unsigned long long>(d.pc),
                      static_cast<unsigned long long>(d.renameReadyCycle),
                      d.ins->disassemble().c_str());
     }
+}
+
+std::vector<std::pair<Addr, OoOCore::BranchProfile>>
+OoOCore::branchProfiles() const
+{
+    std::vector<std::pair<Addr, BranchProfile>> out(perBranch.begin(),
+                                                    perBranch.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
 }
 
 void

@@ -16,7 +16,8 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -25,6 +26,7 @@
 #include "core/corestats.hh"
 #include "core/dyninst.hh"
 #include "core/regfile.hh"
+#include "core/rob.hh"
 #include "memory/memsystem.hh"
 #include "program/emulator.hh"
 #include "program/program.hh"
@@ -74,12 +76,12 @@ class OoOCore
         std::uint64_t mispredNotTaken = 0; ///< actual NT, predicted taken
     };
 
-    /** Per-PC profile of committed conditional branches. */
-    const std::map<Addr, BranchProfile> &
-    branchProfiles() const
-    {
-        return perBranch;
-    }
+    /**
+     * Per-PC profile of committed conditional branches, sorted by PC.
+     * Collected in an unordered map on the commit path; ordering is
+     * imposed only here, at readout.
+     */
+    std::vector<std::pair<Addr, BranchProfile>> branchProfiles() const;
 
     /**
      * Register this core's counters (and its caches') on a stats
@@ -104,11 +106,45 @@ class OoOCore
     bool renameOne();
     void renameBranch(DynInst &d);
     void renamePredicated(DynInst &d);
-    bool srcsReady(const DynInst &d) const;
     Cycle executeLatency(const DynInst &d) const;
     void completeCompare(DynInst &d);
     void completeBranch(DynInst &d);
     void commitTrain(DynInst &d);
+    /// @}
+
+    /** @name Event-driven wakeup */
+    /// @{
+    /**
+     * Register the renamed instruction with the scheduler: count its
+     * unready sources, enlist on the producers' waiter lists, and move
+     * it straight to its issue queue's ready list when nothing is
+     * pending.
+     */
+    void enqueueForIssue(DynInst &d);
+
+    /**
+     * Producer broadcast: decrement every live waiter's pending count
+     * and promote those that reach zero to their ready list. Squashed
+     * waiters are detected via their stale (slot, seq) reference and
+     * dropped. The list is consumed.
+     */
+    void wakeWaiters(std::vector<RobRef> &waiters);
+
+    std::vector<DynInst *> &readyList(IqClass c);
+    unsigned &iqCount(IqClass c);
+
+    /**
+     * Ready lists are kept seq-sorted without any per-cycle sort:
+     * rename-time entries carry the globally highest seq so far and
+     * append at the tail; wakeups (older instructions) insert at their
+     * sorted position. Issue-time compaction and squash pruning both
+     * preserve order.
+     */
+    void pushReadyAtRename(DynInst *d);
+    void pushReadyAtWakeup(DynInst *d);
+
+    /** Push a completion event for @p d at cycle @p done. */
+    void scheduleCompletion(const DynInst &d, Cycle done);
     /// @}
 
     /** @name Flush machinery */
@@ -123,15 +159,31 @@ class OoOCore
     void sweepQueues(InstSeqNum first_bad);
     /// @}
 
-    /** @name Oracle management */
+    /** @name Oracle management (inline: one call per fetched inst) */
     /// @{
-    void ensureOracle(std::uint64_t idx);
-    const program::ExecRecord &oracleAt(std::uint64_t idx);
-    void trimOracle(std::uint64_t committed_idx);
-    /// @}
+    void
+    ensureOracle(std::uint64_t idx)
+    {
+        while (oracleBase + oracleBuf.size() <= idx)
+            oracleBuf.push_back(emu.step());
+    }
 
-    DynInst *findInRob(InstSeqNum seq);
-    bool isIntDest(const DynInst &d) const;
+    const program::ExecRecord &
+    oracleAt(std::uint64_t idx)
+    {
+        ensureOracle(idx);
+        return oracleBuf[idx - oracleBase];
+    }
+
+    void
+    trimOracle(std::uint64_t committed_idx)
+    {
+        while (oracleBase <= committed_idx && !oracleBuf.empty()) {
+            oracleBuf.pop_front();
+            ++oracleBase;
+        }
+    }
+    /// @}
 
     const program::Program &program;
     CoreConfig cfg;
@@ -146,16 +198,59 @@ class OoOCore
     Pprf pprf;
     /// @}
 
+    /**
+     * Store-queue entry: the address state loads poll for conservative
+     * disambiguation, cached flat so the per-load scan never touches the
+     * ROB. Kept in rename (= sequence) order; absolute position
+     * @ref DynInst::sqPos minus @ref sqBase indexes the deque.
+     */
+    struct StoreRecord
+    {
+        InstSeqNum seq = invalidSeqNum;
+        Addr lineKey = 0;        ///< memAddr >> 3 (forwarding granule)
+        Cycle addrReadyCycle = 0;
+        bool addrReady = false;
+    };
+
+    /** One pending completion in the min-heap event queue. */
+    struct CompletionEvent
+    {
+        Cycle cycle = 0;
+        InstSeqNum seq = invalidSeqNum;
+        std::uint32_t slot = 0;
+    };
+
     /** @name Queues */
     /// @{
-    std::deque<DynInst> frontEnd; ///< fetched, not yet renamed
-    std::deque<DynInst> rob;
-    std::vector<InstSeqNum> intIq;
-    std::vector<InstSeqNum> fpIq;
-    std::vector<InstSeqNum> brIq;
+    /** In-flight window: ROB proper plus the fetch buffer, one ring. */
+    RobRing rob;
+
+    /**
+     * Issue-queue state. Entries waiting on operands live only on the
+     * producers' waiter lists; entries with every source ready sit in a
+     * per-queue ready list the scheduler scans (in sequence order)
+     * against the cycle's FU budgets. The occupancy counters gate rename
+     * admission.
+     */
+    std::vector<DynInst *> intIqReady;
+    std::vector<DynInst *> fpIqReady;
+    std::vector<DynInst *> brIqReady;
+    unsigned intIqCount = 0;
+    unsigned fpIqCount = 0;
+    unsigned brIqCount = 0;
+
+    /** Per-physical-register waiter lists (consumer wakeup). */
+    std::vector<std::vector<RobRef>> intWaiters;
+    std::vector<std::vector<RobRef>> fpWaiters;
+    std::vector<std::vector<RobRef>> predWaiters;
+
     std::deque<InstSeqNum> loadQ;
-    std::deque<InstSeqNum> storeQ;
-    std::multimap<Cycle, InstSeqNum> completionEvents;
+    std::deque<StoreRecord> storeQ;
+    std::uint64_t sqBase = 0; ///< absolute position of storeQ.front()
+
+    /** Binary min-heap on (cycle, seq) + reused same-cycle scratch. */
+    std::vector<CompletionEvent> eventHeap;
+    std::vector<std::pair<InstSeqNum, std::uint32_t>> dueScratch;
     /// @}
 
     /** @name Fetch state */
@@ -179,7 +274,7 @@ class OoOCore
     Cycle now = 0;
     InstSeqNum seqCounter = 0;
     CoreStats stats_;
-    std::map<Addr, BranchProfile> perBranch;
+    std::unordered_map<Addr, BranchProfile> perBranch;
 };
 
 } // namespace core

@@ -42,6 +42,15 @@ enum class InstStage : std::uint8_t
     Committed,
 };
 
+/** Which issue queue an instruction occupies after rename. */
+enum class IqClass : std::uint8_t
+{
+    None, ///< nop or rename-nullified: never enters an issue queue
+    Int,
+    Fp,
+    Br,
+};
+
 /** A dynamic instruction flowing through the pipeline. */
 struct DynInst
 {
@@ -55,6 +64,18 @@ struct DynInst
     std::uint64_t oracleIdx = wrongPathOracle;
 
     InstStage stage = InstStage::Fetched;
+
+    /** FU budget pool index (doIssue); 0xff = no pool, never issues. */
+    static constexpr std::uint8_t noFu = 0xff;
+
+    /** @name Scheduling (valid once renamed into the ROB ring) */
+    /// @{
+    std::uint32_t robSlot = 0;          ///< ring slot owned until removal
+    IqClass iqClass = IqClass::None;    ///< issue queue occupied
+    std::uint8_t waitCount = 0;         ///< unready sources still pending
+    std::uint8_t fuIndex = noFu;        ///< FU pool drawn from at issue
+    std::uint64_t sqPos = 0;            ///< absolute store-queue position
+    /// @}
 
     /** @name Timing */
     /// @{
@@ -100,8 +121,6 @@ struct DynInst
 
     /** Effective address for timing (pseudo-address on wrong path). */
     Addr memAddr = 0;
-    bool addrReady = false;
-    Cycle addrReadyCycle = 0;
 
     bool isBranch() const { return ins->isBranch(); }
     bool isCompare() const { return ins->isCompare(); }

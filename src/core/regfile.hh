@@ -112,6 +112,7 @@ struct PprfEntry
     /** First speculative consumer (flush point on misprediction). */
     bool robPtrValid = false;
     InstSeqNum robPtr = invalidSeqNum;
+    std::uint32_t robPtrSlot = 0; ///< ROB ring slot of that consumer
 
     /** Producing compare (for history-repair bookkeeping). */
     InstSeqNum producerSeq = invalidSeqNum;

@@ -261,6 +261,10 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
         w.field("accuracy_pct", r.accuracyPct);
         w.field("early_resolved_pct", r.earlyResolvedPct);
         w.field("shadow_mispred_pct", r.shadowMispredRatePct);
+        // Host wall time: the only nondeterministic field in the
+        // document — byte-identity consumers must scrub it (see
+        // test_sweep_engine.cpp / the CI determinism smoke).
+        w.field("host_ms", r.hostMs);
         w.key("counters");
         w.beginObject();
         for (const auto &f : kCounters)

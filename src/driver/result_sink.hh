@@ -6,7 +6,10 @@
  *
  * Serialization is fully deterministic — fixed key order, fixed float
  * formatting — so the same (specs, results) pair always produces the
- * same bytes, whatever thread count computed it.
+ * same bytes, whatever thread count computed it. One deliberate
+ * exception: the per-run "host_ms" wall-time field in the JSON document
+ * (every sweep doubles as a perf sample); byte-identity comparisons must
+ * scrub it first.
  */
 
 #ifndef PP_DRIVER_RESULT_SINK_HH

@@ -14,13 +14,17 @@ PerceptronTable::PerceptronTable(unsigned num_entries, unsigned global_bits,
       noAlias(no_alias)
 {
     weights.assign(static_cast<std::size_t>(entries) * rowWeights(), 0);
+    rowSums.assign(entries, 0);
 }
 
 std::uint32_t
 PerceptronTable::row(std::uint64_t key)
 {
-    if (!noAlias)
-        return static_cast<std::uint32_t>(key % entries);
+    if (!noAlias) {
+        // Callers that pre-reduced the key skip the 64-bit division.
+        return static_cast<std::uint32_t>(key < entries ? key
+                                                        : key % entries);
+    }
     auto it = aliasFreeIndex.find(key);
     if (it != aliasFreeIndex.end())
         return it->second;
@@ -28,6 +32,7 @@ PerceptronTable::row(std::uint64_t key)
     const auto r = static_cast<std::uint32_t>(aliasFreeIndex.size());
     if (r >= entries) {
         weights.resize(weights.size() + rowWeights(), 0);
+        rowSums.push_back(0);
         ++entries;
     }
     aliasFreeIndex.emplace(key, r);
@@ -38,30 +43,43 @@ std::int32_t
 PerceptronTable::output(std::uint32_t r, std::uint64_t ghist,
                         std::uint64_t lhist) const
 {
+    // Word-at-a-time dot product. With h_i in {+1, -1}:
+    //   sum = bias + SUM_set w_i - SUM_clear w_i
+    //       = bias + 2 * SUM_set w_i - rowSums[r]
+    // so only the *set* history bits are visited, straight off the
+    // history word, instead of one branchy loop iteration per bit.
     const std::int8_t *w = rowPtr(r);
-    std::int32_t sum = w[0];
-    for (unsigned i = 0; i < globalBits; ++i)
-        sum += ((ghist >> i) & 1) ? w[1 + i] : -w[1 + i];
-    for (unsigned j = 0; j < localBits; ++j)
-        sum += ((lhist >> j) & 1) ? w[1 + globalBits + j]
-                                  : -w[1 + globalBits + j];
-    return sum;
+    std::int32_t set_sum = 0;
+    std::uint64_t g = ghist & mask(globalBits);
+    while (g) {
+        set_sum += w[1 + countTrailingZeros(g)];
+        g &= g - 1;
+    }
+    std::uint64_t l = lhist & mask(localBits);
+    while (l) {
+        set_sum += w[1 + globalBits + countTrailingZeros(l)];
+        l &= l - 1;
+    }
+    return w[0] + 2 * set_sum - rowSums[r];
 }
 
 namespace
 {
 
-/** Saturating ±127 bump. */
-inline void
+/** Saturating ±127 bump; returns the applied delta for sum upkeep. */
+inline std::int32_t
 bump(std::int8_t &w, bool up)
 {
     if (up) {
-        if (w < 127)
+        if (w < 127) {
             ++w;
-    } else {
-        if (w > -127)
-            --w;
+            return 1;
+        }
+    } else if (w > -127) {
+        --w;
+        return -1;
     }
+    return 0;
 }
 
 } // namespace
@@ -71,11 +89,13 @@ PerceptronTable::train(std::uint32_t r, std::uint64_t ghist,
                        std::uint64_t lhist, bool taken)
 {
     std::int8_t *w = rowPtr(r);
-    bump(w[0], taken);
+    bump(w[0], taken); // bias is outside rowSums
+    std::int32_t delta = 0;
     for (unsigned i = 0; i < globalBits; ++i)
-        bump(w[1 + i], ((ghist >> i) & 1) == taken);
+        delta += bump(w[1 + i], ((ghist >> i) & 1) == taken);
     for (unsigned j = 0; j < localBits; ++j)
-        bump(w[1 + globalBits + j], ((lhist >> j) & 1) == taken);
+        delta += bump(w[1 + globalBits + j], ((lhist >> j) & 1) == taken);
+    rowSums[r] += delta;
 }
 
 std::uint64_t

@@ -87,6 +87,15 @@ class PerceptronTable
     bool noAlias;
 
     std::vector<std::int8_t> weights;
+
+    /**
+     * Per-row sum of all history weights (bias excluded), maintained
+     * incrementally by train(). Lets output() visit only the *set*
+     * history bits word-at-a-time: the contribution of clear bits is
+     * rowSums minus what the set bits contributed.
+     */
+    std::vector<std::int32_t> rowSums;
+
     std::unordered_map<std::uint64_t, std::uint32_t> aliasFreeIndex;
 };
 

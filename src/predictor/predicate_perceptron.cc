@@ -20,31 +20,32 @@ PredicatePerceptron::PredicatePerceptron(
     lht.assign(cfg.lhtEntries, 0);
 }
 
-std::uint32_t
-PredicatePerceptron::hash1(Addr pc)
+void
+PredicatePerceptron::pvtRows(Addr pc, bool need_second,
+                             std::uint32_t &idx1, std::uint32_t &idx2)
 {
-    if (cfg.noAlias)
-        return table.row(pc * 2);
-    const std::uint64_t h = mix64(pc / 4);
-    if (cfg.pvtMode == PvtMode::Split)
-        return table.row(h % (cfg.tableEntries / 2));
-    return table.row(h % cfg.tableEntries);
-}
-
-std::uint32_t
-PredicatePerceptron::hash2(Addr pc)
-{
-    if (cfg.noAlias)
-        return table.row(pc * 2 + 1);
+    if (cfg.noAlias) {
+        idx1 = table.row(pc * 2);
+        idx2 = need_second ? table.row(pc * 2 + 1) : idx1;
+        return;
+    }
     const std::uint64_t h = mix64(pc / 4);
     if (cfg.pvtMode == PvtMode::Split) {
-        return table.row(cfg.tableEntries / 2 +
-                         h % (cfg.tableEntries / 2));
+        const std::uint64_t half = cfg.tableEntries / 2;
+        idx1 = table.row(h % half);
+        idx2 = need_second ? table.row(half + h % half) : idx1;
+        return;
     }
     // "The second hash function simply inverts the most significant bit
     // of the first" (§3.3), generalized to a non-power-of-two table as a
-    // half-table rotation.
-    return table.row((h + cfg.tableEntries / 2) % cfg.tableEntries);
+    // half-table rotation: (h + E/2) mod E, derived from h mod E by a
+    // conditional subtract so the prediction pays one division, not four.
+    const std::uint64_t r = h % cfg.tableEntries;
+    idx1 = table.row(r);
+    std::uint64_t r2 = r + cfg.tableEntries / 2;
+    if (r2 >= cfg.tableEntries)
+        r2 -= cfg.tableEntries;
+    idx2 = need_second ? table.row(r2) : idx1;
 }
 
 std::uint64_t &
@@ -78,18 +79,16 @@ PredicatePerceptron::predict(const CompareContext &ctx, PredPredState &st)
     st.localCkpt = lentry;
     st.lhtIndex = lht_idx;
 
-    st.idx1 = hash1(ctx.pc);
+    pvtRows(ctx.pc, ctx.needSecond, st.idx1, st.idx2);
     st.out1 = table.output(st.idx1, ghr, lentry);
     st.pred1 = st.out1 >= 0;
     st.conf1 = confidence(st.idx1).isSaturated();
 
     if (ctx.needSecond) {
-        st.idx2 = hash2(ctx.pc);
         st.out2 = table.output(st.idx2, ghr, lentry);
         st.pred2 = st.out2 >= 0;
         st.conf2 = confidence(st.idx2).isSaturated();
     } else {
-        st.idx2 = st.idx1;
         st.pred2 = !st.pred1;
         st.conf2 = st.conf1;
     }

@@ -115,8 +115,13 @@ class PredicatePerceptron
     const PredicatePredictorConfig &config() const { return cfg; }
 
   private:
-    std::uint32_t hash1(Addr pc);
-    std::uint32_t hash2(Addr pc);
+    /**
+     * Resolve the PVT rows for both predictions of one compare. The two
+     * dual-hash rows share one mixed PC and one modulo reduction; when
+     * @p need_second is false, @p idx2 aliases @p idx1.
+     */
+    void pvtRows(Addr pc, bool need_second, std::uint32_t &idx1,
+                 std::uint32_t &idx2);
     std::uint64_t &localEntry(Addr pc, std::uint32_t &index_out);
     SatCounter &confidence(std::uint32_t row);
 

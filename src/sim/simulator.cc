@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
 #include <cstdlib>
 
 #include "core/core.hh"
@@ -91,14 +92,18 @@ run(const program::Program &binary,
     if (scheme.confidenceBits != 0)
         cfg.predicate.confidenceBits = scheme.confidenceBits;
 
+    const auto host_start = std::chrono::steady_clock::now();
     core::OoOCore cpu(binary, cfg, profile.seed ^ 0x0a11ce5ull);
     cpu.run(warmup_insts);
     const core::CoreStats at_warmup = cpu.coreStats();
     cpu.run(warmup_insts + measure_insts);
     const core::CoreStats window =
         statsDelta(at_warmup, cpu.coreStats());
+    const auto host_end = std::chrono::steady_clock::now();
 
     RunResult r;
+    r.hostMs = std::chrono::duration<double, std::milli>(
+        host_end - host_start).count();
     r.benchmark = profile.name;
     r.stats = window;
     r.mispredRatePct = window.mispredRatePct();

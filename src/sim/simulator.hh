@@ -50,6 +50,14 @@ struct RunResult
     double ipc = 0.0;
     double shadowMispredRatePct = 0.0;
     double earlyResolvedPct = 0.0;///< early-resolved / committed branches
+
+    /**
+     * Host wall time of the whole run (core construction + warmup +
+     * measurement), so every sweep doubles as a simulator-throughput
+     * sample. This is the one field that is NOT deterministic; byte-
+     * identity comparisons of serialized results must scrub it.
+     */
+    double hostMs = 0.0;
 };
 
 /**

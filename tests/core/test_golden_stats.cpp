@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Golden-statistics regression test for the cycle-loop data-structure
+ * overhaul: a fixed (benchmark, if-conversion, scheme, seed) grid whose
+ * full CoreStats were captured on the simulator *before* the O(1)-ROB /
+ * event-driven-wakeup refactor. Every counter must stay bit-identical —
+ * the hot-path rework is a pure host-side optimization and may never
+ * change simulated behavior. If an intentional model change invalidates
+ * these numbers, regenerate them with the previous known-good build and
+ * say so loudly in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace pp;
+
+namespace
+{
+
+/** Expected CoreStats, in declaration order (see corestats.hh). */
+struct GoldenStats
+{
+    std::uint64_t cycles;
+    std::uint64_t committedInsts;
+    std::uint64_t committedCondBranches;
+    std::uint64_t mispredictedCondBranches;
+    std::uint64_t earlyResolvedBranches;
+    std::uint64_t overrideRedirects;
+    std::uint64_t branchMispredFlushes;
+    std::uint64_t shadowMispredicts;
+    std::uint64_t earlyResolvedShadowWrong;
+    std::uint64_t committedPredicated;
+    std::uint64_t nullifiedAtRename;
+    std::uint64_t unguardedAtRename;
+    std::uint64_t cmovFallbacks;
+    std::uint64_t predicateFlushes;
+    std::uint64_t committedCompares;
+    std::uint64_t comparePd1Mispredicts;
+};
+
+struct GoldenCase
+{
+    const char *benchmark;
+    bool ifConvert;
+    const char *schemeName;
+    GoldenStats expect;
+};
+
+sim::SchemeConfig
+schemeByName(const std::string &name)
+{
+    sim::SchemeConfig s;
+    if (name == "conventional") {
+        s.scheme = core::PredictionScheme::Conventional;
+    } else if (name == "peppa") {
+        s.scheme = core::PredictionScheme::PepPa;
+    } else if (name == "predicate") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+    } else if (name == "selective") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+        s.predication = core::PredicationModel::SelectivePrediction;
+    } else if (name == "selective_shadow") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+        s.predication = core::PredicationModel::SelectivePrediction;
+        s.shadowConventional = true;
+    } else if (name == "ideal") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+        s.idealNoAlias = true;
+        s.idealPerfectHistory = true;
+    } else {
+        ADD_FAILURE() << "unknown scheme " << name;
+    }
+    return s;
+}
+
+constexpr std::uint64_t kWarmup = 10000;
+constexpr std::uint64_t kMeasure = 60000;
+
+// Captured at commit 695508f (pre-refactor seed + driver), Release
+// build, via sim::buildAndRun(profile, ifc, scheme, 10000, 60000).
+const GoldenCase kGolden[] = {
+    {"gzip", false, "conventional",
+     {22445ull, 60001ull, 4698ull, 485ull, 0ull, 535ull, 484ull, 0ull,
+      0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 4698ull, 0ull}},
+    {"gzip", true, "conventional",
+     {17263ull, 60000ull, 3502ull, 184ull, 0ull, 155ull, 184ull, 0ull,
+      0ull, 5383ull, 0ull, 0ull, 0ull, 0ull, 4535ull, 0ull}},
+    {"crafty", true, "peppa",
+     {22628ull, 60003ull, 3798ull, 236ull, 0ull, 79ull, 236ull, 0ull,
+      0ull, 3235ull, 0ull, 0ull, 0ull, 0ull, 4500ull, 0ull}},
+    {"swim", true, "predicate",
+     {18733ull, 59999ull, 4102ull, 61ull, 1991ull, 62ull, 61ull, 0ull,
+      0ull, 630ull, 0ull, 0ull, 0ull, 0ull, 4238ull, 167ull}},
+    {"gzip", true, "selective",
+     {16412ull, 60000ull, 3502ull, 111ull, 1378ull, 104ull, 111ull, 0ull,
+      0ull, 5383ull, 1805ull, 349ull, 3026ull, 18ull, 4535ull, 443ull}},
+    {"ifcmax", true, "selective",
+     {17217ull, 59998ull, 1819ull, 55ull, 1189ull, 81ull, 55ull, 0ull,
+      0ull, 11081ull, 4084ull, 549ull, 2929ull, 11ull, 2911ull, 507ull}},
+    {"crafty", true, "ideal",
+     {22032ull, 60003ull, 3798ull, 164ull, 1270ull, 114ull, 164ull, 0ull,
+      0ull, 3235ull, 0ull, 0ull, 0ull, 0ull, 4500ull, 481ull}},
+    {"swim", true, "selective_shadow",
+     {18733ull, 59999ull, 4102ull, 61ull, 1991ull, 62ull, 61ull, 116ull,
+      54ull, 630ull, 195ull, 0ull, 350ull, 0ull, 4238ull, 167ull}},
+};
+
+} // namespace
+
+TEST(GoldenStats, BitIdenticalToPreRefactorCapture)
+{
+    for (const GoldenCase &c : kGolden) {
+        SCOPED_TRACE(std::string(c.benchmark) +
+                     (c.ifConvert ? "+ifc/" : "/") + c.schemeName);
+        const auto profile = program::profileByName(c.benchmark);
+        const sim::RunResult r = sim::buildAndRun(
+            profile, c.ifConvert, schemeByName(c.schemeName), kWarmup,
+            kMeasure);
+        const core::CoreStats &s = r.stats;
+        const GoldenStats &e = c.expect;
+        EXPECT_EQ(s.cycles, e.cycles);
+        EXPECT_EQ(s.committedInsts, e.committedInsts);
+        EXPECT_EQ(s.committedCondBranches, e.committedCondBranches);
+        EXPECT_EQ(s.mispredictedCondBranches,
+                  e.mispredictedCondBranches);
+        EXPECT_EQ(s.earlyResolvedBranches, e.earlyResolvedBranches);
+        EXPECT_EQ(s.overrideRedirects, e.overrideRedirects);
+        EXPECT_EQ(s.branchMispredFlushes, e.branchMispredFlushes);
+        EXPECT_EQ(s.shadowMispredicts, e.shadowMispredicts);
+        EXPECT_EQ(s.earlyResolvedShadowWrong, e.earlyResolvedShadowWrong);
+        EXPECT_EQ(s.committedPredicated, e.committedPredicated);
+        EXPECT_EQ(s.nullifiedAtRename, e.nullifiedAtRename);
+        EXPECT_EQ(s.unguardedAtRename, e.unguardedAtRename);
+        EXPECT_EQ(s.cmovFallbacks, e.cmovFallbacks);
+        EXPECT_EQ(s.predicateFlushes, e.predicateFlushes);
+        EXPECT_EQ(s.committedCompares, e.committedCompares);
+        EXPECT_EQ(s.comparePd1Mispredicts, e.comparePd1Mispredicts);
+    }
+}
