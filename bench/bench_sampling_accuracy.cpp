@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Sampled-simulation accuracy and speedup benchmark, the evidence
+ * behind BENCH_sampling.json (`pp.bench.sampling.v1`).
+ *
+ * Two parts:
+ *
+ *  - Accuracy grid: the 8-cell golden grid of
+ *    tests/core/test_golden_stats.cpp (benchmark × if-conversion ×
+ *    scheme), full simulation vs the dense sampling policy at the
+ *    golden window. Reports IPC error (%) and misprediction-rate error
+ *    (absolute pp) per cell; the contract is <2% / <0.5pp.
+ *
+ *  - Speedup: the ifcmax stress profile on a paper-scale region, full
+ *    simulation vs the production SamplingPolicy::smarts() policy,
+ *    best-of-`--repeat` wall times. The contract is >=5x end-to-end.
+ *
+ *    bench_sampling_accuracy [--json PATH] [--check] [--repeat N]
+ *                            [--speedup-insts N] [--skip-speedup]
+ *
+ * --check exits non-zero when any accuracy cell or the speedup bound
+ * fails — the CI release-perf job runs it as a regression gate.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "driver/result_sink.hh"
+#include "sampling/accuracy_contract.hh"
+#include "sampling/sampled_simulator.hh"
+#include "sim/simulator.hh"
+
+using namespace pp;
+using sampling::AccuracyCell;
+using sampling::kAccuracyGrid;
+
+namespace
+{
+
+constexpr std::uint64_t kGridWarmup = sampling::kAccuracyWarmup;
+constexpr std::uint64_t kGridMeasure = sampling::kAccuracyMeasure;
+constexpr double kIpcBoundPct = sampling::kAccuracyIpcBoundPct;
+constexpr double kMispredBoundPp = sampling::kAccuracyMispredBoundPp;
+constexpr double kSpeedupBound = sampling::kSampledSpeedupBound;
+
+sim::SchemeConfig
+schemeByName(const std::string &name)
+{
+    return sampling::accuracySchemeByName(name);
+}
+
+sampling::SamplingPolicy
+densePolicy()
+{
+    return sampling::accuracyDensePolicy();
+}
+
+struct CellResult
+{
+    AccuracyCell cell;
+    double fullIpc = 0.0;
+    double sampledIpc = 0.0;
+    double ipcErrPct = 0.0;
+    double fullMispredPct = 0.0;
+    double sampledMispredPct = 0.0;
+    double mispredErrPp = 0.0;
+    std::uint64_t measuredInsts = 0;
+    std::uint64_t windows = 0;
+    bool pass = false;
+};
+
+struct SpeedupResult
+{
+    std::uint64_t regionInsts = 0;
+    std::uint64_t warmupInsts = 0;
+    double fullMs = 0.0;     ///< best-of-repeats
+    double sampledMs = 0.0;  ///< best-of-repeats
+    double speedup = 0.0;
+    double fullIpc = 0.0;
+    double sampledIpc = 0.0;
+    double ipcErrPct = 0.0;
+    double mispredErrPp = 0.0;
+    double ipcCiPct = 0.0;
+    std::uint64_t detailedInsts = 0;
+    std::uint64_t fastForwardInsts = 0;
+    std::uint64_t windows = 0;
+    bool pass = false;
+};
+
+CellResult
+runCell(const AccuracyCell &c)
+{
+    const auto profile = program::profileByName(c.benchmark);
+    const sim::ProgramRef binary =
+        sim::buildBinaryShared(profile, c.ifConvert);
+    const sim::SchemeConfig scheme = schemeByName(c.scheme);
+
+    const sim::RunResult full = sim::run(*binary, profile, scheme,
+                                         kGridWarmup, kGridMeasure);
+    const sampling::SampledRun sam = sampling::sampledRunDetailed(
+        *binary, profile, scheme, core::CoreConfig{}, kGridWarmup,
+        kGridMeasure, densePolicy());
+
+    CellResult r;
+    r.cell = c;
+    r.fullIpc = full.ipc;
+    r.sampledIpc = sam.result.ipc;
+    r.ipcErrPct = 100.0 * (sam.result.ipc - full.ipc) / full.ipc;
+    r.fullMispredPct = full.mispredRatePct;
+    r.sampledMispredPct = sam.result.mispredRatePct;
+    r.mispredErrPp = sam.result.mispredRatePct - full.mispredRatePct;
+    r.measuredInsts = sam.result.measuredInsts;
+    r.windows = sam.windows;
+    r.pass = std::abs(r.ipcErrPct) < kIpcBoundPct &&
+        std::abs(r.mispredErrPp) < kMispredBoundPp;
+    return r;
+}
+
+SpeedupResult
+runSpeedup(std::uint64_t region, unsigned repeats)
+{
+    const auto profile = program::profileByName("ifcmax");
+    const sim::ProgramRef binary = sim::buildBinaryShared(profile, true);
+    const sim::SchemeConfig scheme = schemeByName("selective");
+    const std::uint64_t warmup = 20000;
+    const sampling::SamplingPolicy policy =
+        sampling::SamplingPolicy::smarts();
+
+    SpeedupResult r;
+    r.regionInsts = region;
+    r.warmupInsts = warmup;
+
+    sim::RunResult full;
+    sampling::SampledRun sam;
+    for (unsigned i = 0; i < repeats; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        full = sim::run(*binary, profile, scheme, warmup, region);
+        const auto t1 = std::chrono::steady_clock::now();
+        sam = sampling::sampledRunDetailed(*binary, profile, scheme,
+                                           core::CoreConfig{}, warmup,
+                                           region, policy);
+        const auto t2 = std::chrono::steady_clock::now();
+        const double f_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        const double s_ms =
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        if (r.fullMs == 0.0 || f_ms < r.fullMs)
+            r.fullMs = f_ms;
+        if (r.sampledMs == 0.0 || s_ms < r.sampledMs)
+            r.sampledMs = s_ms;
+        std::fprintf(stderr, ".");
+    }
+
+    r.speedup = r.fullMs / r.sampledMs;
+    r.fullIpc = full.ipc;
+    r.sampledIpc = sam.result.ipc;
+    r.ipcErrPct = 100.0 * (sam.result.ipc - full.ipc) / full.ipc;
+    r.mispredErrPp =
+        sam.result.mispredRatePct - full.mispredRatePct;
+    r.ipcCiPct = sam.result.ipcErrorBound;
+    r.detailedInsts = sam.result.detailedInsts;
+    r.fastForwardInsts = sam.fastForwardInsts;
+    r.windows = sam.windows;
+    r.pass = r.speedup >= kSpeedupBound;
+    return r;
+}
+
+void
+writeJson(const std::string &path, const std::vector<CellResult> &cells,
+          const SpeedupResult *speedup, unsigned repeats)
+{
+    driver::withOutputStream(path, [&](std::ostream &os) {
+        driver::JsonWriter w(os);
+        w.beginObject();
+        w.field("schema", "pp.bench.sampling.v1");
+        w.field("ipc_bound_pct", kIpcBoundPct);
+        w.field("mispred_bound_pp", kMispredBoundPp);
+        w.field("speedup_bound", kSpeedupBound);
+        w.key("accuracy_policy");
+        w.beginObject();
+        const sampling::SamplingPolicy dp = densePolicy();
+        w.field("period_insts", dp.periodInsts);
+        w.field("window_warmup_insts", dp.warmupInsts);
+        w.field("window_measure_insts", dp.measureInsts);
+        w.field("warmup_insts", kGridWarmup);
+        w.field("measure_insts", kGridMeasure);
+        w.endObject();
+        w.key("accuracy_grid");
+        w.beginArray();
+        for (const CellResult &r : cells) {
+            w.beginObject();
+            w.field("benchmark", r.cell.benchmark);
+            w.field("if_converted", r.cell.ifConvert);
+            w.field("scheme", r.cell.scheme);
+            w.field("full_ipc", r.fullIpc);
+            w.field("sampled_ipc", r.sampledIpc);
+            w.field("ipc_err_pct", r.ipcErrPct);
+            w.field("full_mispred_pct", r.fullMispredPct);
+            w.field("sampled_mispred_pct", r.sampledMispredPct);
+            w.field("mispred_err_pp", r.mispredErrPp);
+            w.field("measured_insts", r.measuredInsts);
+            w.field("windows", r.windows);
+            w.field("pass", r.pass);
+            w.endObject();
+        }
+        w.endArray();
+        if (speedup != nullptr) {
+            const sampling::SamplingPolicy sp =
+                sampling::SamplingPolicy::smarts();
+            w.key("speedup");
+            w.beginObject();
+            w.field("benchmark", "ifcmax");
+            w.field("scheme", "selective");
+            w.field("warmup_insts", speedup->warmupInsts);
+            w.field("region_insts", speedup->regionInsts);
+            w.field("repeats", std::uint64_t(repeats));
+            w.key("policy");
+            w.beginObject();
+            w.field("period_insts", sp.periodInsts);
+            w.field("window_warmup_insts", sp.warmupInsts);
+            w.field("window_measure_insts", sp.measureInsts);
+            w.field("warming_horizon_insts", sp.warmingHorizon);
+            w.endObject();
+            w.field("full_host_ms", speedup->fullMs);
+            w.field("sampled_host_ms", speedup->sampledMs);
+            w.field("speedup", speedup->speedup);
+            w.field("full_ipc", speedup->fullIpc);
+            w.field("sampled_ipc", speedup->sampledIpc);
+            w.field("ipc_err_pct", speedup->ipcErrPct);
+            w.field("mispred_err_pp", speedup->mispredErrPp);
+            w.field("ipc_ci_pct", speedup->ipcCiPct);
+            w.field("detailed_insts", speedup->detailedInsts);
+            w.field("fast_forward_insts", speedup->fastForwardInsts);
+            w.field("windows", speedup->windows);
+            w.field("pass", speedup->pass);
+            w.endObject();
+        }
+        w.endObject();
+        os << "\n";
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_sampling.json";
+    bool check = false;
+    bool skip_speedup = false;
+    unsigned repeats = 3;
+    std::uint64_t speedup_insts = 3000000;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto need_value = [&](void) -> const char * {
+            if (i + 1 >= argc)
+                fatal(std::string("missing value for ") + a);
+            return argv[++i];
+        };
+        if (std::strcmp(a, "--json") == 0) {
+            json_path = need_value();
+        } else if (std::strcmp(a, "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(a, "--skip-speedup") == 0) {
+            skip_speedup = true;
+        } else if (std::strcmp(a, "--repeat") == 0) {
+            repeats = static_cast<unsigned>(
+                bench::parseU64(a, need_value()));
+            if (repeats == 0)
+                fatal("--repeat must be at least 1");
+        } else if (std::strcmp(a, "--speedup-insts") == 0) {
+            speedup_insts = bench::parseU64(a, need_value());
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            std::fprintf(stderr,
+                "%s — sampled-simulation accuracy + speedup benchmark\n\n"
+                "  --json PATH        output document (default "
+                "BENCH_sampling.json, \"-\" = stdout)\n"
+                "  --check            exit non-zero when an accuracy "
+                "cell or the speedup bound fails\n"
+                "  --repeat N         timed speedup repeats, best wins "
+                "(default 3)\n"
+                "  --speedup-insts N  speedup measurement region "
+                "(default 3000000)\n"
+                "  --skip-speedup     accuracy grid only\n",
+                argv[0]);
+            return 0;
+        } else {
+            fatal(std::string("unknown argument: ") + a);
+        }
+    }
+
+    std::vector<CellResult> cells;
+    for (const AccuracyCell &c : kAccuracyGrid) {
+        cells.push_back(runCell(c));
+        std::fprintf(stderr, ".");
+    }
+
+    SpeedupResult speedup;
+    if (!skip_speedup)
+        speedup = runSpeedup(speedup_insts, repeats);
+    std::fprintf(stderr, "\n");
+
+    const bool json_to_stdout = json_path == "-";
+    std::FILE *report = json_to_stdout ? stderr : stdout;
+    std::ostream &ts = json_to_stdout ? std::cerr : std::cout;
+
+    TextTable t;
+    t.setHeader({"cell", "full IPC", "sampled", "err%", "full mis%",
+                 "sampled", "err pp"});
+    bool all_pass = true;
+    for (const CellResult &r : cells) {
+        t.addRow(std::string(r.cell.benchmark) +
+                     (r.cell.ifConvert ? "+ifc/" : "/") + r.cell.scheme,
+                 {r.fullIpc, r.sampledIpc, r.ipcErrPct, r.fullMispredPct,
+                  r.sampledMispredPct, r.mispredErrPp});
+        all_pass = all_pass && r.pass;
+    }
+    std::fprintf(report,
+                 "\n== sampled accuracy, golden grid (bounds: IPC %.1f%%,"
+                 " mispred %.1fpp) ==\n",
+                 kIpcBoundPct, kMispredBoundPp);
+    t.print(ts);
+    std::fprintf(report, "accuracy: %s\n", all_pass ? "PASS" : "FAIL");
+
+    if (!skip_speedup) {
+        std::fprintf(report,
+            "\n== sampled speedup, ifcmax/selective, %llu insts "
+            "(best of %u) ==\n"
+            "full %.1f ms -> sampled %.1f ms: %.2fx (bound %.1fx) — "
+            "ipc err %+.2f%%, mispred err %+.3fpp, 95%% CI %.1f%%\n"
+            "detailed %llu insts, fast-forwarded %llu, %llu windows\n"
+            "speedup: %s\n",
+            (unsigned long long)speedup.regionInsts, repeats,
+            speedup.fullMs, speedup.sampledMs, speedup.speedup,
+            kSpeedupBound, speedup.ipcErrPct, speedup.mispredErrPp,
+            speedup.ipcCiPct, (unsigned long long)speedup.detailedInsts,
+            (unsigned long long)speedup.fastForwardInsts,
+            (unsigned long long)speedup.windows,
+            speedup.pass ? "PASS" : "FAIL");
+        all_pass = all_pass && speedup.pass;
+    }
+
+    writeJson(json_path, cells, skip_speedup ? nullptr : &speedup,
+              repeats);
+
+    if (check && !all_pass) {
+        std::fprintf(stderr, "bench_sampling_accuracy: bounds FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -10,6 +10,7 @@
 #ifndef PP_COMMON_RANDOM_HH
 #define PP_COMMON_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace pp
@@ -97,6 +98,28 @@ class Rng
     {
         return uniform() < p;
     }
+
+    /**
+     * @name Checkpointing
+     * The full generator state, so a stream can be captured and resumed
+     * bit-identically (emulator fast-forward checkpoints).
+     */
+    /// @{
+    using State = std::array<std::uint64_t, 4>;
+
+    State
+    state() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    void
+    setState(const State &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            s[i] = st[static_cast<std::size_t>(i)];
+    }
+    /// @}
 
   private:
     static std::uint64_t

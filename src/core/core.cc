@@ -40,6 +40,35 @@ OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
     dueScratch.reserve(cfg.robEntries);
 }
 
+OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
+                 std::uint64_t seed,
+                 const program::Emulator::Checkpoint &resume)
+    : OoOCore(prog, config, seed)
+{
+    emu.restore(resume);
+    fetchPc = emu.pc();
+
+    // Architectural predicate state: rename reads the committed PPRF
+    // values (an entry restored as false would silently nullify every
+    // instruction its true predicate guards) and PEP-PA correlates on
+    // the logical file. p0 is hardwired and skipped, so a checkpoint
+    // taken before the first instruction still matches the plain
+    // constructor bit-for-bit.
+    for (RegIndex l = 1; l < isa::numPredRegs; ++l) {
+        const bool val = emu.predReg(l);
+        archPred[l] = val;
+        PprfEntry &e = pprf.entry(pprf.lookup(l));
+        e.value = val;
+        e.speculative = false;
+    }
+
+    // Return-address stack from the checkpointed call stack, exactly as
+    // the calls would have pushed it (deep stacks wrap, keeping the top
+    // entries — the ones returns will consume).
+    for (const Addr ret : resume.callStack)
+        bpu.ras.push(ret);
+}
+
 std::vector<DynInst *> &
 OoOCore::readyList(IqClass c)
 {
@@ -83,7 +112,7 @@ OoOCore::pushReadyAtWakeup(DynInst *d)
 void
 OoOCore::doFetch()
 {
-    if (fetchHalted || now < fetchResumeCycle)
+    if (fetchFrozen || fetchHalted || now < fetchResumeCycle)
         return;
 
     unsigned fetched = 0;
@@ -1217,6 +1246,167 @@ OoOCore::run(std::uint64_t max_committed)
         tick();
         panicIfNot(now < limit, "simulation wedged (cycle limit hit)");
     }
+}
+
+// ---------------------------------------------------------------------
+// Sampled simulation: drain + functional fast-forward
+// ---------------------------------------------------------------------
+
+void
+OoOCore::drainPipeline()
+{
+    if (rob.total() == 0)
+        return;
+    fetchFrozen = true;
+    const Cycle limit = now + 200 * rob.total() + 100000;
+    while (rob.total() > 0) {
+        tick();
+        panicIfNot(now < limit, "pipeline drain wedged (cycle limit hit)");
+    }
+    fetchFrozen = false;
+}
+
+void
+OoOCore::warmInstruction(const program::ExecRecord &rec, bool warm_tables,
+                         Addr &warm_line)
+{
+    const isa::Instruction *ins = rec.ins;
+
+    if (warm_tables) {
+        // I-side: one cache touch per fetched line, as fetch charges it.
+        const Addr line = rec.pc / cfg.mem.l1i.blockBytes;
+        if (line != warm_line) {
+            mem.instAccess(rec.pc, now);
+            warm_line = line;
+        }
+        if ((ins->isLoad() || ins->isStore()) && rec.qpVal)
+            mem.dataAccess(rec.memAddr, ins->isStore(), now);
+    }
+
+    if (warm_tables && ins->isConditionalBranch()) {
+        // Replay the predict/correct/train protocol as an in-order
+        // machine would: after detailed execution every committed
+        // branch's history bit holds the actual outcome (override and
+        // misprediction repair both converge there), so predict, repair
+        // the bit if wrong, then train.
+        const bool actual = rec.branchTaken;
+        BranchContext bctx;
+        bctx.pc = rec.pc;
+        bctx.qpLogical = ins->qp;
+        bctx.qpArchValue = archPred[ins->qp];
+        if (cfg.idealPerfectHistory)
+            bctx.oracleOutcome = actual;
+        predictor::PredState l1st;
+        bpu.l1->predict(bctx, l1st);
+        if (l1st.predTaken != actual)
+            bpu.l1->correctHistory(l1st, actual);
+        bpu.l1->resolve(bctx, l1st, actual);
+        if (bpu.l2) {
+            predictor::PredState l2st;
+            bpu.l2->predict(bctx, l2st);
+            if (l2st.predTaken != actual)
+                bpu.l2->correctHistory(l2st, actual);
+            bpu.l2->resolve(bctx, l2st, actual);
+        }
+        if (bpu.shadow) {
+            predictor::PredState sst;
+            const bool spred = bpu.shadow->predict(bctx, sst);
+            bpu.shadow->resolve(bctx, sst, actual);
+            if (spred != actual)
+                bpu.shadow->correctHistory(sst, actual);
+        }
+    }
+
+    if (ins->isCompare()) {
+        // Architectural target values: the written value, else the value
+        // the register held before this compare (completeCompare's rule).
+        auto arch_val = [&](RegIndex l, bool written, bool val) {
+            if (written)
+                return val;
+            return l != isa::regP0 && l != invalidReg ? archPred[l]
+                                                      : false;
+        };
+        const bool v1 = arch_val(ins->pdst1, rec.pd1Written, rec.pd1Val);
+        const bool v2 = arch_val(ins->pdst2, rec.pd2Written, rec.pd2Val);
+
+        if (warm_tables &&
+            cfg.scheme == PredictionScheme::PredicatePredictor) {
+            CompareContext cctx;
+            cctx.pc = rec.pc;
+            cctx.needSecond =
+                ins->pdst2 != isa::regP0 && ins->pdst2 != invalidReg;
+            if (cfg.idealPerfectHistory) {
+                cctx.oracle1 = rec.pd1Val;
+                cctx.oracle2 = rec.pd2Val;
+            }
+            predictor::PredPredState pst;
+            bpu.predicate->predict(cctx, pst);
+            if (pst.valid && pst.pred1 != v1 && !cfg.idealPerfectHistory)
+                bpu.predicate->correctHistoryAtDepth(cctx, pst, v1, 0, 0);
+            bpu.predicate->resolve(cctx, pst, v1, v2);
+        }
+
+        // Committed predicate state: PEP-PA's logical file and the
+        // architecturally mapped PPRF entries (rename reads both).
+        auto sync_pred = [&](RegIndex l, bool written, bool val) {
+            if (!written || l == isa::regP0 || l == invalidReg)
+                return;
+            archPred[l] = val;
+            PprfEntry &e = pprf.entry(pprf.lookup(l));
+            e.value = val;
+            e.speculative = false;
+            e.mispredicted = false;
+            e.readyCycle = now;
+        };
+        sync_pred(ins->pdst1, rec.pd1Written, rec.pd1Val);
+        sync_pred(ins->pdst2, rec.pd2Written, rec.pd2Val);
+    }
+
+    // The return-address stack mirrors the call stack (a cold RAS would
+    // mispredict every return until re-filled).
+    if (rec.branchTaken) {
+        if (ins->op == Opcode::BrCall)
+            bpu.ras.push(rec.pc + isa::instBytes);
+        else if (ins->op == Opcode::BrRet)
+            bpu.ras.pop();
+    }
+}
+
+void
+OoOCore::fastForward(std::uint64_t n, bool warm_tables)
+{
+    if (n == 0)
+        return;
+    panicIfNot(rob.total() == 0,
+               "fastForward requires a drained pipeline");
+
+    Addr warm_line = ~0ull;
+    Addr next_pc = fetchPc;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        // Records the oracle already materialized for the (now drained)
+        // detailed window are consumed first; past them the emulator
+        // advances directly.
+        if (!oracleBuf.empty()) {
+            const program::ExecRecord rec = oracleBuf.front();
+            oracleBuf.pop_front();
+            ++oracleBase;
+            warmInstruction(rec, warm_tables, warm_line);
+            next_pc = rec.nextPc;
+        } else {
+            const program::ExecRecord rec = emu.step();
+            ++oracleBase;
+            warmInstruction(rec, warm_tables, warm_line);
+            next_pc = rec.nextPc;
+        }
+    }
+
+    // Redirect fetch to the resume point on the correct path.
+    oracleCursor = oracleBase;
+    fetchOnOracle = true;
+    fetchHalted = false;
+    fetchPc = next_pc;
+    lastFetchLine = ~0ull;
+    fetchResumeCycle = now;
 }
 
 } // namespace core

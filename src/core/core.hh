@@ -48,11 +48,52 @@ class OoOCore
     OoOCore(const program::Program &prog, const CoreConfig &cfg,
             std::uint64_t seed);
 
+    /**
+     * As above, but resume the functional oracle from @p resume, so the
+     * detailed simulation starts mid-program (sampled simulation).
+     * Microarchitectural state (predictors, caches, rename) starts cold
+     * exactly as at a normal construction; only architectural state is
+     * restored. A checkpoint taken before the first instruction yields a
+     * core bit-identical to the plain constructor.
+     */
+    OoOCore(const program::Program &prog, const CoreConfig &cfg,
+            std::uint64_t seed,
+            const program::Emulator::Checkpoint &resume);
+
     /** Run until @p max_committed instructions have committed. */
     void run(std::uint64_t max_committed);
 
     /** Advance exactly one cycle (tests). */
     void tick();
+
+    /** @name Sampled simulation (see sampling/) */
+    /// @{
+    /**
+     * Retire or squash everything in flight (fetch frozen meanwhile),
+     * leaving the machine at a committed architectural boundary. No-op
+     * when the pipeline is already empty.
+     */
+    void drainPipeline();
+
+    /**
+     * Committed program-order position: architectural instructions
+     * consumed so far by commit and fastForward() together. Meaningful
+     * between windows, i.e. when the pipeline is drained.
+     */
+    std::uint64_t programPosition() const { return oracleBase; }
+
+    /**
+     * Advance architectural state by @p n instructions without
+     * simulating cycles (requires a drained pipeline). Architectural
+     * predicate state and the return-address stack always stay in sync;
+     * with @p warm_tables the caches, direction predictors and the
+     * predicate predictor are additionally trained functionally along
+     * the way, as if every instruction fetched and resolved in order
+     * (SMARTS functional warming). Stats and the cycle counter do not
+     * advance.
+     */
+    void fastForward(std::uint64_t n, bool warm_tables);
+    /// @}
 
     /** Collected statistics. */
     const CoreStats &coreStats() const { return stats_; }
@@ -253,11 +294,16 @@ class OoOCore
     std::vector<std::pair<InstSeqNum, std::uint32_t>> dueScratch;
     /// @}
 
+    /** Warm one fast-forwarded instruction's worth of state. */
+    void warmInstruction(const program::ExecRecord &rec, bool warm_tables,
+                         Addr &warm_line);
+
     /** @name Fetch state */
     /// @{
     Addr fetchPc = 0;
     Cycle fetchResumeCycle = 0;
     bool fetchHalted = false;    ///< wrong path ran off the image
+    bool fetchFrozen = false;    ///< drainPipeline() stops new fetches
     bool fetchOnOracle = true;
     std::uint64_t oracleCursor = 0;
     Addr lastFetchLine = ~0ull;

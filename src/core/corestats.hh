@@ -66,12 +66,52 @@ struct CoreStats
     }
 
     double
+    earlyResolvedPct() const
+    {
+        return committedCondBranches == 0 ? 0.0
+            : 100.0 * static_cast<double>(earlyResolvedBranches) /
+                static_cast<double>(committedCondBranches);
+    }
+
+    double
     ipc() const
     {
         return cycles == 0 ? 0.0
             : static_cast<double>(committedInsts) /
                 static_cast<double>(cycles);
     }
+};
+
+/** One counter in the fixed serialization/extrapolation schema. */
+struct CoreStatsField
+{
+    const char *name;               ///< snake_case sink field name
+    std::uint64_t CoreStats::*member;
+};
+
+/**
+ * Every CoreStats counter, in declaration order. The single source of
+ * truth for code that must visit all counters uniformly: the result
+ * sinks' schema, statsDelta(), and sampled-run extrapolation. Extend
+ * this when adding a counter, or those consumers silently drop it.
+ */
+inline constexpr CoreStatsField kCoreStatsFields[] = {
+    {"cycles", &CoreStats::cycles},
+    {"committed_insts", &CoreStats::committedInsts},
+    {"committed_cond_branches", &CoreStats::committedCondBranches},
+    {"mispredicted_cond_branches", &CoreStats::mispredictedCondBranches},
+    {"early_resolved_branches", &CoreStats::earlyResolvedBranches},
+    {"override_redirects", &CoreStats::overrideRedirects},
+    {"branch_mispred_flushes", &CoreStats::branchMispredFlushes},
+    {"shadow_mispredicts", &CoreStats::shadowMispredicts},
+    {"early_resolved_shadow_wrong", &CoreStats::earlyResolvedShadowWrong},
+    {"committed_predicated", &CoreStats::committedPredicated},
+    {"nullified_at_rename", &CoreStats::nullifiedAtRename},
+    {"unguarded_at_rename", &CoreStats::unguardedAtRename},
+    {"cmov_fallbacks", &CoreStats::cmovFallbacks},
+    {"predicate_flushes", &CoreStats::predicateFlushes},
+    {"committed_compares", &CoreStats::committedCompares},
+    {"compare_pd1_mispredicts", &CoreStats::comparePd1Mispredicts},
 };
 
 } // namespace core

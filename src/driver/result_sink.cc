@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "core/corestats.hh"
 
 namespace pp
 {
@@ -157,34 +158,6 @@ JsonWriter::value(bool v)
 namespace
 {
 
-/** Counter fields serialized per run, in fixed schema order. */
-struct CounterField
-{
-    const char *name;
-    std::uint64_t core::CoreStats::*member;
-};
-
-constexpr CounterField kCounters[] = {
-    {"cycles", &core::CoreStats::cycles},
-    {"committed_insts", &core::CoreStats::committedInsts},
-    {"committed_cond_branches", &core::CoreStats::committedCondBranches},
-    {"mispredicted_cond_branches",
-     &core::CoreStats::mispredictedCondBranches},
-    {"early_resolved_branches", &core::CoreStats::earlyResolvedBranches},
-    {"override_redirects", &core::CoreStats::overrideRedirects},
-    {"branch_mispred_flushes", &core::CoreStats::branchMispredFlushes},
-    {"shadow_mispredicts", &core::CoreStats::shadowMispredicts},
-    {"early_resolved_shadow_wrong",
-     &core::CoreStats::earlyResolvedShadowWrong},
-    {"committed_predicated", &core::CoreStats::committedPredicated},
-    {"nullified_at_rename", &core::CoreStats::nullifiedAtRename},
-    {"unguarded_at_rename", &core::CoreStats::unguardedAtRename},
-    {"cmov_fallbacks", &core::CoreStats::cmovFallbacks},
-    {"predicate_flushes", &core::CoreStats::predicateFlushes},
-    {"committed_compares", &core::CoreStats::committedCompares},
-    {"compare_pd1_mispredicts", &core::CoreStats::comparePd1Mispredicts},
-};
-
 void
 checkAligned(const std::vector<RunSpec> &specs,
              const std::vector<sim::RunResult> &results)
@@ -261,18 +234,48 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
         w.field("accuracy_pct", r.accuracyPct);
         w.field("early_resolved_pct", r.earlyResolvedPct);
         w.field("shadow_mispred_pct", r.shadowMispredRatePct);
-        // Host wall time: the only nondeterministic field in the
-        // document — byte-identity consumers must scrub it (see
+        // Sampled-simulation annotations. For full runs: sampled=false,
+        // measured_insts/ipc_error_bound are 0 and detailed_insts is
+        // warmup + measurement (everything ran in detail).
+        w.field("sampling", s.samplingName);
+        w.field("sampled", r.sampled);
+        w.field("measured_insts", r.measuredInsts);
+        w.field("detailed_insts", r.detailedInsts);
+        w.field("ipc_error_bound", r.ipcErrorBound);
+        // Host wall time: nondeterministic by design — byte-identity
+        // consumers must scrub it and the summary's total_host_ms (see
         // test_sweep_engine.cpp / the CI determinism smoke).
         w.field("host_ms", r.hostMs);
         w.key("counters");
         w.beginObject();
-        for (const auto &f : kCounters)
+        for (const auto &f : core::kCoreStatsFields)
             w.field(f.name, r.stats.*f.member);
         w.endObject();
         w.endObject();
     }
     w.endArray();
+    // Sweep-level roll-up: how much work the sweep actually did. With a
+    // sampling axis in play, total_detailed_insts against the runs'
+    // windows is the sampling speedup made visible in the output itself.
+    std::uint64_t total_detailed = 0;
+    std::uint64_t total_measured = 0;
+    std::uint64_t sampled_runs = 0;
+    double total_host_ms = 0.0;
+    for (const sim::RunResult &r : results) {
+        total_detailed += r.detailedInsts;
+        total_measured += r.sampled ? r.measuredInsts
+                                    : r.stats.committedInsts;
+        sampled_runs += r.sampled ? 1 : 0;
+        total_host_ms += r.hostMs;
+    }
+    w.key("summary");
+    w.beginObject();
+    w.field("runs", static_cast<std::uint64_t>(results.size()));
+    w.field("sampled_runs", sampled_runs);
+    w.field("total_detailed_insts", total_detailed);
+    w.field("total_measured_insts", total_measured);
+    w.field("total_host_ms", total_host_ms);
+    w.endObject();
     w.endObject();
     os << "\n";
 }
@@ -284,8 +287,9 @@ CsvSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
     checkAligned(specs, results);
     os << "benchmark,suite,if_converted,scheme,config,seed,warmup_insts,"
           "measure_insts,ipc,mispred_pct,accuracy_pct,early_resolved_pct,"
-          "shadow_mispred_pct";
-    for (const auto &f : kCounters)
+          "shadow_mispred_pct,sampling,sampled,measured_insts,"
+          "ipc_error_bound";
+    for (const auto &f : core::kCoreStatsFields)
         os << "," << f.name;
     os << "\n";
     for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -300,7 +304,16 @@ CsvSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
            << formatDouble(r.accuracyPct) << ","
            << formatDouble(r.earlyResolvedPct) << ","
            << formatDouble(r.shadowMispredRatePct);
-        for (const auto &f : kCounters)
+        // Sampling annotations are deterministic; full runs leave them
+        // empty so spreadsheets can tell "not sampled" from "zero". The
+        // policy-name column disambiguates rows in multi-policy sweeps.
+        if (r.sampled) {
+            os << "," << s.samplingName << ",1," << r.measuredInsts
+               << "," << formatDouble(r.ipcErrorBound);
+        } else {
+            os << ",,,,";
+        }
+        for (const auto &f : core::kCoreStatsFields)
             os << "," << r.stats.*f.member;
         os << "\n";
     }

@@ -7,9 +7,10 @@
  * Serialization is fully deterministic — fixed key order, fixed float
  * formatting — so the same (specs, results) pair always produces the
  * same bytes, whatever thread count computed it. One deliberate
- * exception: the per-run "host_ms" wall-time field in the JSON document
- * (every sweep doubles as a perf sample); byte-identity comparisons must
- * scrub it first.
+ * exception: the wall-time perf samples in the JSON document (per-run
+ * "host_ms" and the summary's "total_host_ms"); byte-identity
+ * comparisons must scrub both. The sampled-simulation fields (sampled,
+ * measured_insts, ipc_error_bound, detailed_insts) are deterministic.
  */
 
 #ifndef PP_DRIVER_RESULT_SINK_HH

@@ -37,6 +37,8 @@ RunSpec::label() const
     std::string l = binaryKey() + "/" + schemeName;
     if (!configName.empty())
         l += "/" + configName;
+    if (!samplingName.empty())
+        l += "/" + samplingName;
     return l;
 }
 
@@ -71,6 +73,13 @@ RunMatrix &
 RunMatrix::addConfig(std::string name, core::CoreConfig config)
 {
     configs_.push_back({std::move(name), config});
+    return *this;
+}
+
+RunMatrix &
+RunMatrix::addSampling(std::string name, sampling::SamplingPolicy policy)
+{
+    samplings_.push_back({std::move(name), policy});
     return *this;
 }
 
@@ -127,24 +136,31 @@ RunMatrix::specs() const
     std::vector<ConfigAxis> configs = configs_;
     if (configs.empty())
         configs.push_back({"", core::CoreConfig{}});
+    std::vector<SamplingAxis> samplings = samplings_;
+    if (samplings.empty())
+        samplings.push_back({"", sampling::SamplingPolicy{}});
 
     std::vector<RunSpec> out;
     out.reserve(benchmarks_.size() * ifConvert_.size() * schemes.size() *
-                configs.size());
+                configs.size() * samplings.size());
     for (const auto &prof : benchmarks_) {
         for (const bool ifc : ifConvert_) {
             for (const auto &sch : schemes) {
                 for (const auto &cfg : configs) {
-                    RunSpec s;
-                    s.profile = prof;
-                    s.ifConvert = ifc;
-                    s.schemeName = sch.name;
-                    s.scheme = sch.scheme;
-                    s.configName = cfg.name;
-                    s.config = cfg.config;
-                    s.warmupInsts = warmup_;
-                    s.measureInsts = measure_;
-                    out.push_back(std::move(s));
+                    for (const auto &smp : samplings) {
+                        RunSpec s;
+                        s.profile = prof;
+                        s.ifConvert = ifc;
+                        s.schemeName = sch.name;
+                        s.scheme = sch.scheme;
+                        s.configName = cfg.name;
+                        s.config = cfg.config;
+                        s.samplingName = smp.name;
+                        s.sampling = smp.policy;
+                        s.warmupInsts = warmup_;
+                        s.measureInsts = measure_;
+                        out.push_back(std::move(s));
+                    }
                 }
             }
         }

@@ -2,11 +2,11 @@
  * @file
  * Run-matrix specification for the parallel experiment driver.
  *
- * A RunMatrix enumerates the cartesian product of four axes —
- * BenchmarkProfile × if-conversion × SchemeConfig × core-config override —
- * into a flat, deterministically ordered list of RunSpecs that the
- * SweepEngine executes. Every experiment harness describes itself as a
- * matrix instead of hand-rolling nested loops.
+ * A RunMatrix enumerates the cartesian product of five axes —
+ * BenchmarkProfile × if-conversion × SchemeConfig × core-config override
+ * × SamplingPolicy — into a flat, deterministically ordered list of
+ * RunSpecs that the SweepEngine executes. Every experiment harness
+ * describes itself as a matrix instead of hand-rolling nested loops.
  */
 
 #ifndef PP_DRIVER_RUN_MATRIX_HH
@@ -18,6 +18,7 @@
 
 #include "core/config.hh"
 #include "program/suite.hh"
+#include "sampling/sampling_policy.hh"
 #include "sim/simulator.hh"
 
 namespace pp
@@ -39,6 +40,13 @@ struct ConfigAxis
     core::CoreConfig config;
 };
 
+/** One named sampling mode (full detail or a SMARTS policy). */
+struct SamplingAxis
+{
+    std::string name;           ///< empty = full detailed simulation
+    sampling::SamplingPolicy policy;
+};
+
 /** A fully resolved single run: one cell of the matrix. */
 struct RunSpec
 {
@@ -48,13 +56,15 @@ struct RunSpec
     sim::SchemeConfig scheme;
     std::string configName;     ///< empty for the default machine
     core::CoreConfig config;
+    std::string samplingName;   ///< empty for full detailed simulation
+    sampling::SamplingPolicy sampling;
     std::uint64_t warmupInsts = 0;
     std::uint64_t measureInsts = 0;
 
     /** Key identifying the binary this run needs (shared across runs). */
     std::string binaryKey() const;
 
-    /** Human-readable "benchmark/scheme[/config]" label. */
+    /** Human-readable "benchmark/scheme[/config][/sampling]" label. */
     std::string label() const;
 };
 
@@ -74,6 +84,17 @@ class RunMatrix
     RunMatrix &addBenchmark(program::BenchmarkProfile profile);
     RunMatrix &addScheme(std::string name, sim::SchemeConfig scheme);
     RunMatrix &addConfig(std::string name, core::CoreConfig config);
+
+    /**
+     * Add a sampling mode to the axis. The default axis is one full-
+     * detail entry; the first addSampling replaces it, so a matrix with
+     * a single addSampling("smarts", ...) runs everything sampled, and
+     * addSampling("", {}) + addSampling("smarts", p) sweeps full vs
+     * sampled side by side.
+     */
+    RunMatrix &addSampling(std::string name,
+                           sampling::SamplingPolicy policy);
+
     RunMatrix &ifConvert(bool on);          ///< single value
     RunMatrix &ifConvertBoth();             ///< axis {plain, if-converted}
     RunMatrix &window(std::uint64_t warmup_insts,
@@ -94,14 +115,16 @@ class RunMatrix
     { return benchmarks_; }
     const std::vector<SchemeAxis> &schemeAxis() const { return schemes_; }
     const std::vector<ConfigAxis> &configAxis() const { return configs_; }
+    const std::vector<SamplingAxis> &samplingAxis() const
+    { return samplings_; }
     std::uint64_t warmup() const { return warmup_; }
     std::uint64_t measure() const { return measure_; }
     /// @}
 
     /**
      * Enumerate the cartesian product, benchmark-major then
-     * if-conversion, then scheme, then config. The order is a pure
-     * function of the axes — it never depends on execution.
+     * if-conversion, then scheme, then config, then sampling. The order
+     * is a pure function of the axes — it never depends on execution.
      */
     std::vector<RunSpec> specs() const;
 
@@ -110,6 +133,7 @@ class RunMatrix
     std::vector<bool> ifConvert_;
     std::vector<SchemeAxis> schemes_;
     std::vector<ConfigAxis> configs_;
+    std::vector<SamplingAxis> samplings_;
     std::uint64_t warmup_;
     std::uint64_t measure_;
     std::string labelFilter_;

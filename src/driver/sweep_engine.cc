@@ -1,5 +1,7 @@
 #include "driver/sweep_engine.hh"
 
+#include "sampling/sampled_simulator.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -127,8 +129,12 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     parallelFor(specs.size(), threads, [&](std::size_t i) {
         const RunSpec &s = specs[i];
         const sim::ProgramRef &binary = builds[spec_build[i]].binary;
-        results[i] = sim::run(*binary, s.profile, s.scheme, s.config,
-                              s.warmupInsts, s.measureInsts);
+        results[i] = s.sampling.enabled()
+            ? sampling::sampledRun(*binary, s.profile, s.scheme, s.config,
+                                   s.warmupInsts, s.measureInsts,
+                                   s.sampling)
+            : sim::run(*binary, s.profile, s.scheme, s.config,
+                       s.warmupInsts, s.measureInsts);
         if (opts_.progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
             std::fprintf(stderr, ".");

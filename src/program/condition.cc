@@ -72,6 +72,42 @@ ConditionTable::ConditionTable(std::vector<ConditionSpec> cond_specs,
     }
 }
 
+ConditionTable::Checkpoint
+ConditionTable::checkpoint() const
+{
+    Checkpoint c;
+    c.pos.reserve(state.size());
+    c.last.reserve(state.size());
+    for (const CondState &st : state) {
+        c.pos.push_back(st.pos);
+        c.last.push_back(st.last ? 1 : 0);
+    }
+    c.rng = rng.state();
+    return c;
+}
+
+void
+ConditionTable::restore(const Checkpoint &ckpt)
+{
+    panicIfNot(ckpt.pos.size() == state.size() &&
+               ckpt.last.size() == state.size(),
+               "condition checkpoint is for a different program");
+    for (std::size_t i = 0; i < state.size(); ++i) {
+        // Checkpoints cross machine boundaries; an out-of-range cursor
+        // from a corrupt image would shift by >= 64 (UB) or silently
+        // diverge the condition stream, so reject it here. Only Loop
+        // and Pattern conditions have a cursor at all.
+        const ConditionSpec &s = specs[i];
+        const bool cursored = s.kind == ConditionSpec::Kind::Loop ||
+            s.kind == ConditionSpec::Kind::Pattern;
+        panicIfNot(cursored ? ckpt.pos[i] < s.period : ckpt.pos[i] == 0,
+                   "condition checkpoint cursor out of range");
+        state[i].pos = ckpt.pos[i];
+        state[i].last = ckpt.last[i] != 0;
+    }
+    rng.setState(ckpt.rng);
+}
+
 bool
 ConditionTable::evaluate(CondId id)
 {

@@ -119,6 +119,27 @@ class ConditionTable
     /** Latest recorded outcome of condition @p id (false before first). */
     bool lastOutcome(CondId id) const { return state[id].last; }
 
+    /**
+     * Mutable evaluation state (per-condition cursors and last outcomes
+     * plus the RNG), detached from the immutable specs so a program
+     * position can be captured and resumed bit-identically.
+     */
+    struct Checkpoint
+    {
+        std::vector<std::uint32_t> pos;
+        std::vector<std::uint8_t> last;
+        Rng::State rng{};
+    };
+
+    /** Capture the evaluation state. */
+    Checkpoint checkpoint() const;
+
+    /**
+     * Restore a state captured on a table with the same specs; fatal on
+     * a size mismatch (checkpoint from a different program).
+     */
+    void restore(const Checkpoint &ckpt);
+
     /** Number of conditions. */
     std::size_t size() const { return specs.size(); }
 

@@ -22,6 +22,178 @@ Emulator::Emulator(const Program &prog, std::uint64_t seed)
         intRegs[r] = rng.next64();
 }
 
+void
+Emulator::skip(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        step();
+}
+
+Emulator::Checkpoint
+Emulator::checkpoint() const
+{
+    Checkpoint c;
+    c.intRegs = intRegs;
+    c.fpRegs = fpRegs;
+    c.predRegs.reserve(predRegs.size());
+    for (const bool p : predRegs)
+        c.predRegs.push_back(p ? 1 : 0);
+    c.dataMem = dataMem;
+    c.callStack = callStack;
+    c.pc = curPc;
+    c.numInsts = numInsts;
+    c.conds = conds.checkpoint();
+    c.rng = rng.state();
+    return c;
+}
+
+void
+Emulator::restore(const Checkpoint &ckpt)
+{
+    panicIfNot(ckpt.intRegs.size() == intRegs.size() &&
+               ckpt.fpRegs.size() == fpRegs.size() &&
+               ckpt.predRegs.size() == predRegs.size() &&
+               ckpt.dataMem.size() == dataMem.size(),
+               "emulator checkpoint is for a different program");
+    intRegs = ckpt.intRegs;
+    fpRegs = ckpt.fpRegs;
+    for (std::size_t i = 0; i < predRegs.size(); ++i)
+        predRegs[i] = ckpt.predRegs[i] != 0;
+    dataMem = ckpt.dataMem;
+    callStack = ckpt.callStack;
+    curPc = ckpt.pc;
+    numInsts = ckpt.numInsts;
+    conds.restore(ckpt.conds);
+    rng.setState(ckpt.rng);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint byte serialization: versioned little-endian u64 stream.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+constexpr std::uint64_t kCkptMagic = 0x70706d75636b7031ull; // "ppemuckp1"
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+struct ByteReader
+{
+    const std::vector<std::uint8_t> &bytes;
+    std::size_t at = 0;
+
+    std::uint64_t
+    u64()
+    {
+        panicIfNot(at + 8 <= bytes.size(),
+                   "emulator checkpoint image truncated");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * i);
+        at += 8;
+        return v;
+    }
+
+    /**
+     * A length prefix, validated against the bytes remaining BEFORE any
+     * container is sized from it: checkpoints cross process/machine
+     * boundaries (distributed sampling), so a corrupt length must fail
+     * the documented way, not as a multi-exabyte allocation.
+     */
+    std::size_t
+    length()
+    {
+        const std::uint64_t n = u64();
+        panicIfNot(n <= (bytes.size() - at) / 8,
+                   "emulator checkpoint image truncated");
+        return static_cast<std::size_t>(n);
+    }
+};
+
+void
+putU64Vec(std::vector<std::uint8_t> &out,
+          const std::vector<std::uint64_t> &v)
+{
+    putU64(out, v.size());
+    for (const std::uint64_t x : v)
+        putU64(out, x);
+}
+
+std::vector<std::uint64_t>
+getU64Vec(ByteReader &r)
+{
+    std::vector<std::uint64_t> v(r.length());
+    for (auto &x : v)
+        x = r.u64();
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+Emulator::Checkpoint::serialize() const
+{
+    std::vector<std::uint8_t> out;
+    putU64(out, kCkptMagic);
+    putU64Vec(out, intRegs);
+    putU64Vec(out, fpRegs);
+    putU64(out, predRegs.size());
+    for (const std::uint8_t p : predRegs)
+        putU64(out, p);
+    putU64Vec(out, dataMem);
+    putU64Vec(out, callStack);
+    putU64(out, pc);
+    putU64(out, numInsts);
+    putU64(out, conds.pos.size());
+    for (std::size_t i = 0; i < conds.pos.size(); ++i) {
+        putU64(out, conds.pos[i]);
+        putU64(out, conds.last[i]);
+    }
+    for (const std::uint64_t w : conds.rng)
+        putU64(out, w);
+    for (const std::uint64_t w : rng)
+        putU64(out, w);
+    return out;
+}
+
+Emulator::Checkpoint
+Emulator::Checkpoint::deserialize(const std::vector<std::uint8_t> &bytes)
+{
+    ByteReader r{bytes};
+    panicIfNot(r.u64() == kCkptMagic,
+               "not an emulator checkpoint image (bad magic)");
+    Checkpoint c;
+    c.intRegs = getU64Vec(r);
+    c.fpRegs = getU64Vec(r);
+    c.predRegs.resize(r.length());
+    for (auto &p : c.predRegs)
+        p = static_cast<std::uint8_t>(r.u64());
+    c.dataMem = getU64Vec(r);
+    c.callStack = getU64Vec(r);
+    c.pc = r.u64();
+    c.numInsts = r.u64();
+    const std::size_t n_conds = r.length();
+    c.conds.pos.resize(n_conds);
+    c.conds.last.resize(n_conds);
+    for (std::uint64_t i = 0; i < n_conds; ++i) {
+        c.conds.pos[i] = static_cast<std::uint32_t>(r.u64());
+        c.conds.last[i] = static_cast<std::uint8_t>(r.u64());
+    }
+    for (auto &w : c.conds.rng)
+        w = r.u64();
+    for (auto &w : c.rng)
+        w = r.u64();
+    panicIfNot(r.at == bytes.size(),
+               "emulator checkpoint image has trailing bytes");
+    return c;
+}
+
 std::uint64_t
 Emulator::readInt(RegIndex idx) const
 {

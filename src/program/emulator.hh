@@ -77,6 +77,48 @@ class Emulator
     /** Execute one instruction; returns its record. */
     ExecRecord step();
 
+    /**
+     * Fast-forward: execute @p n instructions discarding the records.
+     * This is the cheap phase of sampled simulation — pure architectural
+     * execution, no timing model.
+     */
+    void skip(std::uint64_t n);
+
+    /**
+     * Complete architectural state at one program position: registers,
+     * data memory, call stack, condition-stream cursors and RNG streams.
+     * Restoring it into an emulator over the same program resumes the
+     * execution bit-identically, so a detailed simulation window can
+     * start mid-program (see sampling/).
+     */
+    struct Checkpoint
+    {
+        std::vector<std::uint64_t> intRegs;
+        std::vector<std::uint64_t> fpRegs;
+        std::vector<std::uint8_t> predRegs;
+        std::vector<std::uint64_t> dataMem;
+        std::vector<Addr> callStack;
+        Addr pc = 0;
+        std::uint64_t numInsts = 0;
+        ConditionTable::Checkpoint conds;
+        Rng::State rng{};
+
+        /** Portable little-endian byte image (versioned). */
+        std::vector<std::uint8_t> serialize() const;
+
+        /** Parse a serialize() image; fatal on malformed input. */
+        static Checkpoint deserialize(const std::vector<std::uint8_t> &bytes);
+    };
+
+    /** Capture the architectural state. */
+    Checkpoint checkpoint() const;
+
+    /**
+     * Restore state captured from an emulator over the same program;
+     * fatal if the shapes (register/memory/condition counts) differ.
+     */
+    void restore(const Checkpoint &ckpt);
+
     /** Current program counter. */
     Addr pc() const { return curPc; }
 

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The sampled-simulation accuracy contract, in one place.
+ *
+ * tests/sampling/test_sampled_sim.cpp (the tier-1 gate),
+ * bench/bench_sampling_accuracy.cpp (the CI --check gate and the
+ * committed BENCH_sampling.json) and any future consumer must validate
+ * the SAME grid, the same policy and the same bounds — a private copy
+ * in each would let them drift apart while all staying green. The grid
+ * mirrors the bit-exact golden grid of tests/core/test_golden_stats.cpp
+ * (which keeps its own expected-counter table; only the cell list and
+ * scheme decoding are shared semantics).
+ */
+
+#ifndef PP_SAMPLING_ACCURACY_CONTRACT_HH
+#define PP_SAMPLING_ACCURACY_CONTRACT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+#include "sampling/sampling_policy.hh"
+#include "sim/simulator.hh"
+
+namespace pp
+{
+namespace sampling
+{
+
+/** Golden measurement window (tests/core/test_golden_stats.cpp). */
+constexpr std::uint64_t kAccuracyWarmup = 10000;
+constexpr std::uint64_t kAccuracyMeasure = 60000;
+
+/** Accuracy bounds: sampled vs full, per cell. */
+constexpr double kAccuracyIpcBoundPct = 2.0;
+constexpr double kAccuracyMispredBoundPp = 0.5;
+
+/** End-to-end bound for sampled vs full on the ifcmax stress profile. */
+constexpr double kSampledSpeedupBound = 5.0;
+
+/** One cell of the accuracy grid. */
+struct AccuracyCell
+{
+    const char *benchmark;
+    bool ifConvert;
+    const char *scheme;
+
+    std::string
+    label() const
+    {
+        return std::string(benchmark) + (ifConvert ? "+ifc/" : "/") +
+            scheme;
+    }
+};
+
+/** The 8-cell golden grid (one cell per scheme variant). */
+constexpr AccuracyCell kAccuracyGrid[] = {
+    {"gzip", false, "conventional"},
+    {"gzip", true, "conventional"},
+    {"crafty", true, "peppa"},
+    {"swim", true, "predicate"},
+    {"gzip", true, "selective"},
+    {"ifcmax", true, "selective"},
+    {"crafty", true, "ideal"},
+    {"swim", true, "selective_shadow"},
+};
+
+/** Decode a grid cell's scheme name; fatal() on an unknown name. */
+inline sim::SchemeConfig
+accuracySchemeByName(const std::string &name)
+{
+    sim::SchemeConfig s;
+    if (name == "conventional") {
+        s.scheme = core::PredictionScheme::Conventional;
+    } else if (name == "peppa") {
+        s.scheme = core::PredictionScheme::PepPa;
+    } else if (name == "predicate") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+    } else if (name == "selective") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+        s.predication = core::PredicationModel::SelectivePrediction;
+    } else if (name == "selective_shadow") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+        s.predication = core::PredicationModel::SelectivePrediction;
+        s.shadowConventional = true;
+    } else if (name == "ideal") {
+        s.scheme = core::PredictionScheme::PredicatePredictor;
+        s.idealNoAlias = true;
+        s.idealPerfectHistory = true;
+    } else {
+        fatal("unknown accuracy-grid scheme: " + name);
+    }
+    return s;
+}
+
+/**
+ * The dense policy the accuracy contract is pinned at: 20 contiguous
+ * windows, 2/3 coverage of the 60k golden region. Short regions cannot
+ * be sampled sparsely to 2% — estimator error scales with window count
+ * and size — so the golden-grid bounds are validated at this density;
+ * sparse sampling is exercised where it belongs, on paper-scale regions
+ * (the speedup half of bench_sampling_accuracy).
+ */
+inline SamplingPolicy
+accuracyDensePolicy()
+{
+    SamplingPolicy p;
+    p.periodInsts = 3000;
+    p.warmupInsts = 1000;
+    p.measureInsts = 2000;
+    return p;
+}
+
+} // namespace sampling
+} // namespace pp
+
+#endif // PP_SAMPLING_ACCURACY_CONTRACT_HH

@@ -1,0 +1,208 @@
+#include "sampling/sampled_simulator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "program/emulator.hh"
+
+namespace pp
+{
+namespace sampling
+{
+
+namespace
+{
+
+void
+addInto(core::CoreStats &acc, const core::CoreStats &delta)
+{
+    for (const auto &f : core::kCoreStatsFields)
+        acc.*f.member += delta.*f.member;
+}
+
+/**
+ * Approximate 95% confidence half-width of the mean of @p xs (normal
+ * critical value; the window count is what bounds precision here, not
+ * the small-n t correction). 0 when fewer than two windows exist.
+ */
+double
+ciHalfWidth(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 2)
+        return 0.0;
+    double mean = 0.0;
+    for (const double x : xs)
+        mean += x;
+    mean /= static_cast<double>(n);
+    double ss = 0.0;
+    for (const double x : xs)
+        ss += (x - mean) * (x - mean);
+    const double sd = std::sqrt(ss / static_cast<double>(n - 1));
+    return 1.96 * sd / std::sqrt(static_cast<double>(n));
+}
+
+} // namespace
+
+SampledRun
+sampledRunDetailed(const program::Program &binary,
+                   const program::BenchmarkProfile &profile,
+                   const sim::SchemeConfig &scheme,
+                   const core::CoreConfig &base_cfg,
+                   std::uint64_t warmup_insts, std::uint64_t measure_insts,
+                   const SamplingPolicy &policy)
+{
+    SampledRun out;
+    if (!policy.enabled()) {
+        out.result = sim::run(binary, profile, scheme, base_cfg,
+                              warmup_insts, measure_insts);
+        return out;
+    }
+    panicIfNot(measure_insts > 0, "sampled run with empty region");
+    panicIfNot(policy.measureInsts > 0,
+               "sampling window must measure at least one instruction");
+
+    const core::CoreConfig cfg = sim::resolveConfig(scheme, base_cfg);
+    const std::uint64_t seed = sim::coreSeed(profile);
+    const std::uint64_t region_start = warmup_insts;
+    const std::uint64_t region_end = warmup_insts + measure_insts;
+
+    const auto host_start = std::chrono::steady_clock::now();
+
+    // One core lives across the whole run, so predictor tables and
+    // caches persist: between windows it drains, fast-forwards its own
+    // oracle (warming those structures functionally), and resumes
+    // detailed execution on the correct path.
+    core::OoOCore cpu(binary, cfg, seed);
+
+    core::CoreStats total;
+    std::vector<double> window_ipc;
+    std::vector<double> window_mispred;
+
+    // All window boundaries are absolute program positions; detailed
+    // run() targets subtract the fast-forwarded total, so commit-width
+    // overshoot at one boundary is absorbed by the next instead of
+    // accumulating — and a single region-covering window issues exactly
+    // the run(warmup); run(warmup + measure) calls of a full run.
+    std::uint64_t ff_total = 0;
+    std::uint64_t ff_in_region = 0; ///< gaps between windows, not lead-in
+
+    for (std::uint64_t s = region_start; s < region_end;
+         s += policy.periodInsts) {
+        const std::uint64_t meas_end =
+            s + std::min<std::uint64_t>(policy.measureInsts,
+                                        region_end - s);
+        const std::uint64_t warm_start =
+            s > policy.warmupInsts ? s - policy.warmupInsts : 0;
+
+        // Skip ahead only when there is a real gap: contiguous windows
+        // flow straight from one measurement into the next warmup with
+        // the pipeline intact (and the first window from reset).
+        if (warm_start > ff_total + cpu.coreStats().committedInsts) {
+            cpu.drainPipeline();
+            const std::uint64_t pos = cpu.programPosition();
+            if (warm_start > pos) {
+                const std::uint64_t ff = warm_start - pos;
+                out.fastForwardInsts += ff;
+                const std::uint64_t horizon = policy.warmingHorizon;
+                if (policy.functionalWarming && horizon != 0 &&
+                    ff > horizon) {
+                    cpu.fastForward(ff - horizon, false);
+                    cpu.fastForward(horizon, true);
+                } else {
+                    cpu.fastForward(ff, policy.functionalWarming);
+                }
+                ff_total += ff;
+                if (s != region_start)
+                    ff_in_region += ff;
+            }
+        }
+
+        cpu.run(s - ff_total);
+        const core::CoreStats at_warm = cpu.coreStats();
+        if (ff_total + at_warm.committedInsts >= meas_end)
+            continue; // drain overshot the whole window (tiny period)
+        cpu.run(meas_end - ff_total);
+        const core::CoreStats delta =
+            sim::statsDelta(at_warm, cpu.coreStats());
+
+        addInto(total, delta);
+        window_ipc.push_back(delta.ipc());
+        window_mispred.push_back(delta.mispredRatePct());
+        out.samples.push_back(WindowSample{s, delta});
+        ++out.windows;
+    }
+    const std::uint64_t detailed = cpu.coreStats().committedInsts;
+
+    sim::RunResult r;
+    r.benchmark = profile.name;
+    r.sampled = true;
+    r.measuredInsts = total.committedInsts;
+    r.detailedInsts = detailed;
+
+    // Rates come from the pooled windows (ratio estimators), exactly
+    // the formulas a full run applies to its one window.
+    r.ipc = total.ipc();
+    r.mispredRatePct = total.mispredRatePct();
+    r.accuracyPct = 100.0 - r.mispredRatePct;
+    r.shadowMispredRatePct = total.shadowMispredRatePct();
+    r.earlyResolvedPct = total.earlyResolvedPct();
+
+    // Counters: exact sums when the windows left no architectural gap —
+    // back-to-back windows (period <= window measure), or one window
+    // spanning the whole region, the degenerate case that is then
+    // bit-identical to a full run. Otherwise extrapolate per measured
+    // instruction.
+    // Tiling only counts as full coverage when the summed windows
+    // actually span the region: commit-width overshoot can swallow
+    // windows narrower than itself, and those losses must extrapolate,
+    // not under-report. Normal tiling falls short of the region only by
+    // the first boundary's commit slack.
+    const bool tiles = policy.periodInsts <= policy.measureInsts &&
+        total.committedInsts + cfg.commitWidth >= measure_insts;
+    const bool single_full =
+        out.windows == 1 && policy.measureInsts >= measure_insts;
+    if (total.committedInsts == 0) {
+        // Every window was swallowed by drain overshoot (a window
+        // shorter than the pipeline's in-flight slack): there is no
+        // measurement to extrapolate — scaling would divide by zero.
+        r.stats = total;
+    } else if (ff_in_region == 0 && (tiles || single_full)) {
+        r.stats = total;
+    } else {
+        const double scale = static_cast<double>(measure_insts) /
+            static_cast<double>(total.committedInsts);
+        for (const auto &f : core::kCoreStatsFields) {
+            r.stats.*f.member = static_cast<std::uint64_t>(std::llround(
+                static_cast<double>(total.*f.member) * scale));
+        }
+    }
+
+    const double ipc_half = ciHalfWidth(window_ipc);
+    r.ipcErrorBound = r.ipc > 0.0 ? 100.0 * ipc_half / r.ipc : 0.0;
+    out.mispredCiPp = ciHalfWidth(window_mispred);
+
+    const auto host_end = std::chrono::steady_clock::now();
+    r.hostMs = std::chrono::duration<double, std::milli>(
+        host_end - host_start).count();
+    out.result = r;
+    return out;
+}
+
+sim::RunResult
+sampledRun(const program::Program &binary,
+           const program::BenchmarkProfile &profile,
+           const sim::SchemeConfig &scheme,
+           const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
+           std::uint64_t measure_insts, const SamplingPolicy &policy)
+{
+    return sampledRunDetailed(binary, profile, scheme, base_cfg,
+                              warmup_insts, measure_insts, policy)
+        .result;
+}
+
+} // namespace sampling
+} // namespace pp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Sampled simulation: estimate the statistics of a long measurement
+ * region from short detailed windows, fast-forwarding between them on
+ * the functional emulator (SMARTS-style systematic sampling).
+ *
+ * Each window restores the emulator's architectural state into a fresh
+ * core (program::Emulator::Checkpoint), burns a detailed warmup whose
+ * stats are discarded, then measures. Window deltas are accumulated;
+ * counters are extrapolated to the full region and derived rates use
+ * the pooled ratio estimators, with an approximate 95% confidence
+ * half-width on IPC reported per run. See sampling_policy.hh for the
+ * exactness/degeneracy contract.
+ */
+
+#ifndef PP_SAMPLING_SAMPLED_SIMULATOR_HH
+#define PP_SAMPLING_SAMPLED_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/corestats.hh"
+#include "sampling/sampling_policy.hh"
+#include "sim/simulator.hh"
+
+namespace pp
+{
+namespace sampling
+{
+
+/** Raw measurement of one detailed window (tests / diagnostics). */
+struct WindowSample
+{
+    /** Architectural index of the first measured instruction. */
+    std::uint64_t startInst = 0;
+
+    /** Measurement-phase stats delta (warmup already discarded). */
+    core::CoreStats stats;
+};
+
+/** A sampled run's estimate plus its sampling diagnostics. */
+struct SampledRun
+{
+    /**
+     * Extrapolated result, shaped exactly like a full sim::run() result
+     * (sinks and aggregation consume it unchanged): counters scaled to
+     * the region, rates from pooled windows, sampled/measuredInsts/
+     * detailedInsts/ipcErrorBound filled in.
+     */
+    sim::RunResult result;
+
+    std::uint64_t windows = 0;
+
+    /** Instructions executed functionally only (the skipped cost). */
+    std::uint64_t fastForwardInsts = 0;
+
+    /** 95% CI half-width on the misprediction rate, absolute pp. */
+    double mispredCiPp = 0.0;
+
+    /** Per-window raw deltas, in region order. */
+    std::vector<WindowSample> samples;
+};
+
+/**
+ * Sampled analogue of sim::run(): estimate the stats of the full run's
+ * measurement region [warmup_insts, warmup_insts + measure_insts) under
+ * @p policy. A disabled policy falls back to full detailed simulation.
+ */
+SampledRun sampledRunDetailed(const program::Program &binary,
+                              const program::BenchmarkProfile &profile,
+                              const sim::SchemeConfig &scheme,
+                              const core::CoreConfig &base_cfg,
+                              std::uint64_t warmup_insts,
+                              std::uint64_t measure_insts,
+                              const SamplingPolicy &policy);
+
+/** As above, dropping the diagnostics. */
+sim::RunResult sampledRun(const program::Program &binary,
+                          const program::BenchmarkProfile &profile,
+                          const sim::SchemeConfig &scheme,
+                          const core::CoreConfig &base_cfg,
+                          std::uint64_t warmup_insts,
+                          std::uint64_t measure_insts,
+                          const SamplingPolicy &policy);
+
+} // namespace sampling
+} // namespace pp
+
+#endif // PP_SAMPLING_SAMPLED_SIMULATOR_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SMARTS-style sampling policy: how one run interleaves cheap functional
+ * fast-forward with short detailed windows.
+ *
+ * A sampled run estimates the statistics of a measurement region of L
+ * committed instructions without simulating all of them in detail.
+ * Measurement windows of @ref measureInsts instructions start every
+ * @ref periodInsts instructions through the region; each window is
+ * preceded by @ref warmupInsts instructions of detailed warmup (stats
+ * discarded — this re-trains predictors, caches and queue occupancy
+ * after the fast-forward). Everything between windows executes on the
+ * functional emulator only.
+ *
+ * Accuracy contract (pinned by tests/sampling/): when windows tile the
+ * region exactly (periodInsts >= region length, or periodInsts ==
+ * measureInsts) no extrapolation happens and the estimate is exact; in
+ * particular periodInsts >= region with warmupInsts >= the run's full
+ * warmup degenerates to bit-identical full simulation.
+ */
+
+#ifndef PP_SAMPLING_SAMPLING_POLICY_HH
+#define PP_SAMPLING_SAMPLING_POLICY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pp
+{
+namespace sampling
+{
+
+/** Knobs of one sampled run. Default-constructed = sampling disabled. */
+struct SamplingPolicy
+{
+    /**
+     * Distance between measurement-window starts, in committed
+     * instructions. 0 disables sampling (full detailed simulation).
+     */
+    std::uint64_t periodInsts = 0;
+
+    /** Detailed warmup before each window (stats discarded). */
+    std::uint64_t warmupInsts = 2000;
+
+    /** Detailed measurement length of each window. */
+    std::uint64_t measureInsts = 1000;
+
+    /**
+     * Train caches, direction predictors and the predicate predictor
+     * functionally while fast-forwarding (SMARTS functional warming).
+     * Without it, only architectural state advances between windows and
+     * the short detailed warmup must rebuild microarchitectural state
+     * from cold — expect large IPC underestimates on cache-resident
+     * workloads; it exists for warming-contribution studies.
+     */
+    bool functionalWarming = true;
+
+    /**
+     * Functional warming applies only to the last @c warmingHorizon
+     * instructions before each window; further out the fast-forward
+     * advances architectural state only (tables keep their — stale but
+     * trained — content from earlier windows). 0 = warm the whole gap.
+     * Warming costs ~2x plain emulation, so on long periods a horizon
+     * buys most of the remaining speedup; the stationary workloads this
+     * suite generates lose almost no accuracy to it (see
+     * BENCH_sampling.json).
+     */
+    std::uint64_t warmingHorizon = 30000;
+
+    bool enabled() const { return periodInsts != 0; }
+
+    /** Detailed instructions per sampling period (cost per window). */
+    std::uint64_t windowInsts() const { return warmupInsts + measureInsts; }
+
+    /** Compact "u<period>w<warm>m<measure>[c]" tag for labels/filters. */
+    std::string
+    label() const
+    {
+        if (!enabled())
+            return "full";
+        return "u" + std::to_string(periodInsts) +
+               "w" + std::to_string(warmupInsts) +
+               "m" + std::to_string(measureInsts) +
+               (functionalWarming ? "" : "c");
+    }
+
+    /**
+     * The tuned production policy for paper-scale (1M+) regions: ~5%
+     * detailed coverage, predictor/cache warming over the last 2/3 of
+     * each gap. On the ifcmax stress profile this measures >5x end-to-
+     * end speedup at ~1% IPC and <0.5pp misprediction error vs full
+     * simulation — see bench_sampling_accuracy / BENCH_sampling.json.
+     * Short regions want denser coverage (sampling error scales with
+     * window count): see the accuracy-grid policy in that benchmark.
+     */
+    static SamplingPolicy
+    smarts(std::uint64_t period = 150000)
+    {
+        SamplingPolicy p;
+        p.periodInsts = period;
+        p.warmupInsts = 4000;
+        p.measureInsts = 4000;
+        p.warmingHorizon = (period * 2) / 3;
+        return p;
+    }
+};
+
+} // namespace sampling
+} // namespace pp
+
+#endif // PP_SAMPLING_SAMPLING_POLICY_HH

@@ -34,28 +34,8 @@ core::CoreStats
 statsDelta(const core::CoreStats &a, const core::CoreStats &b)
 {
     core::CoreStats d;
-    d.cycles = b.cycles - a.cycles;
-    d.committedInsts = b.committedInsts - a.committedInsts;
-    d.committedCondBranches =
-        b.committedCondBranches - a.committedCondBranches;
-    d.mispredictedCondBranches =
-        b.mispredictedCondBranches - a.mispredictedCondBranches;
-    d.earlyResolvedBranches =
-        b.earlyResolvedBranches - a.earlyResolvedBranches;
-    d.overrideRedirects = b.overrideRedirects - a.overrideRedirects;
-    d.branchMispredFlushes =
-        b.branchMispredFlushes - a.branchMispredFlushes;
-    d.shadowMispredicts = b.shadowMispredicts - a.shadowMispredicts;
-    d.earlyResolvedShadowWrong =
-        b.earlyResolvedShadowWrong - a.earlyResolvedShadowWrong;
-    d.committedPredicated = b.committedPredicated - a.committedPredicated;
-    d.nullifiedAtRename = b.nullifiedAtRename - a.nullifiedAtRename;
-    d.unguardedAtRename = b.unguardedAtRename - a.unguardedAtRename;
-    d.cmovFallbacks = b.cmovFallbacks - a.cmovFallbacks;
-    d.predicateFlushes = b.predicateFlushes - a.predicateFlushes;
-    d.committedCompares = b.committedCompares - a.committedCompares;
-    d.comparePd1Mispredicts =
-        b.comparePd1Mispredicts - a.comparePd1Mispredicts;
+    for (const auto &f : core::kCoreStatsFields)
+        d.*f.member = b.*f.member - a.*f.member;
     return d;
 }
 
@@ -75,11 +55,8 @@ run(const program::Program &binary,
                measure_insts);
 }
 
-RunResult
-run(const program::Program &binary,
-    const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
-    const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
-    std::uint64_t measure_insts)
+core::CoreConfig
+resolveConfig(const SchemeConfig &scheme, const core::CoreConfig &base_cfg)
 {
     core::CoreConfig cfg = base_cfg;
     cfg.scheme = scheme.scheme;
@@ -91,9 +68,19 @@ run(const program::Program &binary,
         cfg.predicate.pvtMode = predictor::PvtMode::Split;
     if (scheme.confidenceBits != 0)
         cfg.predicate.confidenceBits = scheme.confidenceBits;
+    return cfg;
+}
+
+RunResult
+run(const program::Program &binary,
+    const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
+    const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
+    std::uint64_t measure_insts)
+{
+    const core::CoreConfig cfg = resolveConfig(scheme, base_cfg);
 
     const auto host_start = std::chrono::steady_clock::now();
-    core::OoOCore cpu(binary, cfg, profile.seed ^ 0x0a11ce5ull);
+    core::OoOCore cpu(binary, cfg, coreSeed(profile));
     cpu.run(warmup_insts);
     const core::CoreStats at_warmup = cpu.coreStats();
     cpu.run(warmup_insts + measure_insts);
@@ -106,13 +93,12 @@ run(const program::Program &binary,
         host_end - host_start).count();
     r.benchmark = profile.name;
     r.stats = window;
+    r.detailedInsts = cpu.coreStats().committedInsts;
     r.mispredRatePct = window.mispredRatePct();
     r.accuracyPct = 100.0 - r.mispredRatePct;
     r.ipc = window.ipc();
     r.shadowMispredRatePct = window.shadowMispredRatePct();
-    r.earlyResolvedPct = window.committedCondBranches == 0 ? 0.0
-        : 100.0 * static_cast<double>(window.earlyResolvedBranches) /
-            static_cast<double>(window.committedCondBranches);
+    r.earlyResolvedPct = window.earlyResolvedPct();
     return r;
 }
 

@@ -58,6 +58,36 @@ struct RunResult
      * identity comparisons of serialized results must scrub it.
      */
     double hostMs = 0.0;
+
+    /** @name Sampled-simulation annotations (see sampling/) */
+    /// @{
+    /**
+     * True when @ref stats holds extrapolated estimates from sampled
+     * windows rather than a contiguous detailed measurement.
+     */
+    bool sampled = false;
+
+    /**
+     * Instructions actually measured in detail behind the estimate
+     * (sum of the measurement windows; 0 for full runs, where
+     * stats.committedInsts is itself the measured count).
+     */
+    std::uint64_t measuredInsts = 0;
+
+    /**
+     * Committed instructions simulated cycle-by-cycle, warmup included —
+     * the cost driver a sampling speedup shrinks. Full runs report
+     * warmup + measurement here.
+     */
+    std::uint64_t detailedInsts = 0;
+
+    /**
+     * Approximate 95% confidence half-width on @ref ipc across the
+     * sampled windows, as a percentage of the estimate (0 for full runs
+     * and single-window samples).
+     */
+    double ipcErrorBound = 0.0;
+    /// @}
 };
 
 /**
@@ -79,6 +109,21 @@ using ProgramRef = std::shared_ptr<const program::Program>;
 /** buildBinary(), wrapped for shared cross-thread use. */
 ProgramRef buildBinaryShared(const program::BenchmarkProfile &profile,
                              bool if_convert);
+
+/**
+ * Layer @p scheme onto @p base_cfg: the single place the scheme/
+ * predication knobs map onto a CoreConfig (shared by full and sampled
+ * runs so both build bit-identical cores).
+ */
+core::CoreConfig resolveConfig(const SchemeConfig &scheme,
+                               const core::CoreConfig &base_cfg);
+
+/** Core oracle seed for @p profile (shared by full and sampled runs). */
+inline std::uint64_t
+coreSeed(const program::BenchmarkProfile &profile)
+{
+    return profile.seed ^ 0x0a11ce5ull;
+}
 
 /**
  * Run @p binary on a core configured per @p scheme. Statistics cover

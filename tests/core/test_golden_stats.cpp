@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sampling/accuracy_contract.hh"
 #include "sim/simulator.hh"
 
 using namespace pp;
@@ -40,86 +41,63 @@ struct GoldenStats
     std::uint64_t comparePd1Mispredicts;
 };
 
-struct GoldenCase
-{
-    const char *benchmark;
-    bool ifConvert;
-    const char *schemeName;
-    GoldenStats expect;
-};
-
-sim::SchemeConfig
-schemeByName(const std::string &name)
-{
-    sim::SchemeConfig s;
-    if (name == "conventional") {
-        s.scheme = core::PredictionScheme::Conventional;
-    } else if (name == "peppa") {
-        s.scheme = core::PredictionScheme::PepPa;
-    } else if (name == "predicate") {
-        s.scheme = core::PredictionScheme::PredicatePredictor;
-    } else if (name == "selective") {
-        s.scheme = core::PredictionScheme::PredicatePredictor;
-        s.predication = core::PredicationModel::SelectivePrediction;
-    } else if (name == "selective_shadow") {
-        s.scheme = core::PredictionScheme::PredicatePredictor;
-        s.predication = core::PredicationModel::SelectivePrediction;
-        s.shadowConventional = true;
-    } else if (name == "ideal") {
-        s.scheme = core::PredictionScheme::PredicatePredictor;
-        s.idealNoAlias = true;
-        s.idealPerfectHistory = true;
-    } else {
-        ADD_FAILURE() << "unknown scheme " << name;
-    }
-    return s;
-}
-
-constexpr std::uint64_t kWarmup = 10000;
-constexpr std::uint64_t kMeasure = 60000;
+// The grid cells (benchmark × if-conversion × scheme) and the
+// measurement window live in sampling/accuracy_contract.hh, shared
+// with the sampled-simulation accuracy gates so the two contracts can
+// never drift apart; this test owns only the bit-exact expectations.
+constexpr std::uint64_t kWarmup = sampling::kAccuracyWarmup;
+constexpr std::uint64_t kMeasure = sampling::kAccuracyMeasure;
 
 // Captured at commit 695508f (pre-refactor seed + driver), Release
 // build, via sim::buildAndRun(profile, ifc, scheme, 10000, 60000).
-const GoldenCase kGolden[] = {
-    {"gzip", false, "conventional",
-     {22445ull, 60001ull, 4698ull, 485ull, 0ull, 535ull, 484ull, 0ull,
-      0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 4698ull, 0ull}},
-    {"gzip", true, "conventional",
-     {17263ull, 60000ull, 3502ull, 184ull, 0ull, 155ull, 184ull, 0ull,
-      0ull, 5383ull, 0ull, 0ull, 0ull, 0ull, 4535ull, 0ull}},
-    {"crafty", true, "peppa",
-     {22628ull, 60003ull, 3798ull, 236ull, 0ull, 79ull, 236ull, 0ull,
-      0ull, 3235ull, 0ull, 0ull, 0ull, 0ull, 4500ull, 0ull}},
-    {"swim", true, "predicate",
-     {18733ull, 59999ull, 4102ull, 61ull, 1991ull, 62ull, 61ull, 0ull,
-      0ull, 630ull, 0ull, 0ull, 0ull, 0ull, 4238ull, 167ull}},
-    {"gzip", true, "selective",
-     {16412ull, 60000ull, 3502ull, 111ull, 1378ull, 104ull, 111ull, 0ull,
-      0ull, 5383ull, 1805ull, 349ull, 3026ull, 18ull, 4535ull, 443ull}},
-    {"ifcmax", true, "selective",
-     {17217ull, 59998ull, 1819ull, 55ull, 1189ull, 81ull, 55ull, 0ull,
-      0ull, 11081ull, 4084ull, 549ull, 2929ull, 11ull, 2911ull, 507ull}},
-    {"crafty", true, "ideal",
-     {22032ull, 60003ull, 3798ull, 164ull, 1270ull, 114ull, 164ull, 0ull,
-      0ull, 3235ull, 0ull, 0ull, 0ull, 0ull, 4500ull, 481ull}},
-    {"swim", true, "selective_shadow",
-     {18733ull, 59999ull, 4102ull, 61ull, 1991ull, 62ull, 61ull, 116ull,
-      54ull, 630ull, 195ull, 0ull, 350ull, 0ull, 4238ull, 167ull}},
+// Entry i corresponds to sampling::kAccuracyGrid[i].
+const GoldenStats kGolden[] = {
+    // gzip / conventional
+    {22445ull, 60001ull, 4698ull, 485ull, 0ull, 535ull, 484ull, 0ull,
+     0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 4698ull, 0ull},
+    // gzip+ifc / conventional
+    {17263ull, 60000ull, 3502ull, 184ull, 0ull, 155ull, 184ull, 0ull,
+     0ull, 5383ull, 0ull, 0ull, 0ull, 0ull, 4535ull, 0ull},
+    // crafty+ifc / peppa
+    {22628ull, 60003ull, 3798ull, 236ull, 0ull, 79ull, 236ull, 0ull,
+     0ull, 3235ull, 0ull, 0ull, 0ull, 0ull, 4500ull, 0ull},
+    // swim+ifc / predicate
+    {18733ull, 59999ull, 4102ull, 61ull, 1991ull, 62ull, 61ull, 0ull,
+     0ull, 630ull, 0ull, 0ull, 0ull, 0ull, 4238ull, 167ull},
+    // gzip+ifc / selective
+    {16412ull, 60000ull, 3502ull, 111ull, 1378ull, 104ull, 111ull, 0ull,
+     0ull, 5383ull, 1805ull, 349ull, 3026ull, 18ull, 4535ull, 443ull},
+    // ifcmax+ifc / selective
+    {17217ull, 59998ull, 1819ull, 55ull, 1189ull, 81ull, 55ull, 0ull,
+     0ull, 11081ull, 4084ull, 549ull, 2929ull, 11ull, 2911ull, 507ull},
+    // crafty+ifc / ideal
+    {22032ull, 60003ull, 3798ull, 164ull, 1270ull, 114ull, 164ull, 0ull,
+     0ull, 3235ull, 0ull, 0ull, 0ull, 0ull, 4500ull, 481ull},
+    // swim+ifc / selective_shadow
+    {18733ull, 59999ull, 4102ull, 61ull, 1991ull, 62ull, 61ull, 116ull,
+     54ull, 630ull, 195ull, 0ull, 350ull, 0ull, 4238ull, 167ull},
 };
+
+static_assert(sizeof(kGolden) / sizeof(kGolden[0]) ==
+              sizeof(sampling::kAccuracyGrid) /
+                  sizeof(sampling::kAccuracyGrid[0]),
+              "golden expectations must cover the shared grid exactly");
 
 } // namespace
 
 TEST(GoldenStats, BitIdenticalToPreRefactorCapture)
 {
-    for (const GoldenCase &c : kGolden) {
-        SCOPED_TRACE(std::string(c.benchmark) +
-                     (c.ifConvert ? "+ifc/" : "/") + c.schemeName);
+    for (std::size_t i = 0;
+         i < sizeof(kGolden) / sizeof(kGolden[0]); ++i) {
+        const sampling::AccuracyCell &c = sampling::kAccuracyGrid[i];
+        SCOPED_TRACE(c.label());
         const auto profile = program::profileByName(c.benchmark);
         const sim::RunResult r = sim::buildAndRun(
-            profile, c.ifConvert, schemeByName(c.schemeName), kWarmup,
+            profile, c.ifConvert,
+            sampling::accuracySchemeByName(c.scheme), kWarmup,
             kMeasure);
         const core::CoreStats &s = r.stats;
-        const GoldenStats &e = c.expect;
+        const GoldenStats &e = kGolden[i];
         EXPECT_EQ(s.cycles, e.cycles);
         EXPECT_EQ(s.committedInsts, e.committedInsts);
         EXPECT_EQ(s.committedCondBranches, e.committedCondBranches);

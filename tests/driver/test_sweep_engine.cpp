@@ -18,14 +18,15 @@ constexpr std::uint64_t kWarm = 10000;
 constexpr std::uint64_t kRun = 40000;
 
 /**
- * Neutralize the one intentionally nondeterministic JSON field (per-run
- * host wall time) so documents can be compared byte-for-byte.
+ * Neutralize the intentionally nondeterministic JSON fields (per-run
+ * host wall time and the summary's total) so documents can be compared
+ * byte-for-byte.
  */
 std::string
 scrubHostMs(const std::string &json)
 {
-    static const std::regex host_ms("\"host_ms\":[-+0-9.eE]+");
-    return std::regex_replace(json, host_ms, "\"host_ms\":0");
+    static const std::regex host_ms("\"(total_)?host_ms\":[-+0-9.eE]+");
+    return std::regex_replace(json, host_ms, "\"$1host_ms\":0");
 }
 
 RunMatrix
@@ -128,6 +129,112 @@ TEST(RunMatrix, ConfigOverrideAxisMultiplies)
     EXPECT_EQ(specs[0].label(), "gzip+ifc/conventional/default");
     EXPECT_EQ(specs[1].label(), "gzip+ifc/conventional/rob32");
     EXPECT_EQ(specs[1].config.robEntries, 32u);
+}
+
+TEST(RunMatrix, SamplingAxisMultipliesAndLabels)
+{
+    auto m = smallMatrix();
+    m.addSampling("", sampling::SamplingPolicy{});
+    m.addSampling("smarts", sampling::SamplingPolicy::smarts());
+    const auto specs = m.specs();
+    ASSERT_EQ(specs.size(), 12u);
+    EXPECT_EQ(specs[0].label(), "gzip+ifc/conventional");
+    EXPECT_EQ(specs[1].label(), "gzip+ifc/conventional/smarts");
+    EXPECT_FALSE(specs[0].sampling.enabled());
+    EXPECT_TRUE(specs[1].sampling.enabled());
+    EXPECT_EQ(specs[1].sampling.periodInsts, 150000u);
+}
+
+TEST(SweepEngine, SamplingAxisRunsFullAndSampledSideBySide)
+{
+    sim::SchemeConfig conv;
+    conv.scheme = core::PredictionScheme::Conventional;
+    sampling::SamplingPolicy dense;
+    dense.periodInsts = 3000;
+    dense.warmupInsts = 1000;
+    dense.measureInsts = 1000;
+
+    RunMatrix m;
+    m.addBenchmark(program::profileByName("gzip"))
+        .ifConvert(true)
+        .addScheme("conventional", conv)
+        .addSampling("", sampling::SamplingPolicy{})
+        .addSampling("dense", dense)
+        .window(5000, 20000);
+
+    SweepOptions opts;
+    opts.threads = 2;
+    const auto specs = m.specs();
+    const auto results = SweepEngine(opts).run(specs);
+    ASSERT_EQ(results.size(), 2u);
+
+    const sim::RunResult &full = results[0];
+    const sim::RunResult &sam = results[1];
+    EXPECT_FALSE(full.sampled);
+    EXPECT_EQ(full.measuredInsts, 0u);
+    EXPECT_EQ(full.ipcErrorBound, 0.0);
+    EXPECT_GE(full.detailedInsts, 25000u);
+    EXPECT_TRUE(sam.sampled);
+    EXPECT_GT(sam.measuredInsts, 0u);
+    EXPECT_LT(sam.measuredInsts, full.stats.committedInsts);
+    EXPECT_GT(sam.ipcErrorBound, 0.0);
+    // The sampled estimate extrapolates to full-region magnitudes.
+    EXPECT_NEAR(static_cast<double>(sam.stats.committedInsts), 20000.0,
+                16.0);
+
+    // JSON: per-run annotations plus the sweep-level summary block.
+    const std::string json = JsonSink{}.toString(specs, results);
+    EXPECT_NE(json.find("\"sampled\":false"), std::string::npos);
+    EXPECT_NE(json.find("\"sampled\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"sampling\":\"dense\""), std::string::npos);
+    EXPECT_NE(json.find("\"measured_insts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc_error_bound\":"), std::string::npos);
+    EXPECT_NE(json.find("\"summary\":{\"runs\":2,\"sampled_runs\":1,"
+                        "\"total_detailed_insts\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"total_host_ms\":"), std::string::npos);
+
+    // CSV: the sampling columns, empty on the full run's row and
+    // policy-labeled on the sampled one.
+    const std::string csv = CsvSink{}.toString(specs, results);
+    EXPECT_NE(csv.find(",sampling,sampled,measured_insts,"
+                       "ipc_error_bound"),
+              std::string::npos);
+    EXPECT_NE(csv.find(",,,,"), std::string::npos);     // full row
+    EXPECT_NE(csv.find(",dense,1,"), std::string::npos);// sampled row
+}
+
+TEST(SweepEngine, SampledSweepIsThreadCountInvariant)
+{
+    sim::SchemeConfig conv;
+    conv.scheme = core::PredictionScheme::Conventional;
+    sampling::SamplingPolicy dense;
+    dense.periodInsts = 4000;
+    dense.warmupInsts = 1000;
+    dense.measureInsts = 2000;
+
+    RunMatrix m;
+    m.addBenchmark(program::profileByName("gzip"))
+        .addBenchmark(program::profileByName("swim"))
+        .ifConvert(true)
+        .addScheme("conventional", conv)
+        .addSampling("dense", dense)
+        .window(5000, 20000);
+
+    SweepOptions serial;
+    serial.threads = 1;
+    SweepOptions parallel;
+    parallel.threads = 4;
+    const auto specs = m.specs();
+    const auto r1 = SweepEngine(serial).run(specs);
+    const auto r4 = SweepEngine(parallel).run(specs);
+    ASSERT_EQ(r1.size(), r4.size());
+    for (std::size_t i = 0; i < r1.size(); ++i)
+        expectIdentical(r1[i], r4[i]);
+    EXPECT_EQ(scrubHostMs(JsonSink{}.toString(specs, r1)),
+              scrubHostMs(JsonSink{}.toString(specs, r4)));
+    EXPECT_EQ(CsvSink{}.toString(specs, r1),
+              CsvSink{}.toString(specs, r4));
 }
 
 TEST(SweepEngine, MultiThreadedMatchesSingleThreaded)

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "program/asmprog.hh"
+#include "program/codegen.hh"
 #include "program/emulator.hh"
+#include "program/suite.hh"
 
 using namespace pp;
 using namespace pp::program;
@@ -268,6 +270,120 @@ TEST(Emulator, DeterministicReplay)
         ASSERT_EQ(ra.pc, rb.pc);
         ASSERT_EQ(ra.branchTaken, rb.branchTaken);
     }
+}
+
+namespace
+{
+
+/** A real generated benchmark: calls, loops, stores, every cond kind. */
+Program
+generatedBenchmark()
+{
+    const BenchmarkProfile profile = profileByName("gzip");
+    CodeGenerator gen(profile);
+    AsmProgram asm_prog = gen.generate();
+    return asm_prog.assemble(profile.dataBytes, profile.name);
+}
+
+void
+expectRecordsEqual(const ExecRecord &a, const ExecRecord &b, int step)
+{
+    ASSERT_EQ(a.pc, b.pc) << "step " << step;
+    ASSERT_EQ(a.ins, b.ins) << "step " << step;
+    ASSERT_EQ(a.qpVal, b.qpVal) << "step " << step;
+    ASSERT_EQ(a.condVal, b.condVal) << "step " << step;
+    ASSERT_EQ(a.pd1Written, b.pd1Written) << "step " << step;
+    ASSERT_EQ(a.pd2Written, b.pd2Written) << "step " << step;
+    ASSERT_EQ(a.pd1Val, b.pd1Val) << "step " << step;
+    ASSERT_EQ(a.pd2Val, b.pd2Val) << "step " << step;
+    ASSERT_EQ(a.branchTaken, b.branchTaken) << "step " << step;
+    ASSERT_EQ(a.nextPc, b.nextPc) << "step " << step;
+    ASSERT_EQ(a.memAddr, b.memAddr) << "step " << step;
+}
+
+} // namespace
+
+TEST(EmulatorCheckpoint, SerializedRoundTripResumesBitIdentically)
+{
+    const Program bin = generatedBenchmark();
+
+    // Reference: an uninterrupted run past the checkpoint position.
+    Emulator ref(bin, 42);
+    ref.skip(20000);
+
+    // Checkpoint a twin at the same position, through the byte image.
+    Emulator src(bin, 42);
+    src.skip(20000);
+    const std::vector<std::uint8_t> image =
+        src.checkpoint().serialize();
+    const Emulator::Checkpoint restored =
+        Emulator::Checkpoint::deserialize(image);
+
+    // Restore into an emulator constructed with a DIFFERENT seed: every
+    // piece of state (registers, memory, condition cursors, RNG
+    // streams) must come from the checkpoint, none from construction.
+    Emulator resumed(bin, 0xdeadbeef);
+    resumed.restore(restored);
+
+    EXPECT_EQ(resumed.pc(), ref.pc());
+    EXPECT_EQ(resumed.instCount(), ref.instCount());
+    EXPECT_EQ(resumed.callDepth(), ref.callDepth());
+
+    for (int i = 0; i < 20000; ++i) {
+        const ExecRecord ra = ref.step();
+        const ExecRecord rb = resumed.step();
+        expectRecordsEqual(ra, rb, i);
+    }
+    for (RegIndex r = 0; r < isa::numIntRegs; ++r)
+        ASSERT_EQ(resumed.intReg(r), ref.intReg(r)) << "r" << int(r);
+    for (RegIndex r = 0; r < isa::numFpRegs; ++r)
+        ASSERT_EQ(resumed.fpReg(r), ref.fpReg(r)) << "f" << int(r);
+    for (RegIndex r = 0; r < isa::numPredRegs; ++r)
+        ASSERT_EQ(resumed.predReg(r), ref.predReg(r)) << "p" << int(r);
+}
+
+TEST(EmulatorCheckpoint, SkipMatchesSteppedExecution)
+{
+    const Program bin = generatedBenchmark();
+    Emulator a(bin, 7);
+    Emulator b(bin, 7);
+    a.skip(12345);
+    for (int i = 0; i < 12345; ++i)
+        b.step();
+    EXPECT_EQ(a.pc(), b.pc());
+    EXPECT_EQ(a.instCount(), b.instCount());
+    for (RegIndex r = 0; r < isa::numIntRegs; ++r)
+        ASSERT_EQ(a.intReg(r), b.intReg(r));
+}
+
+TEST(EmulatorCheckpointDeath, RestoreRejectsForeignProgram)
+{
+    const Program big = generatedBenchmark();
+    AsmProgram p;
+    p.emit(makeNop());
+    const Program tiny = p.assemble(1 << 20, "tiny");
+
+    Emulator src(big, 1);
+    src.skip(100);
+    const Emulator::Checkpoint ckpt = src.checkpoint();
+    Emulator other(tiny, 1);
+    EXPECT_DEATH(other.restore(ckpt), "different program");
+}
+
+TEST(EmulatorCheckpointDeath, DeserializeRejectsTruncatedImage)
+{
+    const Program bin = generatedBenchmark();
+    Emulator emu(bin, 1);
+    emu.skip(10);
+    std::vector<std::uint8_t> image = emu.checkpoint().serialize();
+    image.resize(image.size() / 2);
+    EXPECT_DEATH(Emulator::Checkpoint::deserialize(image), "truncated");
+}
+
+TEST(EmulatorCheckpointDeath, DeserializeRejectsBadMagic)
+{
+    std::vector<std::uint8_t> garbage(64, 0x5a);
+    EXPECT_DEATH(Emulator::Checkpoint::deserialize(garbage), "magic");
 }
 
 TEST(EmulatorDeath, RunningOffImagePanics)

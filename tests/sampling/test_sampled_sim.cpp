@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Sampled-simulation accuracy contract.
+ *
+ * Pins the three properties the subsystem promises:
+ *  - degeneracy: a single window covering the whole region reproduces
+ *    full simulation bit-identically (counters and derived doubles);
+ *  - accuracy: on the 8-cell golden grid (tests/core/test_golden_stats)
+ *    the dense sampling policy estimates IPC within 2% and the
+ *    misprediction rate within 0.5pp (absolute) of the full run;
+ *  - exactness: windows tiling the region are summed, not extrapolated,
+ *    and sparse windows extrapolate counters to region magnitudes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/core.hh"
+#include "program/emulator.hh"
+#include "sampling/accuracy_contract.hh"
+#include "sampling/sampled_simulator.hh"
+#include "sim/simulator.hh"
+
+using namespace pp;
+
+namespace
+{
+
+constexpr std::uint64_t kWarmup = sampling::kAccuracyWarmup;
+constexpr std::uint64_t kMeasure = sampling::kAccuracyMeasure;
+
+sampling::SamplingPolicy
+densePolicy()
+{
+    return sampling::accuracyDensePolicy();
+}
+
+sim::SchemeConfig
+schemeByName(const std::string &name)
+{
+    return sampling::accuracySchemeByName(name);
+}
+
+} // namespace
+
+TEST(SampledSim, PeriodBeyondProgramLengthDegeneratesBitIdentically)
+{
+    const auto profile = program::profileByName("gzip");
+    const program::Program binary = sim::buildBinary(profile, true);
+    const sim::SchemeConfig scheme = schemeByName("selective");
+
+    const sim::RunResult full =
+        sim::run(binary, profile, scheme, kWarmup, kMeasure);
+
+    sampling::SamplingPolicy policy;
+    policy.periodInsts = 1ull << 40;  // >> any program length
+    policy.warmupInsts = kWarmup;     // window warmup covers [0, region)
+    policy.measureInsts = kMeasure;   // one window spans the region
+    const sampling::SampledRun sam = sampling::sampledRunDetailed(
+        binary, profile, scheme, core::CoreConfig{}, kWarmup, kMeasure,
+        policy);
+
+    EXPECT_EQ(sam.windows, 1u);
+    EXPECT_EQ(sam.fastForwardInsts, 0u);
+    EXPECT_TRUE(sam.result.sampled);
+    EXPECT_EQ(sam.result.ipcErrorBound, 0.0);
+
+    // Every counter bit-identical to the full run...
+    for (const auto &f : core::kCoreStatsFields)
+        EXPECT_EQ(sam.result.stats.*f.member, full.stats.*f.member)
+            << f.name;
+    // ...and every derived double too (same formulas on same counters).
+    EXPECT_EQ(sam.result.ipc, full.ipc);
+    EXPECT_EQ(sam.result.mispredRatePct, full.mispredRatePct);
+    EXPECT_EQ(sam.result.accuracyPct, full.accuracyPct);
+    EXPECT_EQ(sam.result.earlyResolvedPct, full.earlyResolvedPct);
+    EXPECT_EQ(sam.result.shadowMispredRatePct, full.shadowMispredRatePct);
+    EXPECT_EQ(sam.result.measuredInsts, full.stats.committedInsts);
+    EXPECT_EQ(sam.result.detailedInsts, full.detailedInsts);
+}
+
+TEST(SampledSim, GoldenGridIpcWithin2PctAndMispredWithinHalfPoint)
+{
+    for (const sampling::AccuracyCell &c : sampling::kAccuracyGrid) {
+        SCOPED_TRACE(c.label());
+        const auto profile = program::profileByName(c.benchmark);
+        const program::Program binary =
+            sim::buildBinary(profile, c.ifConvert);
+        const sim::SchemeConfig scheme = schemeByName(c.scheme);
+
+        const sim::RunResult full =
+            sim::run(binary, profile, scheme, kWarmup, kMeasure);
+        const sim::RunResult sam = sampling::sampledRun(
+            binary, profile, scheme, core::CoreConfig{}, kWarmup,
+            kMeasure, densePolicy());
+
+        const double ipc_err_pct =
+            100.0 * std::abs(sam.ipc - full.ipc) / full.ipc;
+        const double mispred_err_pp =
+            std::abs(sam.mispredRatePct - full.mispredRatePct);
+        EXPECT_LT(ipc_err_pct, sampling::kAccuracyIpcBoundPct)
+            << "sampled " << sam.ipc << " vs full " << full.ipc;
+        EXPECT_LT(mispred_err_pp, sampling::kAccuracyMispredBoundPp)
+            << "sampled " << sam.mispredRatePct << " vs full "
+            << full.mispredRatePct;
+
+        // The estimate must advertise itself and its cost honestly.
+        EXPECT_TRUE(sam.sampled);
+        EXPECT_GT(sam.measuredInsts, 0u);
+        EXPECT_LT(sam.detailedInsts, full.detailedInsts);
+    }
+}
+
+TEST(SampledSim, TilingWindowsSumWithoutExtrapolation)
+{
+    const auto profile = program::profileByName("gzip");
+    const program::Program binary = sim::buildBinary(profile, true);
+    const sim::SchemeConfig scheme = schemeByName("conventional");
+
+    // period == measure: windows tile the region exactly.
+    sampling::SamplingPolicy policy;
+    policy.periodInsts = 2000;
+    policy.warmupInsts = 500;
+    policy.measureInsts = 2000;
+    const sampling::SampledRun sam = sampling::sampledRunDetailed(
+        binary, profile, scheme, core::CoreConfig{}, 5000, 20000, policy);
+
+    EXPECT_EQ(sam.windows, 10u);
+    // Counters are plain sums of the window deltas (no rounding): the
+    // committed-inst counter equals the summed measurement windows.
+    std::uint64_t sum = 0;
+    for (const auto &w : sam.samples)
+        sum += w.stats.committedInsts;
+    EXPECT_EQ(sam.result.stats.committedInsts, sum);
+    EXPECT_EQ(sam.result.measuredInsts, sum);
+    // Tiling windows flow into each other with the pipeline intact, so
+    // coverage can slip from the region only by commit-width slack at
+    // the first and last boundary.
+    EXPECT_NEAR(static_cast<double>(sum), 20000.0, 64.0);
+    // The only fast-forward is the lead-in to the first window's warmup
+    // ([0, region_start - window_warmup)); between windows there is none.
+    EXPECT_EQ(sam.fastForwardInsts, 4500u);
+}
+
+TEST(SampledSim, SparseWindowsExtrapolateToRegionMagnitudes)
+{
+    const auto profile = program::profileByName("gzip");
+    const program::Program binary = sim::buildBinary(profile, true);
+    const sim::SchemeConfig scheme = schemeByName("conventional");
+
+    sampling::SamplingPolicy policy;
+    policy.periodInsts = 10000;
+    policy.warmupInsts = 1000;
+    policy.measureInsts = 1000;
+    const std::uint64_t region = 40000;
+    const sampling::SampledRun sam = sampling::sampledRunDetailed(
+        binary, profile, scheme, core::CoreConfig{}, 5000, region, policy);
+
+    EXPECT_EQ(sam.windows, 4u);
+    EXPECT_GT(sam.fastForwardInsts, 0u);
+    // ~4k measured, extrapolated to the 40k region (exact up to the
+    // per-counter rounding of the shared scale factor).
+    EXPECT_NEAR(static_cast<double>(sam.result.stats.committedInsts),
+                static_cast<double>(region), 1.0);
+    EXPECT_LT(sam.result.measuredInsts, region / 8);
+    // The ratio-estimator IPC matches the extrapolated counters.
+    const double pooled_ipc = sam.result.ipc;
+    const double scaled_ipc =
+        static_cast<double>(sam.result.stats.committedInsts) /
+        static_cast<double>(sam.result.stats.cycles);
+    EXPECT_NEAR(pooled_ipc, scaled_ipc, 0.01);
+    // Four windows give a (wide but finite) confidence interval.
+    EXPECT_GT(sam.result.ipcErrorBound, 0.0);
+}
+
+TEST(SampledSim, WindowsNarrowerThanCommitWidthStillEstimateRegion)
+{
+    // Pathological tiling: windows of 4 instructions on a multi-wide
+    // commit. Overshoot swallows windows; whichever path the estimator
+    // takes (exact sums if coverage held, extrapolation if not), the
+    // committed-instruction estimate must stay at region magnitude
+    // rather than silently under-reporting.
+    const auto profile = program::profileByName("gzip");
+    const program::Program binary = sim::buildBinary(profile, true);
+    const sim::SchemeConfig scheme = schemeByName("conventional");
+
+    sampling::SamplingPolicy policy;
+    policy.periodInsts = 4;
+    policy.warmupInsts = 0;
+    policy.measureInsts = 4;
+    const sampling::SampledRun sam = sampling::sampledRunDetailed(
+        binary, profile, scheme, core::CoreConfig{}, 2000, 10000, policy);
+
+    EXPECT_NEAR(static_cast<double>(sam.result.stats.committedInsts),
+                10000.0, 500.0);
+    EXPECT_GT(sam.result.ipc, 0.5);
+}
+
+TEST(SampledSim, DisabledPolicyFallsBackToFullRun)
+{
+    const auto profile = program::profileByName("gzip");
+    const program::Program binary = sim::buildBinary(profile, false);
+    const sim::SchemeConfig scheme = schemeByName("conventional");
+
+    const sampling::SampledRun sam = sampling::sampledRunDetailed(
+        binary, profile, scheme, core::CoreConfig{}, 2000, 10000,
+        sampling::SamplingPolicy{});
+    const sim::RunResult full =
+        sim::run(binary, profile, scheme, 2000, 10000);
+
+    EXPECT_FALSE(sam.result.sampled);
+    EXPECT_EQ(sam.windows, 0u);
+    EXPECT_EQ(sam.result.stats.cycles, full.stats.cycles);
+    EXPECT_EQ(sam.result.ipc, full.ipc);
+}
+
+TEST(SampledSim, CoreResumesDetailedWindowFromEmulatorCheckpoint)
+{
+    // The checkpoint/restore hook behind distributed sampling: a core
+    // constructed from a mid-program checkpoint must behave exactly
+    // like a live core that fast-forwarded (architectural-state-only)
+    // to the same position — same architectural predicate state, same
+    // return-address stack, same correct-path fetch stream. Run it on
+    // the predication-heavy cell so PPRF seeding is actually load-
+    // bearing: a predicate restored as false would nullify its whole
+    // guarded region.
+    const auto profile = program::profileByName("ifcmax");
+    const program::Program binary = sim::buildBinary(profile, true);
+    const core::CoreConfig cfg =
+        sim::resolveConfig(schemeByName("selective"), core::CoreConfig{});
+    const std::uint64_t seed = sim::coreSeed(profile);
+    constexpr std::uint64_t kSkip = 25000;
+    constexpr std::uint64_t kWindow = 5000;
+
+    core::OoOCore live(binary, cfg, seed);
+    live.fastForward(kSkip, false);
+    live.run(kWindow);
+
+    program::Emulator emu(binary, seed);
+    emu.skip(kSkip);
+    core::OoOCore resumed(binary, cfg, seed, emu.checkpoint());
+    resumed.run(kWindow);
+
+    for (const auto &f : core::kCoreStatsFields)
+        EXPECT_EQ(resumed.coreStats().*f.member,
+                  live.coreStats().*f.member)
+            << f.name;
+    // The window must actually exercise predication and commit work.
+    EXPECT_GT(resumed.coreStats().committedPredicated, 0u);
+    EXPECT_GT(resumed.coreStats().ipc(), 0.5);
+}
