@@ -184,18 +184,25 @@ struct SweepResult
     }
 };
 
-/** Emit the requested sinks for a finished sweep. */
+/**
+ * Emit the requested sinks for a finished sweep. With @p counters the
+ * JSON summary reports the engine's shared-cache statistics.
+ */
 inline void
 writeSinks(const BenchOptions &opts,
            const std::vector<driver::RunSpec> &specs,
-           const std::vector<sim::RunResult> &results)
+           const std::vector<sim::RunResult> &results,
+           const driver::SweepCounters *counters = nullptr)
 {
     auto emit = [&](const driver::ResultSink &sink,
                     const std::string &path) {
         if (!path.empty())
             sink.writeFile(path, specs, results);
     };
-    emit(driver::JsonSink{}, opts.jsonPath);
+    if (counters != nullptr)
+        emit(driver::JsonSink{*counters}, opts.jsonPath);
+    else
+        emit(driver::JsonSink{}, opts.jsonPath);
     emit(driver::CsvSink{}, opts.csvPath);
 }
 
@@ -234,7 +241,7 @@ sweepSuite(const BenchOptions &opts,
                  specs.size() / columns.size());
     const std::vector<sim::RunResult> results = engine.run(specs);
 
-    writeSinks(opts, specs, results);
+    writeSinks(opts, specs, results, &engine.counters());
 
     // Reshape into the benchmark × column table the reports consume.
     // specs() enumerates benchmark-major then scheme, so rows are

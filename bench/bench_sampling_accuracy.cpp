@@ -49,6 +49,7 @@ constexpr std::uint64_t kGridMeasure = sampling::kAccuracyMeasure;
 constexpr double kIpcBoundPct = sampling::kAccuracyIpcBoundPct;
 constexpr double kMispredBoundPp = sampling::kAccuracyMispredBoundPp;
 constexpr double kSpeedupBound = sampling::kSampledSpeedupBound;
+constexpr double kCiWarnPct = sampling::kSampledCiWarnPct;
 
 sim::SchemeConfig
 schemeByName(const std::string &name)
@@ -92,6 +93,7 @@ struct SpeedupResult
     std::uint64_t fastForwardInsts = 0;
     std::uint64_t windows = 0;
     bool pass = false;
+    bool ciWarn = false; ///< CI width above kCiWarnPct (warn, not fail)
 };
 
 CellResult
@@ -168,7 +170,12 @@ runSpeedup(std::uint64_t region, unsigned repeats)
     r.detailedInsts = sam.result.detailedInsts;
     r.fastForwardInsts = sam.fastForwardInsts;
     r.windows = sam.windows;
-    r.pass = r.speedup >= kSpeedupBound;
+    // Speed alone is no contract: the production policy must hit the
+    // bound AND stay inside the accuracy bounds at paper scale.
+    r.pass = r.speedup >= kSpeedupBound &&
+        std::abs(r.ipcErrPct) < kIpcBoundPct &&
+        std::abs(r.mispredErrPp) < kMispredBoundPp;
+    r.ciWarn = r.ipcCiPct > kCiWarnPct;
     return r;
 }
 
@@ -236,6 +243,17 @@ writeJson(const std::string &path, const std::vector<CellResult> &cells,
             w.field("ipc_err_pct", speedup->ipcErrPct);
             w.field("mispred_err_pp", speedup->mispredErrPp);
             w.field("ipc_ci_pct", speedup->ipcCiPct);
+            w.field("ipc_ci_warn_pct", kCiWarnPct);
+            w.field("ipc_ci_warn", speedup->ciWarn);
+            w.field("note",
+                    "ipc_err_pct/mispred_err_pp are REALIZED errors vs "
+                    "the full-simulation twin and gate --check; "
+                    "ipc_ci_pct is the PREDICTED 95% confidence "
+                    "half-width a production sweep (no full twin) would "
+                    "rely on. A width above ipc_ci_warn_pct warns "
+                    "without failing: a small realized error under a "
+                    "wide band means the estimate was lucky, not "
+                    "precise.");
             w.field("detailed_insts", speedup->detailedInsts);
             w.field("fast_forward_insts", speedup->fastForwardInsts);
             w.field("windows", speedup->windows);
@@ -346,6 +364,15 @@ main(int argc, char **argv)
             (unsigned long long)speedup.fastForwardInsts,
             (unsigned long long)speedup.windows,
             speedup.pass ? "PASS" : "FAIL");
+        if (speedup.ciWarn) {
+            // Warn-level only: the gate checks realized point error;
+            // the CI is the band a sweep without a full twin would
+            // quote (see the JSON note field).
+            std::fprintf(stderr,
+                         "WARNING: ipc 95%% CI half-width %.1f%% exceeds "
+                         "%.1f%% (estimate imprecise, not failed)\n",
+                         speedup.ipcCiPct, kCiWarnPct);
+        }
         all_pass = all_pass && speedup.pass;
     }
 

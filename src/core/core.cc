@@ -18,9 +18,11 @@ using predictor::BranchContext;
 using predictor::CompareContext;
 
 OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
-                 std::uint64_t seed)
-    : program(prog), cfg(config), mem(config.mem), emu(prog, seed),
-      bpu(config), intMap(isa::numIntRegs, config.intPhysRegs),
+                 std::uint64_t seed,
+                 const program::DecodedProgram *decoded)
+    : program(prog), cfg(config), mem(config.mem),
+      emu(prog, decoded, seed), bpu(config),
+      intMap(isa::numIntRegs, config.intPhysRegs),
       fpMap(isa::numFpRegs, config.fpPhysRegs),
       pprf(isa::numPredRegs, config.predPhysRegs), fetchPc(prog.entry())
 {
@@ -28,6 +30,9 @@ OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
     panicIfNot(cfg.predication != PredicationModel::SelectivePrediction ||
                cfg.scheme == PredictionScheme::PredicatePredictor,
                "selective predication requires the predicate predictor");
+    panicIfNot(isPowerOfTwo(cfg.mem.l1i.blockBytes),
+               "I-cache line size must be a power of two");
+    iLineShift = floorLog2(cfg.mem.l1i.blockBytes);
 
     rob.init(cfg.robEntries + cfg.fetchBufferEntries);
     intIqReady.reserve(cfg.intIqEntries);
@@ -42,8 +47,9 @@ OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
 
 OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
                  std::uint64_t seed,
-                 const program::Emulator::Checkpoint &resume)
-    : OoOCore(prog, config, seed)
+                 const program::Emulator::Checkpoint &resume,
+                 const program::DecodedProgram *decoded)
+    : OoOCore(prog, config, seed, decoded)
 {
     emu.restore(resume);
     fetchPc = emu.pc();
@@ -119,7 +125,7 @@ OoOCore::doFetch()
     while (fetched < cfg.fetchWidth &&
            rob.feSize() < cfg.fetchBufferEntries) {
         // Instruction cache: charge one access per line touched.
-        const Addr line = fetchPc / cfg.mem.l1i.blockBytes;
+        const Addr line = fetchPc >> iLineShift;
         if (line != lastFetchLine) {
             const Cycle done = mem.instAccess(fetchPc, now);
             lastFetchLine = line;
@@ -130,8 +136,10 @@ OoOCore::doFetch()
         }
 
         // Correct-path check against the oracle stream. The record
-        // reference stays valid below: the window only grows at the back
-        // and is trimmed at commit, never here.
+        // reference is valid only until the next ensureOracle()/
+        // produce() — ExecRing growth reallocates — so it is consumed
+        // (copied into the DynInst) within this loop iteration, before
+        // the next oracleAt().
         bool correct = false;
         std::uint64_t oracle_idx = wrongPathOracle;
         const program::ExecRecord *oracle_rec = nullptr;
@@ -1267,6 +1275,108 @@ OoOCore::drainPipeline()
 }
 
 void
+OoOCore::warmBranchTables(const isa::Instruction *ins, Addr pc,
+                          bool taken)
+{
+    // Replay the predict/correct/train protocol as an in-order
+    // machine would: after detailed execution every committed
+    // branch's history bit holds the actual outcome (override and
+    // misprediction repair both converge there), so predict, repair
+    // the bit if wrong, then train.
+    BranchContext bctx;
+    bctx.pc = pc;
+    bctx.qpLogical = ins->qp;
+    bctx.qpArchValue = archPred[ins->qp];
+    if (cfg.idealPerfectHistory)
+        bctx.oracleOutcome = taken;
+    predictor::PredState l1st;
+    bpu.l1->predict(bctx, l1st);
+    if (l1st.predTaken != taken)
+        bpu.l1->correctHistory(l1st, taken);
+    bpu.l1->resolve(bctx, l1st, taken);
+    if (bpu.l2) {
+        predictor::PredState l2st;
+        bpu.l2->predict(bctx, l2st);
+        if (l2st.predTaken != taken)
+            bpu.l2->correctHistory(l2st, taken);
+        bpu.l2->resolve(bctx, l2st, taken);
+    }
+    if (bpu.shadow) {
+        predictor::PredState sst;
+        const bool spred = bpu.shadow->predict(bctx, sst);
+        bpu.shadow->resolve(bctx, sst, taken);
+        if (spred != taken)
+            bpu.shadow->correctHistory(sst, taken);
+    }
+}
+
+void
+OoOCore::warmCompare(const isa::Instruction *ins, Addr pc,
+                     bool pd1_written, bool pd1_val, bool pd2_written,
+                     bool pd2_val, bool warm_tables)
+{
+    // Architectural target values: the written value, else the value
+    // the register held before this compare (completeCompare's rule).
+    auto arch_val = [&](RegIndex l, bool written, bool val) {
+        if (written)
+            return val;
+        return l != isa::regP0 && l != invalidReg ? archPred[l] : false;
+    };
+    const bool v1 = arch_val(ins->pdst1, pd1_written, pd1_val);
+    const bool v2 = arch_val(ins->pdst2, pd2_written, pd2_val);
+
+    if (warm_tables && cfg.scheme == PredictionScheme::PredicatePredictor) {
+        CompareContext cctx;
+        cctx.pc = pc;
+        cctx.needSecond =
+            ins->pdst2 != isa::regP0 && ins->pdst2 != invalidReg;
+        if (cfg.idealPerfectHistory) {
+            cctx.oracle1 = pd1_val;
+            cctx.oracle2 = pd2_val;
+        }
+        predictor::PredPredState pst;
+        bpu.predicate->predict(cctx, pst);
+        if (pst.valid && pst.pred1 != v1 && !cfg.idealPerfectHistory)
+            bpu.predicate->correctHistoryAtDepth(cctx, pst, v1, 0, 0);
+        bpu.predicate->resolve(cctx, pst, v1, v2);
+    }
+
+    // Committed predicate state: PEP-PA's logical file and the
+    // architecturally mapped PPRF entries (rename reads both).
+    auto sync_pred = [&](RegIndex l, bool written, bool val) {
+        if (!written || l == isa::regP0 || l == invalidReg)
+            return;
+        archPred[l] = val;
+        PprfEntry &e = pprf.entry(pprf.lookup(l));
+        e.value = val;
+        e.speculative = false;
+        e.mispredicted = false;
+        e.readyCycle = now;
+    };
+    sync_pred(ins->pdst1, pd1_written, pd1_val);
+    sync_pred(ins->pdst2, pd2_written, pd2_val);
+}
+
+void
+OoOCore::syncPredicatesFromOracle(std::uint64_t written_mask)
+{
+    // Identical end state to syncing at every intermediate write: the
+    // emulator's register holds the last written value, and rename only
+    // ever reads the committed (final) entry.
+    for (RegIndex l = 1; l < isa::numPredRegs; ++l) {
+        if (!(written_mask & (1ull << l)))
+            continue;
+        const bool val = emu.predReg(l);
+        archPred[l] = val;
+        PprfEntry &e = pprf.entry(pprf.lookup(l));
+        e.value = val;
+        e.speculative = false;
+        e.mispredicted = false;
+        e.readyCycle = now;
+    }
+}
+
+void
 OoOCore::warmInstruction(const program::ExecRecord &rec, bool warm_tables,
                          Addr &warm_line)
 {
@@ -1274,7 +1384,7 @@ OoOCore::warmInstruction(const program::ExecRecord &rec, bool warm_tables,
 
     if (warm_tables) {
         // I-side: one cache touch per fetched line, as fetch charges it.
-        const Addr line = rec.pc / cfg.mem.l1i.blockBytes;
+        const Addr line = rec.pc >> iLineShift;
         if (line != warm_line) {
             mem.instAccess(rec.pc, now);
             warm_line = line;
@@ -1283,83 +1393,12 @@ OoOCore::warmInstruction(const program::ExecRecord &rec, bool warm_tables,
             mem.dataAccess(rec.memAddr, ins->isStore(), now);
     }
 
-    if (warm_tables && ins->isConditionalBranch()) {
-        // Replay the predict/correct/train protocol as an in-order
-        // machine would: after detailed execution every committed
-        // branch's history bit holds the actual outcome (override and
-        // misprediction repair both converge there), so predict, repair
-        // the bit if wrong, then train.
-        const bool actual = rec.branchTaken;
-        BranchContext bctx;
-        bctx.pc = rec.pc;
-        bctx.qpLogical = ins->qp;
-        bctx.qpArchValue = archPred[ins->qp];
-        if (cfg.idealPerfectHistory)
-            bctx.oracleOutcome = actual;
-        predictor::PredState l1st;
-        bpu.l1->predict(bctx, l1st);
-        if (l1st.predTaken != actual)
-            bpu.l1->correctHistory(l1st, actual);
-        bpu.l1->resolve(bctx, l1st, actual);
-        if (bpu.l2) {
-            predictor::PredState l2st;
-            bpu.l2->predict(bctx, l2st);
-            if (l2st.predTaken != actual)
-                bpu.l2->correctHistory(l2st, actual);
-            bpu.l2->resolve(bctx, l2st, actual);
-        }
-        if (bpu.shadow) {
-            predictor::PredState sst;
-            const bool spred = bpu.shadow->predict(bctx, sst);
-            bpu.shadow->resolve(bctx, sst, actual);
-            if (spred != actual)
-                bpu.shadow->correctHistory(sst, actual);
-        }
-    }
+    if (warm_tables && ins->isConditionalBranch())
+        warmBranchTables(ins, rec.pc, rec.branchTaken);
 
     if (ins->isCompare()) {
-        // Architectural target values: the written value, else the value
-        // the register held before this compare (completeCompare's rule).
-        auto arch_val = [&](RegIndex l, bool written, bool val) {
-            if (written)
-                return val;
-            return l != isa::regP0 && l != invalidReg ? archPred[l]
-                                                      : false;
-        };
-        const bool v1 = arch_val(ins->pdst1, rec.pd1Written, rec.pd1Val);
-        const bool v2 = arch_val(ins->pdst2, rec.pd2Written, rec.pd2Val);
-
-        if (warm_tables &&
-            cfg.scheme == PredictionScheme::PredicatePredictor) {
-            CompareContext cctx;
-            cctx.pc = rec.pc;
-            cctx.needSecond =
-                ins->pdst2 != isa::regP0 && ins->pdst2 != invalidReg;
-            if (cfg.idealPerfectHistory) {
-                cctx.oracle1 = rec.pd1Val;
-                cctx.oracle2 = rec.pd2Val;
-            }
-            predictor::PredPredState pst;
-            bpu.predicate->predict(cctx, pst);
-            if (pst.valid && pst.pred1 != v1 && !cfg.idealPerfectHistory)
-                bpu.predicate->correctHistoryAtDepth(cctx, pst, v1, 0, 0);
-            bpu.predicate->resolve(cctx, pst, v1, v2);
-        }
-
-        // Committed predicate state: PEP-PA's logical file and the
-        // architecturally mapped PPRF entries (rename reads both).
-        auto sync_pred = [&](RegIndex l, bool written, bool val) {
-            if (!written || l == isa::regP0 || l == invalidReg)
-                return;
-            archPred[l] = val;
-            PprfEntry &e = pprf.entry(pprf.lookup(l));
-            e.value = val;
-            e.speculative = false;
-            e.mispredicted = false;
-            e.readyCycle = now;
-        };
-        sync_pred(ins->pdst1, rec.pd1Written, rec.pd1Val);
-        sync_pred(ins->pdst2, rec.pd2Written, rec.pd2Val);
+        warmCompare(ins, rec.pc, rec.pd1Written, rec.pd1Val,
+                    rec.pd2Written, rec.pd2Val, warm_tables);
     }
 
     // The return-address stack mirrors the call stack (a cold RAS would
@@ -1372,6 +1411,59 @@ OoOCore::warmInstruction(const program::ExecRecord &rec, bool warm_tables,
     }
 }
 
+/**
+ * Skip tier: between the warming horizon and the next window only the
+ * return-address stack must replay events in order (its circular
+ * clobbering is history-dependent); predicate state is re-synced in one
+ * batch from the final register values afterwards.
+ */
+struct OoOCore::FfSkipSink final : program::Emulator::FfSink
+{
+    explicit FfSkipSink(OoOCore &c) : core(c) {}
+
+    void takenCall(Addr ret_addr) override { core.bpu.ras.push(ret_addr); }
+    void takenRet() override { core.bpu.ras.pop(); }
+
+    OoOCore &core;
+};
+
+/** Warm tier: full functional warming, one event per relevant op. */
+struct OoOCore::FfWarmSink final : program::Emulator::FfSink
+{
+    explicit FfWarmSink(OoOCore &c) : core(c) {}
+
+    void
+    instLine(Addr pc) override
+    {
+        core.mem.instAccess(pc, core.now);
+    }
+
+    void
+    memAccess(Addr addr, bool is_store) override
+    {
+        core.mem.dataAccess(addr, is_store, core.now);
+    }
+
+    void
+    condBranch(const isa::Instruction *ins, Addr pc, bool taken) override
+    {
+        core.warmBranchTables(ins, pc, taken);
+    }
+
+    void
+    compare(const isa::Instruction *ins, Addr pc, bool pd1_written,
+            bool pd1_val, bool pd2_written, bool pd2_val) override
+    {
+        core.warmCompare(ins, pc, pd1_written, pd1_val, pd2_written,
+                         pd2_val, true);
+    }
+
+    void takenCall(Addr ret_addr) override { core.bpu.ras.push(ret_addr); }
+    void takenRet() override { core.bpu.ras.pop(); }
+
+    OoOCore &core;
+};
+
 void
 OoOCore::fastForward(std::uint64_t n, bool warm_tables)
 {
@@ -1380,31 +1472,35 @@ OoOCore::fastForward(std::uint64_t n, bool warm_tables)
     panicIfNot(rob.total() == 0,
                "fastForward requires a drained pipeline");
 
+    // Records the oracle already materialized for the (now drained)
+    // detailed window are consumed first; past them the emulator
+    // advances record-free on the decoded stream.
     Addr warm_line = ~0ull;
-    Addr next_pc = fetchPc;
-    for (std::uint64_t i = 0; i < n; ++i) {
-        // Records the oracle already materialized for the (now drained)
-        // detailed window are consumed first; past them the emulator
-        // advances directly.
-        if (!oracleBuf.empty()) {
-            const program::ExecRecord rec = oracleBuf.front();
-            oracleBuf.pop_front();
-            ++oracleBase;
-            warmInstruction(rec, warm_tables, warm_line);
-            next_pc = rec.nextPc;
+    while (n > 0 && !oracleRing.empty()) {
+        const program::ExecRecord rec = oracleRing.front();
+        oracleRing.popFront();
+        ++oracleBase;
+        warmInstruction(rec, warm_tables, warm_line);
+        fetchPc = rec.nextPc;
+        --n;
+    }
+
+    if (n > 0) {
+        if (warm_tables) {
+            FfWarmSink sink(*this);
+            emu.warmForward(n, sink, iLineShift, warm_line);
         } else {
-            const program::ExecRecord rec = emu.step();
-            ++oracleBase;
-            warmInstruction(rec, warm_tables, warm_line);
-            next_pc = rec.nextPc;
+            FfSkipSink sink(*this);
+            syncPredicatesFromOracle(emu.skip(n, &sink));
         }
+        oracleBase += n;
+        fetchPc = emu.pc();
     }
 
     // Redirect fetch to the resume point on the correct path.
     oracleCursor = oracleBase;
     fetchOnOracle = true;
     fetchHalted = false;
-    fetchPc = next_pc;
     lastFetchLine = ~0ull;
     fetchResumeCycle = now;
 }

@@ -44,9 +44,12 @@ class OoOCore
      * @param prog program to run (must outlive the core)
      * @param cfg core configuration
      * @param seed seed for the functional oracle's stochastic conditions
+     * @param decoded shared predecode of @p prog for the oracle's hot
+     *        loop, or nullptr to decode privately (see decoded.hh)
      */
     OoOCore(const program::Program &prog, const CoreConfig &cfg,
-            std::uint64_t seed);
+            std::uint64_t seed,
+            const program::DecodedProgram *decoded = nullptr);
 
     /**
      * As above, but resume the functional oracle from @p resume, so the
@@ -58,7 +61,8 @@ class OoOCore
      */
     OoOCore(const program::Program &prog, const CoreConfig &cfg,
             std::uint64_t seed,
-            const program::Emulator::Checkpoint &resume);
+            const program::Emulator::Checkpoint &resume,
+            const program::DecodedProgram *decoded = nullptr);
 
     /** Run until @p max_committed instructions have committed. */
     void run(std::uint64_t max_committed);
@@ -202,25 +206,32 @@ class OoOCore
 
     /** @name Oracle management (inline: one call per fetched inst) */
     /// @{
+    /**
+     * Materialize records through @p idx. The emulator fills the ring
+     * in basic-block batches, so it typically runs a few instructions
+     * ahead of fetch; prefetched records are consumed later by fetch or
+     * by fastForward(), never discarded.
+     */
     void
     ensureOracle(std::uint64_t idx)
     {
-        while (oracleBase + oracleBuf.size() <= idx)
-            oracleBuf.push_back(emu.step());
+        const std::uint64_t end = oracleBase + oracleRing.size();
+        if (idx >= end)
+            emu.produce(oracleRing, idx + 1 - end);
     }
 
     const program::ExecRecord &
     oracleAt(std::uint64_t idx)
     {
         ensureOracle(idx);
-        return oracleBuf[idx - oracleBase];
+        return oracleRing.at(static_cast<std::size_t>(idx - oracleBase));
     }
 
     void
     trimOracle(std::uint64_t committed_idx)
     {
-        while (oracleBase <= committed_idx && !oracleBuf.empty()) {
-            oracleBuf.pop_front();
+        while (oracleBase <= committed_idx && !oracleRing.empty()) {
+            oracleRing.popFront();
             ++oracleBase;
         }
     }
@@ -294,9 +305,37 @@ class OoOCore
     std::vector<std::pair<InstSeqNum, std::uint32_t>> dueScratch;
     /// @}
 
+    /** @name Fast-forward warming (shared by record + event paths) */
+    /// @{
     /** Warm one fast-forwarded instruction's worth of state. */
     void warmInstruction(const program::ExecRecord &rec, bool warm_tables,
                          Addr &warm_line);
+
+    /** Replay the predict/correct/train protocol for one branch. */
+    void warmBranchTables(const isa::Instruction *ins, Addr pc,
+                          bool taken);
+
+    /**
+     * Commit one fast-forwarded compare: train the predicate predictor
+     * (when @p warm_tables and the scheme has one) and sync the
+     * committed predicate state (PEP-PA logical file + PPRF).
+     */
+    void warmCompare(const isa::Instruction *ins, Addr pc,
+                     bool pd1_written, bool pd1_val, bool pd2_written,
+                     bool pd2_val, bool warm_tables);
+
+    /**
+     * Re-sync the architecturally mapped predicate state from the
+     * oracle for every register in @p written_mask — the skip tier's
+     * batched equivalent of per-compare syncing (the final register
+     * value is all later consumers can see).
+     */
+    void syncPredicatesFromOracle(std::uint64_t written_mask);
+
+    /** Event sinks bridging Emulator fast-forward tiers to this core. */
+    struct FfSkipSink;
+    struct FfWarmSink;
+    /// @}
 
     /** @name Fetch state */
     /// @{
@@ -309,9 +348,12 @@ class OoOCore
     Addr lastFetchLine = ~0ull;
     /// @}
 
-    /** Oracle record window. */
-    std::deque<program::ExecRecord> oracleBuf;
+    /** Oracle record window (producer: emulator; consumer: fetch). */
+    program::ExecRing oracleRing;
     std::uint64_t oracleBase = 0;
+
+    /** log2 of the I-cache line size (warming's per-line touch). */
+    unsigned iLineShift = 6;
 
     /** PEP-PA's logical predicate register file (OoO writeback order). */
     std::array<bool, isa::numPredRegs> archPred{};

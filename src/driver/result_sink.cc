@@ -275,6 +275,13 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
     w.field("total_detailed_insts", total_detailed);
     w.field("total_measured_insts", total_measured);
     w.field("total_host_ms", total_host_ms);
+    if (haveCounters_) {
+        // Shared-cache statistics from the engine (deterministic: a
+        // pure function of the spec list).
+        w.field("binaries_built", counters_.binariesBuilt);
+        w.field("decoded_programs", counters_.decodedPrograms);
+        w.field("decoded_cache_hits", counters_.decodedCacheHits);
+    }
     w.endObject();
     w.endObject();
     os << "\n";

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "driver/run_matrix.hh"
+#include "driver/sweep_engine.hh"
 #include "sim/simulator.hh"
 
 namespace pp
@@ -98,8 +99,24 @@ class ResultSink
 class JsonSink : public ResultSink
 {
   public:
+    JsonSink() = default;
+
+    /**
+     * With engine counters the summary block additionally reports the
+     * shared binary/decoded-program cache statistics (binaries_built,
+     * decoded_programs, decoded_cache_hits) — all deterministic, so
+     * byte-identity comparisons need no extra scrubbing.
+     */
+    explicit JsonSink(const SweepCounters &counters)
+        : counters_(counters), haveCounters_(true)
+    {}
+
     void write(std::ostream &os, const std::vector<RunSpec> &specs,
                const std::vector<sim::RunResult> &results) const override;
+
+  private:
+    SweepCounters counters_;
+    bool haveCounters_ = false;
 };
 
 /** Flat CSV, one row per run, same fields as the JSON runs. */

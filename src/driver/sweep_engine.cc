@@ -94,14 +94,17 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     const unsigned threads = resolveThreads(opts_.threads);
     threadsUsed_ = threads;
 
-    // Phase 1: build each distinct binary once. The build set is derived
-    // from the spec list in order, so the cache layout is deterministic;
-    // the builds themselves parallelize (codegen + if-conversion is the
+    // Phase 1: build each distinct binary once, and predecode it once
+    // right beside it (same cache key — the decode is a pure function
+    // of the binary). The build set is derived from the spec list in
+    // order, so the cache layout is deterministic; the builds
+    // themselves parallelize (codegen + if-conversion is the
     // second-most expensive step after simulation).
     struct BuildJob
     {
         const RunSpec *spec;    ///< first spec needing this binary
         sim::ProgramRef binary;
+        sim::DecodedRef decoded;
     };
     std::vector<BuildJob> builds;
     std::unordered_map<std::string, std::size_t> key_to_build;
@@ -111,15 +114,20 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
         auto it = key_to_build.find(key);
         if (it == key_to_build.end()) {
             it = key_to_build.emplace(key, builds.size()).first;
-            builds.push_back(BuildJob{&specs[i], nullptr});
+            builds.push_back(BuildJob{&specs[i], nullptr, nullptr});
         }
         spec_build[i] = it->second;
     }
     binariesBuilt_ = builds.size();
+    counters_ = SweepCounters{};
+    counters_.binariesBuilt = builds.size();
+    counters_.decodedPrograms = builds.size();
+    counters_.decodedCacheHits = specs.size() - builds.size();
 
     parallelFor(builds.size(), threads, [&](std::size_t i) {
         builds[i].binary = sim::buildBinaryShared(
             builds[i].spec->profile, builds[i].spec->ifConvert);
+        builds[i].decoded = sim::decodeShared(builds[i].binary);
     });
 
     // Phase 2: execute every run. results[i] belongs to specs[i]
@@ -128,13 +136,14 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     std::mutex progress_mutex;
     parallelFor(specs.size(), threads, [&](std::size_t i) {
         const RunSpec &s = specs[i];
-        const sim::ProgramRef &binary = builds[spec_build[i]].binary;
+        const BuildJob &build = builds[spec_build[i]];
+        const sim::ProgramRef &binary = build.binary;
         results[i] = s.sampling.enabled()
             ? sampling::sampledRun(*binary, s.profile, s.scheme, s.config,
                                    s.warmupInsts, s.measureInsts,
-                                   s.sampling)
+                                   s.sampling, build.decoded.get())
             : sim::run(*binary, s.profile, s.scheme, s.config,
-                       s.warmupInsts, s.measureInsts);
+                       s.warmupInsts, s.measureInsts, build.decoded.get());
         if (opts_.progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
             std::fprintf(stderr, ".");

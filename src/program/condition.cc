@@ -108,47 +108,5 @@ ConditionTable::restore(const Checkpoint &ckpt)
     rng.setState(ckpt.rng);
 }
 
-bool
-ConditionTable::evaluate(CondId id)
-{
-    panicIfNot(id < specs.size(), "condition id out of range");
-    const ConditionSpec &s = specs[id];
-    CondState &st = state[id];
-    bool out = false;
-
-    switch (s.kind) {
-      case ConditionSpec::Kind::Biased:
-      case ConditionSpec::Kind::DataDep:
-        out = rng.bernoulli(s.bias);
-        break;
-      case ConditionSpec::Kind::Loop:
-        out = (st.pos != s.period - 1);
-        st.pos = (st.pos + 1) % s.period;
-        break;
-      case ConditionSpec::Kind::Pattern:
-        out = (s.pattern >> st.pos) & 1;
-        st.pos = (st.pos + 1) % s.period;
-        break;
-      case ConditionSpec::Kind::Correlated: {
-        const bool a = state[s.srcs[0]].last;
-        const bool b =
-            s.srcs[1] == invalidCond ? false : state[s.srcs[1]].last;
-        switch (s.fn) {
-          case ConditionSpec::Fn::Copy: out = a; break;
-          case ConditionSpec::Fn::NotCopy: out = !a; break;
-          case ConditionSpec::Fn::And: out = a && b; break;
-          case ConditionSpec::Fn::Or: out = a || b; break;
-          case ConditionSpec::Fn::Xor: out = a != b; break;
-        }
-        if (s.noise > 0.0 && rng.bernoulli(s.noise))
-            out = !out;
-        break;
-      }
-    }
-
-    st.last = out;
-    return out;
-}
-
 } // namespace program
 } // namespace pp

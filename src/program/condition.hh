@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/random.hh"
 
 namespace pp
@@ -113,8 +114,50 @@ class ConditionTable
     /**
      * Evaluate condition @p id in program order and record its outcome as
      * the condition's latest value (visible to Correlated consumers).
+     * Header-defined: called once per executed compare on the decoded
+     * hot path, where the cross-TU call was measurable.
      */
-    bool evaluate(CondId id);
+    bool
+    evaluate(CondId id)
+    {
+        panicIfNot(id < specs.size(), "condition id out of range");
+        const ConditionSpec &s = specs[id];
+        CondState &st = state[id];
+        bool out = false;
+
+        switch (s.kind) {
+          case ConditionSpec::Kind::Biased:
+          case ConditionSpec::Kind::DataDep:
+            out = rng.bernoulli(s.bias);
+            break;
+          case ConditionSpec::Kind::Loop:
+            out = (st.pos != s.period - 1);
+            st.pos = (st.pos + 1) % s.period;
+            break;
+          case ConditionSpec::Kind::Pattern:
+            out = (s.pattern >> st.pos) & 1;
+            st.pos = (st.pos + 1) % s.period;
+            break;
+          case ConditionSpec::Kind::Correlated: {
+            const bool a = state[s.srcs[0]].last;
+            const bool b =
+                s.srcs[1] == invalidCond ? false : state[s.srcs[1]].last;
+            switch (s.fn) {
+              case ConditionSpec::Fn::Copy: out = a; break;
+              case ConditionSpec::Fn::NotCopy: out = !a; break;
+              case ConditionSpec::Fn::And: out = a && b; break;
+              case ConditionSpec::Fn::Or: out = a || b; break;
+              case ConditionSpec::Fn::Xor: out = a != b; break;
+            }
+            if (s.noise > 0.0 && rng.bernoulli(s.noise))
+                out = !out;
+            break;
+          }
+        }
+
+        st.last = out;
+        return out;
+    }
 
     /** Latest recorded outcome of condition @p id (false before first). */
     bool lastOutcome(CondId id) const { return state[id].last; }

@@ -1,5 +1,7 @@
 #include "program/emulator.hh"
 
+#include <algorithm>
+
 #include "common/bitutils.hh"
 #include "common/logging.hh"
 
@@ -9,24 +11,36 @@ namespace program
 {
 
 Emulator::Emulator(const Program &prog, std::uint64_t seed)
-    : program(prog), conds(prog.conditions(), seed ^ 0xc0ffee123456789ull),
+    : Emulator(prog, nullptr, seed)
+{
+}
+
+Emulator::Emulator(const Program &prog, const DecodedProgram *decoded,
+                   std::uint64_t seed)
+    : program(prog), dec(decoded), image(prog.image().data()),
+      conds(prog.conditions(), seed ^ 0xc0ffee123456789ull),
       rng(seed), intRegs(isa::numIntRegs, 0), fpRegs(isa::numFpRegs, 0),
-      predRegs(isa::numPredRegs, false),
+      predRegs(isa::numPredRegs, 0),
       dataMem(prog.dataSize() / 8, 0), curPc(prog.entry())
 {
+    static_assert(isa::numPredRegs <= 64,
+                  "skip()'s predicate-write mask is a 64-bit word");
     panicIfNot(isPowerOfTwo(prog.dataSize()),
                "data segment size must be a power of two");
-    predRegs[isa::regP0] = true;
+    if (dec == nullptr) {
+        ownedDec = std::make_unique<const DecodedProgram>(prog);
+        dec = ownedDec.get();
+    } else {
+        panicIfNot(dec->source() == &prog,
+                   "decoded program was built from a different binary");
+    }
+    ops = dec->ops().data();
+    numOps = static_cast<std::uint32_t>(dec->size());
+    curIdx = static_cast<std::uint32_t>(curPc / isa::instBytes);
+    predRegs[isa::regP0] = 1;
     // Non-zero initial register contents so address streams vary.
     for (RegIndex r = 1; r < isa::numIntRegs; ++r)
         intRegs[r] = rng.next64();
-}
-
-void
-Emulator::skip(std::uint64_t n)
-{
-    for (std::uint64_t i = 0; i < n; ++i)
-        step();
 }
 
 Emulator::Checkpoint
@@ -35,9 +49,7 @@ Emulator::checkpoint() const
     Checkpoint c;
     c.intRegs = intRegs;
     c.fpRegs = fpRegs;
-    c.predRegs.reserve(predRegs.size());
-    for (const bool p : predRegs)
-        c.predRegs.push_back(p ? 1 : 0);
+    c.predRegs = predRegs;
     c.dataMem = dataMem;
     c.callStack = callStack;
     c.pc = curPc;
@@ -55,13 +67,17 @@ Emulator::restore(const Checkpoint &ckpt)
                ckpt.predRegs.size() == predRegs.size() &&
                ckpt.dataMem.size() == dataMem.size(),
                "emulator checkpoint is for a different program");
+    panicIfNot(ckpt.pc % isa::instBytes == 0 &&
+               ckpt.pc / isa::instBytes <= program.size(),
+               "emulator checkpoint PC outside the code image");
     intRegs = ckpt.intRegs;
     fpRegs = ckpt.fpRegs;
     for (std::size_t i = 0; i < predRegs.size(); ++i)
-        predRegs[i] = ckpt.predRegs[i] != 0;
+        predRegs[i] = ckpt.predRegs[i] != 0 ? 1 : 0;
     dataMem = ckpt.dataMem;
     callStack = ckpt.callStack;
     curPc = ckpt.pc;
+    curIdx = static_cast<std::uint32_t>(curPc / isa::instBytes);
     numInsts = ckpt.numInsts;
     conds.restore(ckpt.conds);
     rng.setState(ckpt.rng);
@@ -225,8 +241,65 @@ Emulator::effAddr(std::uint64_t base, std::int64_t disp) const
     return (base + static_cast<std::uint64_t>(disp)) & (bytes - 1) & ~7ull;
 }
 
+void
+Emulator::checkInImage() const
+{
+    panicIfNot(curPc % isa::instBytes == 0 && curIdx < numOps,
+               "emulator PC left the code image");
+}
+
 ExecRecord
 Emulator::step()
+{
+    checkInImage();
+    ExecRecord rec;
+    std::uint64_t mask = 0;
+    execOne<ExecTier::Produce, FfSink>(&rec, nullptr, mask);
+    return rec;
+}
+
+void
+Emulator::produce(ExecRing &ring, std::uint64_t min_records)
+{
+    std::uint64_t emitted = 0;
+    std::uint64_t mask = 0;
+    while (emitted < min_records) {
+        checkInImage();
+        // One whole basic block per setup: everything before the run's
+        // last op is straight-line by construction, so the inner loop
+        // needs no per-op image checks.
+        const std::uint16_t len = ops[curIdx].bbLen;
+        for (std::uint16_t k = 0; k < len; ++k)
+            execOne<ExecTier::Produce, FfSink>(&ring.push(), nullptr, mask);
+        emitted += len;
+    }
+}
+
+std::uint64_t
+Emulator::skip(std::uint64_t n, FfSink *sink)
+{
+    std::uint64_t mask = 0;
+    std::uint64_t done = 0;
+    while (done < n) {
+        checkInImage();
+        const std::uint64_t len = std::min<std::uint64_t>(
+            ops[curIdx].bbLen, n - done);
+        for (std::uint64_t k = 0; k < len; ++k)
+            execOne<ExecTier::Skip, FfSink>(nullptr, sink, mask);
+        done += len;
+    }
+    return mask;
+}
+
+// ---------------------------------------------------------------------
+// Reference interpreter (the pre-decode switch over isa::Instruction).
+// Retained verbatim as the differential-testing baseline: the decoded
+// tiers above must replay byte-identical ExecRecords and state against
+// this implementation (tests/program/test_decoded.cpp pins it).
+// ---------------------------------------------------------------------
+
+ExecRecord
+Emulator::stepLegacy()
 {
     const isa::Instruction *ins = program.at(curPc);
     panicIfNot(ins != nullptr, "emulator PC left the code image");
@@ -290,7 +363,7 @@ Emulator::step()
         const std::uint64_t a = fpRegs[ins->src1];
         const std::uint64_t b =
             ins->src2 == invalidReg ? 0 : fpRegs[ins->src2];
-        fpRegs[ins->dst] = mix64(a + 0x9e3779b97f4a7c15ull * (b + 1));
+        fpRegs[ins->dst] = mix64(a + kFpMix * (b + 1));
         break;
       }
 
@@ -397,6 +470,7 @@ Emulator::step()
     }
 
     curPc = rec.nextPc;
+    curIdx = static_cast<std::uint32_t>(curPc / isa::instBytes);
     ++numInsts;
     return rec;
 }

@@ -35,8 +35,25 @@ constexpr std::uint64_t kAccuracyMeasure = 60000;
 constexpr double kAccuracyIpcBoundPct = 2.0;
 constexpr double kAccuracyMispredBoundPp = 0.5;
 
-/** End-to-end bound for sampled vs full on the ifcmax stress profile. */
-constexpr double kSampledSpeedupBound = 5.0;
+/**
+ * End-to-end bound for sampled vs full on the ifcmax stress profile.
+ * The production policy measures >=10x on the reference machine
+ * (BENCH_sampling.json); the gate sits below that point estimate only
+ * to absorb host wall-clock variance — accuracy bounds are exact and
+ * carry no such slack.
+ */
+constexpr double kSampledSpeedupBound = 9.0;
+
+/**
+ * Warn-level bound on the sampled IPC estimate's 95% confidence
+ * half-width (ipc_ci_pct, % of the estimate). The --check gate FAILS
+ * on realized point error against the full run — available here
+ * because the benchmark runs both sides — but only WARNS on CI width:
+ * the CI is the *predicted* error band a production sweep (with no
+ * full-simulation twin) would rely on, and a wide band with a small
+ * realized error means the estimate was lucky, not precise.
+ */
+constexpr double kSampledCiWarnPct = 5.0;
 
 /** One cell of the accuracy grid. */
 struct AccuracyCell

@@ -53,12 +53,13 @@ sampledRunDetailed(const program::Program &binary,
                    const sim::SchemeConfig &scheme,
                    const core::CoreConfig &base_cfg,
                    std::uint64_t warmup_insts, std::uint64_t measure_insts,
-                   const SamplingPolicy &policy)
+                   const SamplingPolicy &policy,
+                   const program::DecodedProgram *decoded)
 {
     SampledRun out;
     if (!policy.enabled()) {
         out.result = sim::run(binary, profile, scheme, base_cfg,
-                              warmup_insts, measure_insts);
+                              warmup_insts, measure_insts, decoded);
         return out;
     }
     panicIfNot(measure_insts > 0, "sampled run with empty region");
@@ -76,7 +77,7 @@ sampledRunDetailed(const program::Program &binary,
     // caches persist: between windows it drains, fast-forwards its own
     // oracle (warming those structures functionally), and resumes
     // detailed execution on the correct path.
-    core::OoOCore cpu(binary, cfg, seed);
+    core::OoOCore cpu(binary, cfg, seed, decoded);
 
     core::CoreStats total;
     std::vector<double> window_ipc;
@@ -197,10 +198,11 @@ sampledRun(const program::Program &binary,
            const program::BenchmarkProfile &profile,
            const sim::SchemeConfig &scheme,
            const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
-           std::uint64_t measure_insts, const SamplingPolicy &policy)
+           std::uint64_t measure_insts, const SamplingPolicy &policy,
+           const program::DecodedProgram *decoded)
 {
     return sampledRunDetailed(binary, profile, scheme, base_cfg,
-                              warmup_insts, measure_insts, policy)
+                              warmup_insts, measure_insts, policy, decoded)
         .result;
 }
 

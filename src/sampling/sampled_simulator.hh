@@ -65,6 +65,8 @@ struct SampledRun
  * Sampled analogue of sim::run(): estimate the stats of the full run's
  * measurement region [warmup_insts, warmup_insts + measure_insts) under
  * @p policy. A disabled policy falls back to full detailed simulation.
+ * @p decoded optionally shares a predecode of @p binary (nullptr: the
+ * core decodes privately); results are bit-identical either way.
  */
 SampledRun sampledRunDetailed(const program::Program &binary,
                               const program::BenchmarkProfile &profile,
@@ -72,7 +74,9 @@ SampledRun sampledRunDetailed(const program::Program &binary,
                               const core::CoreConfig &base_cfg,
                               std::uint64_t warmup_insts,
                               std::uint64_t measure_insts,
-                              const SamplingPolicy &policy);
+                              const SamplingPolicy &policy,
+                              const program::DecodedProgram *decoded =
+                                  nullptr);
 
 /** As above, dropping the diagnostics. */
 sim::RunResult sampledRun(const program::Program &binary,
@@ -81,7 +85,8 @@ sim::RunResult sampledRun(const program::Program &binary,
                           const core::CoreConfig &base_cfg,
                           std::uint64_t warmup_insts,
                           std::uint64_t measure_insts,
-                          const SamplingPolicy &policy);
+                          const SamplingPolicy &policy,
+                          const program::DecodedProgram *decoded = nullptr);
 
 } // namespace sampling
 } // namespace pp

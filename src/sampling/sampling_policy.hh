@@ -85,22 +85,31 @@ struct SamplingPolicy
     }
 
     /**
-     * The tuned production policy for paper-scale (1M+) regions: ~5%
-     * detailed coverage, predictor/cache warming over the last 2/3 of
-     * each gap. On the ifcmax stress profile this measures >5x end-to-
-     * end speedup at ~1% IPC and <0.5pp misprediction error vs full
-     * simulation — see bench_sampling_accuracy / BENCH_sampling.json.
+     * The tuned production policy for paper-scale (1M+) regions: ~4%
+     * detailed coverage, predictor/cache warming over the last 100k
+     * instructions before each window (the last 2/3 of the gap on
+     * shorter periods). Retuned after the predecoded two-tier
+     * fast-forward made the skip tier ~14x cheaper than detailed
+     * simulation: the period stretched (150k -> 250k) and the measure
+     * window grew (4k -> 6k), trading window count for per-window
+     * measured coverage at a fixed 100k warming length — the warming
+     * length, not the skipped span, is what bounds the misprediction-
+     * rate error (stale tables retrain during warming; see
+     * BENCH_sampling.json). On the ifcmax stress profile this measures
+     * >=10x end-to-end speedup at ~1% IPC and <0.4pp misprediction
+     * error vs full simulation — see bench_sampling_accuracy.
      * Short regions want denser coverage (sampling error scales with
      * window count): see the accuracy-grid policy in that benchmark.
      */
     static SamplingPolicy
-    smarts(std::uint64_t period = 150000)
+    smarts(std::uint64_t period = 250000)
     {
         SamplingPolicy p;
         p.periodInsts = period;
         p.warmupInsts = 4000;
-        p.measureInsts = 4000;
-        p.warmingHorizon = (period * 2) / 3;
+        p.measureInsts = 6000;
+        p.warmingHorizon =
+            period * 2 / 3 < 100000 ? period * 2 / 3 : 100000;
         return p;
     }
 };

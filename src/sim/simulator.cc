@@ -46,6 +46,12 @@ buildBinaryShared(const program::BenchmarkProfile &profile, bool if_convert)
         buildBinary(profile, if_convert));
 }
 
+DecodedRef
+decodeShared(const ProgramRef &binary)
+{
+    return std::make_shared<const program::DecodedProgram>(*binary);
+}
+
 RunResult
 run(const program::Program &binary,
     const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
@@ -75,12 +81,12 @@ RunResult
 run(const program::Program &binary,
     const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
     const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
-    std::uint64_t measure_insts)
+    std::uint64_t measure_insts, const program::DecodedProgram *decoded)
 {
     const core::CoreConfig cfg = resolveConfig(scheme, base_cfg);
 
     const auto host_start = std::chrono::steady_clock::now();
-    core::OoOCore cpu(binary, cfg, coreSeed(profile));
+    core::OoOCore cpu(binary, cfg, coreSeed(profile), decoded);
     cpu.run(warmup_insts);
     const core::CoreStats at_warmup = cpu.coreStats();
     cpu.run(warmup_insts + measure_insts);

@@ -14,6 +14,7 @@
 
 #include "core/config.hh"
 #include "core/corestats.hh"
+#include "program/decoded.hh"
 #include "program/ifconvert.hh"
 #include "program/program.hh"
 #include "program/suite.hh"
@@ -111,6 +112,17 @@ ProgramRef buildBinaryShared(const program::BenchmarkProfile &profile,
                              bool if_convert);
 
 /**
+ * Immutable shared handle to a binary's predecoded micro-op stream
+ * (program/decoded.hh). Like the binary itself it is built once per
+ * (profile, if-convert) pair and shared read-only by every run; the
+ * Program it was decoded from must outlive it.
+ */
+using DecodedRef = std::shared_ptr<const program::DecodedProgram>;
+
+/** Predecode @p binary for shared cross-thread use. */
+DecodedRef decodeShared(const ProgramRef &binary);
+
+/**
  * Layer @p scheme onto @p base_cfg: the single place the scheme/
  * predication knobs map onto a CoreConfig (shared by full and sampled
  * runs so both build bit-identical cores).
@@ -137,12 +149,15 @@ RunResult run(const program::Program &binary,
 /**
  * As above, but layering the scheme on top of @p base_cfg instead of the
  * default machine — the hook the experiment driver uses for core-config
- * override axes (ROB/queue sizing studies etc.).
+ * override axes (ROB/queue sizing studies etc.). @p decoded optionally
+ * shares a predecode of @p binary across runs (nullptr: the core
+ * decodes privately); execution is bit-identical either way.
  */
 RunResult run(const program::Program &binary,
               const program::BenchmarkProfile &profile,
               const SchemeConfig &scheme, const core::CoreConfig &base_cfg,
-              std::uint64_t warmup_insts, std::uint64_t measure_insts);
+              std::uint64_t warmup_insts, std::uint64_t measure_insts,
+              const program::DecodedProgram *decoded = nullptr);
 
 /** Convenience: build and run in one call. */
 RunResult buildAndRun(const program::BenchmarkProfile &profile,

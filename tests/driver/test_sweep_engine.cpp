@@ -142,7 +142,9 @@ TEST(RunMatrix, SamplingAxisMultipliesAndLabels)
     EXPECT_EQ(specs[1].label(), "gzip+ifc/conventional/smarts");
     EXPECT_FALSE(specs[0].sampling.enabled());
     EXPECT_TRUE(specs[1].sampling.enabled());
-    EXPECT_EQ(specs[1].sampling.periodInsts, 150000u);
+    // The production policy flows through the axis untouched.
+    EXPECT_EQ(specs[1].sampling.periodInsts,
+              sampling::SamplingPolicy::smarts().periodInsts);
 }
 
 TEST(SweepEngine, SamplingAxisRunsFullAndSampledSideBySide)
@@ -275,6 +277,24 @@ TEST(SweepEngine, BinaryCacheBuildsEachBinaryOnce)
     EXPECT_EQ(results.size(), 12u);
     EXPECT_EQ(engine.binariesBuilt(), 6u);
     EXPECT_EQ(engine.threadsUsed(), 2u);
+
+    // The decoded-program cache is keyed like the binary cache: one
+    // decode per binary, every other run of the cell a hit.
+    EXPECT_EQ(engine.counters().binariesBuilt, 6u);
+    EXPECT_EQ(engine.counters().decodedPrograms, 6u);
+    EXPECT_EQ(engine.counters().decodedCacheHits, 6u);
+
+    // With counters attached, the JSON summary surfaces them.
+    const std::string json =
+        JsonSink{engine.counters()}.toString(m.specs(), results);
+    EXPECT_NE(json.find("\"binaries_built\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"decoded_programs\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"decoded_cache_hits\":6"), std::string::npos);
+
+    // Without counters the summary omits them (harnesses that sink
+    // results without an engine keep their old byte layout).
+    const std::string plain = JsonSink{}.toString(m.specs(), results);
+    EXPECT_EQ(plain.find("decoded_cache_hits"), std::string::npos);
 }
 
 TEST(SweepEngine, ResultsAlignWithSpecs)
