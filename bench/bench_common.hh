@@ -47,6 +47,8 @@ struct BenchOptions
     bool stress = false;        ///< append program::stressSuite()
     std::uint64_t warmup = 0;
     std::uint64_t measure = 0;
+    std::string recordTraceDir; ///< record one trace per binary here
+    std::string traceDir;       ///< replay traces from here (no codegen)
 };
 
 inline void
@@ -71,7 +73,13 @@ printUsage(const char *prog, const char *what, bool sweep_flags)
             "  --warmup N         warmup instructions (default:"
             " REPRO_WARMUP or 150000)\n"
             "  --instructions N   measured instructions (default:"
-            " REPRO_INSTRUCTIONS or 1000000)\n");
+            " REPRO_INSTRUCTIONS or 1000000)\n"
+            "  --record-traces D  record one workload trace per binary"
+            " into directory D\n"
+            "  --trace-dir D      replay workloads from the traces in"
+            " directory D\n"
+            "                     (generation code paths disabled;"
+            " byte-identical results)\n");
     }
     std::fprintf(stderr, "  --help             this text\n");
 }
@@ -135,6 +143,13 @@ parseBenchArgs(int argc, char **argv, const char *what,
                    std::strcmp(a, "--instructions") == 0) {
             opts.measure = parseU64(a, need_value(i));
             ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--record-traces") == 0) {
+            opts.recordTraceDir = need_value(i);
+            ++i;
+        } else if (sweep_flags && std::strcmp(a, "--trace-dir") == 0) {
+            opts.traceDir = need_value(i);
+            ++i;
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             printUsage(argv[0], what, sweep_flags);
@@ -144,7 +159,23 @@ parseBenchArgs(int argc, char **argv, const char *what,
             fatal(std::string("unknown argument: ") + a);
         }
     }
+    if (!opts.recordTraceDir.empty() && !opts.traceDir.empty())
+        fatal("--record-traces and --trace-dir are mutually exclusive");
     return opts;
+}
+
+/**
+ * Point every spec at its trace artifact under @p dir (the engine's
+ * record-mode naming: "<binaryKey>.pptrace"), switching the sweep to
+ * replay. No-op when @p dir is empty.
+ */
+inline void
+applyTraceDir(std::vector<driver::RunSpec> &specs, const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    for (auto &s : specs)
+        s.tracePath = dir + "/" + s.binaryKey() + ".pptrace";
 }
 
 /**
@@ -229,13 +260,15 @@ sweepSuite(const BenchOptions &opts,
     for (const auto &col : columns)
         matrix.addScheme(col.name, col.cfg);
 
-    const std::vector<driver::RunSpec> specs = matrix.specs();
+    std::vector<driver::RunSpec> specs = matrix.specs();
     if (specs.empty())
         fatal("sweep is empty (filter matched no benchmarks?)");
+    applyTraceDir(specs, opts.traceDir);
 
     driver::SweepOptions sweep_opts;
     sweep_opts.threads = opts.threads;
     sweep_opts.progress = true;
+    sweep_opts.recordTraceDir = opts.recordTraceDir;
     driver::SweepEngine engine(sweep_opts);
     std::fprintf(stderr, "sweep: %zu runs, %zu binaries\n", specs.size(),
                  specs.size() / columns.size());

@@ -14,6 +14,12 @@
  * reuse the decoded-program cache exists for, and the printed cache
  * counters (also in the pp.sweep.v1 JSON summary) show it.
  *
+ * With --record-traces DIR the sweep additionally captures one trace
+ * artifact per benchmark; with --trace-dir DIR it replays those
+ * artifacts instead of regenerating — a config study over a frozen
+ * workload, byte-identical to the recording run (the trace layer's
+ * whole point: config axes never touch the functional stream).
+ *
  *   config_axis_sweep [--json PATH] [--csv PATH] [--threads N] ...
  */
 
@@ -72,10 +78,12 @@ main(int argc, char **argv)
     matrix.addSampling("", sampling::SamplingPolicy{});
     matrix.addSampling("smarts", sampling::SamplingPolicy::smarts());
 
-    const std::vector<driver::RunSpec> specs = matrix.specs();
+    std::vector<driver::RunSpec> specs = matrix.specs();
+    bench::applyTraceDir(specs, opts.traceDir);
     driver::SweepOptions sweep_opts;
     sweep_opts.threads = opts.threads;
     sweep_opts.progress = true;
+    sweep_opts.recordTraceDir = opts.recordTraceDir;
     driver::SweepEngine engine(sweep_opts);
     const std::vector<sim::RunResult> results = engine.run(specs);
 
@@ -95,9 +103,12 @@ main(int argc, char **argv)
     const driver::SweepCounters &c = engine.counters();
     std::fprintf(report,
                  "\nshared caches: %llu binaries, %llu decoded programs, "
-                 "%llu decoded-cache hits across %zu runs\n",
+                 "%llu decoded-cache hits, %llu traces, %llu trace-cache "
+                 "hits across %zu runs\n",
                  (unsigned long long)c.binariesBuilt,
                  (unsigned long long)c.decodedPrograms,
-                 (unsigned long long)c.decodedCacheHits, specs.size());
+                 (unsigned long long)c.decodedCacheHits,
+                 (unsigned long long)c.tracesLoaded,
+                 (unsigned long long)c.traceCacheHits, specs.size());
     return 0;
 }

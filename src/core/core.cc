@@ -19,9 +19,10 @@ using predictor::CompareContext;
 
 OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
                  std::uint64_t seed,
-                 const program::DecodedProgram *decoded)
+                 const program::DecodedProgram *decoded,
+                 const program::TraceFile *trace)
     : program(prog), cfg(config), mem(config.mem),
-      emu(prog, decoded, seed), bpu(config),
+      emu(prog, decoded, seed, trace), bpu(config),
       intMap(isa::numIntRegs, config.intPhysRegs),
       fpMap(isa::numFpRegs, config.fpPhysRegs),
       pprf(isa::numPredRegs, config.predPhysRegs), fetchPc(prog.entry())
@@ -48,8 +49,9 @@ OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
 OoOCore::OoOCore(const program::Program &prog, const CoreConfig &config,
                  std::uint64_t seed,
                  const program::Emulator::Checkpoint &resume,
-                 const program::DecodedProgram *decoded)
-    : OoOCore(prog, config, seed, decoded)
+                 const program::DecodedProgram *decoded,
+                 const program::TraceFile *trace)
+    : OoOCore(prog, config, seed, decoded, trace)
 {
     emu.restore(resume);
     fetchPc = emu.pc();

@@ -49,7 +49,8 @@ class OoOCore
      */
     OoOCore(const program::Program &prog, const CoreConfig &cfg,
             std::uint64_t seed,
-            const program::DecodedProgram *decoded = nullptr);
+            const program::DecodedProgram *decoded = nullptr,
+            const program::TraceFile *trace = nullptr);
 
     /**
      * As above, but resume the functional oracle from @p resume, so the
@@ -62,7 +63,8 @@ class OoOCore
     OoOCore(const program::Program &prog, const CoreConfig &cfg,
             std::uint64_t seed,
             const program::Emulator::Checkpoint &resume,
-            const program::DecodedProgram *decoded = nullptr);
+            const program::DecodedProgram *decoded = nullptr,
+            const program::TraceFile *trace = nullptr);
 
     /** Run until @p max_committed instructions have committed. */
     void run(std::uint64_t max_committed);

@@ -242,6 +242,13 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
         w.field("measured_insts", r.measuredInsts);
         w.field("detailed_insts", r.detailedInsts);
         w.field("ipc_error_bound", r.ipcErrorBound);
+        // Content identity of the workload artifact behind the run
+        // (recorded or replayed — the same trace hashes the same, so a
+        // replaying sweep's document matches its recording sweep's).
+        // Omitted entirely for trace-less runs: their byte layout
+        // predates the field and must not change.
+        if (!r.traceHash.empty())
+            w.field("trace_hash", r.traceHash);
         // Host wall time: nondeterministic by design — byte-identity
         // consumers must scrub it and the summary's total_host_ms (see
         // test_sweep_engine.cpp / the CI determinism smoke).
@@ -277,10 +284,12 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
     w.field("total_host_ms", total_host_ms);
     if (haveCounters_) {
         // Shared-cache statistics from the engine (deterministic: a
-        // pure function of the spec list).
+        // pure function of the spec list and options).
         w.field("binaries_built", counters_.binariesBuilt);
         w.field("decoded_programs", counters_.decodedPrograms);
         w.field("decoded_cache_hits", counters_.decodedCacheHits);
+        w.field("traces_loaded", counters_.tracesLoaded);
+        w.field("trace_cache_hits", counters_.traceCacheHits);
     }
     w.endObject();
     w.endObject();
@@ -295,7 +304,7 @@ CsvSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
     os << "benchmark,suite,if_converted,scheme,config,seed,warmup_insts,"
           "measure_insts,ipc,mispred_pct,accuracy_pct,early_resolved_pct,"
           "shadow_mispred_pct,sampling,sampled,measured_insts,"
-          "ipc_error_bound";
+          "ipc_error_bound,trace_hash";
     for (const auto &f : core::kCoreStatsFields)
         os << "," << f.name;
     os << "\n";
@@ -320,6 +329,8 @@ CsvSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
         } else {
             os << ",,,,";
         }
+        // Workload-artifact identity; empty for trace-less runs.
+        os << "," << r.traceHash;
         for (const auto &f : core::kCoreStatsFields)
             os << "," << r.stats.*f.member;
         os << "\n";

@@ -103,8 +103,9 @@ class JsonSink : public ResultSink
 
     /**
      * With engine counters the summary block additionally reports the
-     * shared binary/decoded-program cache statistics (binaries_built,
-     * decoded_programs, decoded_cache_hits) — all deterministic, so
+     * shared binary/decoded-program/trace cache statistics
+     * (binaries_built, decoded_programs, decoded_cache_hits,
+     * traces_loaded, trace_cache_hits) — all deterministic, so
      * byte-identity comparisons need no extra scrubbing.
      */
     explicit JsonSink(const SweepCounters &counters)

@@ -32,6 +32,12 @@ RunSpec::binaryKey() const
 }
 
 std::string
+RunSpec::buildKey() const
+{
+    return tracePath.empty() ? binaryKey() : "trace:" + tracePath;
+}
+
+std::string
 RunSpec::label() const
 {
     std::string l = binaryKey() + "/" + schemeName;

@@ -1,14 +1,18 @@
 #include "driver/sweep_engine.hh"
 
+#include "common/logging.hh"
+#include "program/trace.hh"
 #include "sampling/sampled_simulator.hh"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
 #include <functional>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <unordered_map>
 
@@ -78,6 +82,16 @@ resolveThreads(unsigned requested)
     return hw == 0 ? 1 : hw;
 }
 
+/** Create @p dir and its parents; fatal (with the cause) on failure. */
+void
+makeDirs(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create trace directory " + dir + ": " + ec.message());
+}
+
 } // namespace
 
 SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts) {}
@@ -94,27 +108,43 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     const unsigned threads = resolveThreads(opts_.threads);
     threadsUsed_ = threads;
 
-    // Phase 1: build each distinct binary once, and predecode it once
-    // right beside it (same cache key — the decode is a pure function
-    // of the binary). The build set is derived from the spec list in
-    // order, so the cache layout is deterministic; the builds
-    // themselves parallelize (codegen + if-conversion is the
-    // second-most expensive step after simulation).
+    const bool record = !opts_.recordTraceDir.empty();
+    if (record)
+        makeDirs(opts_.recordTraceDir);
+
+    // Recording horizon: one artifact per binary must serve every cell
+    // of the matrix, so cover the sweep's largest run window plus the
+    // oracle-lookahead slack.
+    std::uint64_t record_insts = 0;
+    for (const RunSpec &s : specs) {
+        record_insts = std::max(record_insts,
+                                s.warmupInsts + s.measureInsts);
+    }
+    record_insts += program::kTraceRecordSlack;
+
+    // Phase 1: materialize each distinct workload once — generate the
+    // binary (or load its trace artifact), predecode it, and in record
+    // mode capture + store its trace — all under one cache key
+    // (RunSpec::buildKey()), shared immutably by every run of the cell.
+    // The build set is derived from the spec list in order, so the
+    // cache layout is deterministic; the builds themselves parallelize.
     struct BuildJob
     {
-        const RunSpec *spec;    ///< first spec needing this binary
+        const RunSpec *spec;    ///< first spec needing this workload
         sim::ProgramRef binary;
         sim::DecodedRef decoded;
+        sim::TraceRef trace;    ///< loaded (replay) or recorded
     };
     std::vector<BuildJob> builds;
     std::unordered_map<std::string, std::size_t> key_to_build;
     std::vector<std::size_t> spec_build(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        const std::string key = specs[i].binaryKey();
+        const std::string key = specs[i].buildKey();
         auto it = key_to_build.find(key);
         if (it == key_to_build.end()) {
             it = key_to_build.emplace(key, builds.size()).first;
-            builds.push_back(BuildJob{&specs[i], nullptr, nullptr});
+            builds.push_back(BuildJob{&specs[i], nullptr, nullptr,
+                                      nullptr});
         }
         spec_build[i] = it->second;
     }
@@ -123,12 +153,66 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     counters_.binariesBuilt = builds.size();
     counters_.decodedPrograms = builds.size();
     counters_.decodedCacheHits = specs.size() - builds.size();
+    // Trace counters are a pure function of the spec list and options
+    // (like everything above), and deliberately symmetric between
+    // recording and replaying: the sweep that records N artifacts and
+    // the sweep that replays them report identical numbers, keeping
+    // their summaries byte-comparable.
+    std::uint64_t traced_builds = 0;
+    for (const BuildJob &b : builds)
+        traced_builds += (!b.spec->tracePath.empty() || record) ? 1 : 0;
+    std::uint64_t traced_specs = 0;
+    for (const RunSpec &s : specs)
+        traced_specs += (!s.tracePath.empty() || record) ? 1 : 0;
+    counters_.tracesLoaded = traced_builds;
+    counters_.traceCacheHits = traced_specs - traced_builds;
 
     parallelFor(builds.size(), threads, [&](std::size_t i) {
-        builds[i].binary = sim::buildBinaryShared(
-            builds[i].spec->profile, builds[i].spec->ifConvert);
-        builds[i].decoded = sim::decodeShared(builds[i].binary);
+        BuildJob &b = builds[i];
+        const RunSpec &s = *b.spec;
+        if (!s.tracePath.empty()) {
+            // Replay: the artifact is the workload. No codegen, no
+            // if-conversion profiling, no condition generation happens
+            // anywhere downstream of this load.
+            b.trace = std::make_shared<const program::TraceFile>(
+                program::TraceFile::load(s.tracePath));
+            b.binary = sim::traceBinary(b.trace);
+            b.decoded = sim::decodeShared(b.binary);
+            return;
+        }
+        b.binary = sim::buildBinaryShared(s.profile, s.ifConvert);
+        b.decoded = sim::decodeShared(b.binary);
+        if (record) {
+            program::TraceFile::Meta meta;
+            meta.benchmark = s.profile.name;
+            meta.isFp = s.profile.isFp;
+            meta.ifConverted = s.ifConvert;
+            meta.seed = s.profile.seed;
+            auto t = std::make_shared<const program::TraceFile>(
+                program::TraceFile::record(*b.binary, meta,
+                                           sim::coreSeed(s.profile),
+                                           record_insts, b.decoded.get()));
+            t->store(opts_.recordTraceDir + "/" + s.binaryKey() +
+                     ".pptrace");
+            b.trace = std::move(t);
+        }
     });
+
+    // Validate every replaying spec against its loaded artifact — not
+    // just the first spec of each build job, since tracePath is public
+    // API and hand-built specs could mis-key an artifact two ways.
+    // Demanding the oracle-lookahead slack on top of each run window
+    // makes a too-short artifact fail here, not as a stream-exhaustion
+    // panic mid-sweep; recorded traces always carry this slack, so
+    // same-matrix replays pass.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &s = specs[i];
+        if (s.tracePath.empty())
+            continue;
+        builds[spec_build[i]].trace->validate(
+            s.profile.name, s.profile.seed, s.ifConvert,
+            s.warmupInsts + s.measureInsts + program::kTraceRecordSlack);
+    }
 
     // Phase 2: execute every run. results[i] belongs to specs[i]
     // regardless of which worker produced it or when.
@@ -138,12 +222,17 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
         const RunSpec &s = specs[i];
         const BuildJob &build = builds[spec_build[i]];
         const sim::ProgramRef &binary = build.binary;
+        const program::TraceFile *replay =
+            s.tracePath.empty() ? nullptr : build.trace.get();
         results[i] = s.sampling.enabled()
             ? sampling::sampledRun(*binary, s.profile, s.scheme, s.config,
                                    s.warmupInsts, s.measureInsts,
-                                   s.sampling, build.decoded.get())
+                                   s.sampling, build.decoded.get(), replay)
             : sim::run(*binary, s.profile, s.scheme, s.config,
-                       s.warmupInsts, s.measureInsts, build.decoded.get());
+                       s.warmupInsts, s.measureInsts, build.decoded.get(),
+                       replay);
+        if (build.trace != nullptr)
+            results[i].traceHash = build.trace->contentHashHex();
         if (opts_.progress) {
             std::lock_guard<std::mutex> lock(progress_mutex);
             std::fprintf(stderr, ".");

@@ -1,5 +1,7 @@
 #include "program/condition.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pp
@@ -55,9 +57,69 @@ ConditionSpec::dataDep(double p)
     return s;
 }
 
+// ---------------------------------------------------------------------
+// ConditionSource: unified sparse checkpointing
+// ---------------------------------------------------------------------
+
+ConditionSource::Checkpoint
+ConditionSource::checkpoint() const
+{
+    Checkpoint c;
+    c.numConds = static_cast<std::uint32_t>(state.size());
+    c.replay = isReplay();
+    for (std::size_t i = 0; i < state.size(); ++i) {
+        const CondState &st = state[i];
+        // Untouched conditions are still at their reset state (only
+        // evaluate() mutates them), so the reset-then-apply restore
+        // below reproduces them without an entry.
+        if (!st.touched)
+            continue;
+        c.ids.push_back(static_cast<CondId>(i));
+        c.pos.push_back(st.pos);
+        c.last.push_back(st.last ? 1 : 0);
+    }
+    c.rng = rngState();
+    return c;
+}
+
+void
+ConditionSource::restore(const Checkpoint &ckpt)
+{
+    panicIfNot(ckpt.numConds == state.size(),
+               "condition checkpoint is for a different program");
+    panicIfNot(ckpt.replay == isReplay(),
+               "condition checkpoint is from the other source kind "
+               "(generation vs replay)");
+    panicIfNot(ckpt.ids.size() == ckpt.pos.size() &&
+               ckpt.ids.size() == ckpt.last.size(),
+               "condition checkpoint entry arrays disagree");
+    for (CondState &st : state)
+        st = CondState{};
+    CondId prev = invalidCond;
+    for (std::size_t k = 0; k < ckpt.ids.size(); ++k) {
+        const CondId id = ckpt.ids[k];
+        panicIfNot(id < state.size() && (prev == invalidCond || id > prev),
+                   "condition checkpoint ids out of range or unsorted");
+        prev = id;
+        // Checkpoints cross machine boundaries; an out-of-range cursor
+        // from a corrupt image would shift by >= 64 (UB) or silently
+        // diverge the condition stream, so reject it here.
+        checkCursor(id, ckpt.pos[k]);
+        state[id].pos = ckpt.pos[k];
+        state[id].last = ckpt.last[k] != 0;
+        state[id].touched = true;
+    }
+    setRngState(ckpt.rng);
+}
+
+// ---------------------------------------------------------------------
+// ConditionTable: RNG-backed generation
+// ---------------------------------------------------------------------
+
 ConditionTable::ConditionTable(std::vector<ConditionSpec> cond_specs,
                                std::uint64_t seed)
-    : specs(std::move(cond_specs)), state(specs.size()), rng(seed)
+    : ConditionSource(cond_specs.size()), specs(std::move(cond_specs)),
+      rng(seed)
 {
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const auto &s = specs[i];
@@ -72,40 +134,43 @@ ConditionTable::ConditionTable(std::vector<ConditionSpec> cond_specs,
     }
 }
 
-ConditionTable::Checkpoint
-ConditionTable::checkpoint() const
+void
+ConditionTable::recordInto(std::vector<ConditionStream> *streams)
 {
-    Checkpoint c;
-    c.pos.reserve(state.size());
-    c.last.reserve(state.size());
-    for (const CondState &st : state) {
-        c.pos.push_back(st.pos);
-        c.last.push_back(st.last ? 1 : 0);
-    }
-    c.rng = rng.state();
-    return c;
+    panicIfNot(streams == nullptr || streams->size() == specs.size(),
+               "condition recording streams sized for a different program");
+    rec = streams;
 }
 
 void
-ConditionTable::restore(const Checkpoint &ckpt)
+ConditionTable::checkCursor(CondId id, std::uint32_t pos) const
 {
-    panicIfNot(ckpt.pos.size() == state.size() &&
-               ckpt.last.size() == state.size(),
-               "condition checkpoint is for a different program");
-    for (std::size_t i = 0; i < state.size(); ++i) {
-        // Checkpoints cross machine boundaries; an out-of-range cursor
-        // from a corrupt image would shift by >= 64 (UB) or silently
-        // diverge the condition stream, so reject it here. Only Loop
-        // and Pattern conditions have a cursor at all.
-        const ConditionSpec &s = specs[i];
-        const bool cursored = s.kind == ConditionSpec::Kind::Loop ||
-            s.kind == ConditionSpec::Kind::Pattern;
-        panicIfNot(cursored ? ckpt.pos[i] < s.period : ckpt.pos[i] == 0,
-                   "condition checkpoint cursor out of range");
-        state[i].pos = ckpt.pos[i];
-        state[i].last = ckpt.last[i] != 0;
+    // Only Loop and Pattern conditions have a generator cursor at all.
+    const ConditionSpec &s = specs[id];
+    const bool cursored = s.kind == ConditionSpec::Kind::Loop ||
+        s.kind == ConditionSpec::Kind::Pattern;
+    panicIfNot(cursored ? pos < s.period : pos == 0,
+               "condition checkpoint cursor out of range");
+}
+
+// ---------------------------------------------------------------------
+// ConditionReplay: recorded-stream consumption
+// ---------------------------------------------------------------------
+
+ConditionReplay::ConditionReplay(const std::vector<ConditionStream> &strms)
+    : ConditionSource(strms.size()), streams(&strms)
+{
+    for (const ConditionStream &s : *streams) {
+        panicIfNot(s.words.size() == (s.length + 63) / 64,
+                   "trace condition stream words/length mismatch");
     }
-    rng.setState(ckpt.rng);
+}
+
+void
+ConditionReplay::checkCursor(CondId id, std::uint32_t pos) const
+{
+    panicIfNot(pos <= (*streams)[id].length,
+               "condition checkpoint cursor past the recorded stream");
 }
 
 } // namespace program

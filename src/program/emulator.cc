@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/bitutils.hh"
+#include "common/bytestream.hh"
 #include "common/logging.hh"
+#include "program/trace.hh"
 
 namespace pp
 {
@@ -16,9 +18,8 @@ Emulator::Emulator(const Program &prog, std::uint64_t seed)
 }
 
 Emulator::Emulator(const Program &prog, const DecodedProgram *decoded,
-                   std::uint64_t seed)
+                   std::uint64_t seed, const TraceFile *trace)
     : program(prog), dec(decoded), image(prog.image().data()),
-      conds(prog.conditions(), seed ^ 0xc0ffee123456789ull),
       rng(seed), intRegs(isa::numIntRegs, 0), fpRegs(isa::numFpRegs, 0),
       predRegs(isa::numPredRegs, 0),
       dataMem(prog.dataSize() / 8, 0), curPc(prog.entry())
@@ -27,6 +28,21 @@ Emulator::Emulator(const Program &prog, const DecodedProgram *decoded,
                   "skip()'s predicate-write mask is a 64-bit word");
     panicIfNot(isPowerOfTwo(prog.dataSize()),
                "data segment size must be a power of two");
+    if (trace == nullptr) {
+        condGen = &condStore.emplace<ConditionTable>(
+            prog.conditions(), seed ^ 0xc0ffee123456789ull);
+        conds = condGen;
+    } else {
+        // Replay: outcomes come from the recorded streams; no condition
+        // RNG exists to draw from. The trace normally carries the very
+        // program being executed, but all the emulator requires is that
+        // the streams line up with this program's condition table.
+        panicIfNot(trace->streams().size() == prog.conditions().size() &&
+                   trace->binary().size() == prog.size(),
+                   "trace was recorded from a different binary");
+        condRep = &condStore.emplace<ConditionReplay>(trace->streams());
+        conds = condRep;
+    }
     if (dec == nullptr) {
         ownedDec = std::make_unique<const DecodedProgram>(prog);
         dec = ownedDec.get();
@@ -43,6 +59,14 @@ Emulator::Emulator(const Program &prog, const DecodedProgram *decoded,
         intRegs[r] = rng.next64();
 }
 
+void
+Emulator::recordConditions(std::vector<ConditionStream> *streams)
+{
+    panicIfNot(condGen != nullptr,
+               "cannot record conditions while replaying a trace");
+    condGen->recordInto(streams);
+}
+
 Emulator::Checkpoint
 Emulator::checkpoint() const
 {
@@ -54,7 +78,7 @@ Emulator::checkpoint() const
     c.callStack = callStack;
     c.pc = curPc;
     c.numInsts = numInsts;
-    c.conds = conds.checkpoint();
+    c.conds = conds->checkpoint();
     c.rng = rng.state();
     return c;
 }
@@ -79,76 +103,23 @@ Emulator::restore(const Checkpoint &ckpt)
     curPc = ckpt.pc;
     curIdx = static_cast<std::uint32_t>(curPc / isa::instBytes);
     numInsts = ckpt.numInsts;
-    conds.restore(ckpt.conds);
+    conds->restore(ckpt.conds);
     rng.setState(ckpt.rng);
 }
 
 // ---------------------------------------------------------------------
-// Checkpoint byte serialization: versioned little-endian u64 stream.
+// Checkpoint byte serialization: versioned little-endian u64 stream on
+// the shared framing (common/bytestream.hh). Version 2: condition state
+// is sparse — one (id, cursor, last) entry per condition the execution
+// actually touched, instead of dense rows for every condition the
+// program declares (most of which a sampling window never evaluates).
 // ---------------------------------------------------------------------
 
 namespace
 {
 
-constexpr std::uint64_t kCkptMagic = 0x70706d75636b7031ull; // "ppemuckp1"
-
-void
-putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-struct ByteReader
-{
-    const std::vector<std::uint8_t> &bytes;
-    std::size_t at = 0;
-
-    std::uint64_t
-    u64()
-    {
-        panicIfNot(at + 8 <= bytes.size(),
-                   "emulator checkpoint image truncated");
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * i);
-        at += 8;
-        return v;
-    }
-
-    /**
-     * A length prefix, validated against the bytes remaining BEFORE any
-     * container is sized from it: checkpoints cross process/machine
-     * boundaries (distributed sampling), so a corrupt length must fail
-     * the documented way, not as a multi-exabyte allocation.
-     */
-    std::size_t
-    length()
-    {
-        const std::uint64_t n = u64();
-        panicIfNot(n <= (bytes.size() - at) / 8,
-                   "emulator checkpoint image truncated");
-        return static_cast<std::size_t>(n);
-    }
-};
-
-void
-putU64Vec(std::vector<std::uint8_t> &out,
-          const std::vector<std::uint64_t> &v)
-{
-    putU64(out, v.size());
-    for (const std::uint64_t x : v)
-        putU64(out, x);
-}
-
-std::vector<std::uint64_t>
-getU64Vec(ByteReader &r)
-{
-    std::vector<std::uint64_t> v(r.length());
-    for (auto &x : v)
-        x = r.u64();
-    return v;
-}
+constexpr std::uint64_t kCkptMagic = 0x70706d75636b7032ull; // "ppemuckp2"
+constexpr const char *kCkptWhat = "emulator checkpoint image";
 
 } // namespace
 
@@ -166,8 +137,11 @@ Emulator::Checkpoint::serialize() const
     putU64Vec(out, callStack);
     putU64(out, pc);
     putU64(out, numInsts);
-    putU64(out, conds.pos.size());
-    for (std::size_t i = 0; i < conds.pos.size(); ++i) {
+    putU64(out, conds.numConds);
+    putU64(out, conds.replay ? 1 : 0);
+    putU64(out, conds.ids.size());
+    for (std::size_t i = 0; i < conds.ids.size(); ++i) {
+        putU64(out, conds.ids[i]);
         putU64(out, conds.pos[i]);
         putU64(out, conds.last[i]);
     }
@@ -181,23 +155,27 @@ Emulator::Checkpoint::serialize() const
 Emulator::Checkpoint
 Emulator::Checkpoint::deserialize(const std::vector<std::uint8_t> &bytes)
 {
-    ByteReader r{bytes};
+    ByteReader r{bytes, kCkptWhat};
     panicIfNot(r.u64() == kCkptMagic,
                "not an emulator checkpoint image (bad magic)");
     Checkpoint c;
-    c.intRegs = getU64Vec(r);
-    c.fpRegs = getU64Vec(r);
+    c.intRegs = r.u64Vec();
+    c.fpRegs = r.u64Vec();
     c.predRegs.resize(r.length());
     for (auto &p : c.predRegs)
         p = static_cast<std::uint8_t>(r.u64());
-    c.dataMem = getU64Vec(r);
-    c.callStack = getU64Vec(r);
+    c.dataMem = r.u64Vec();
+    c.callStack = r.u64Vec();
     c.pc = r.u64();
     c.numInsts = r.u64();
-    const std::size_t n_conds = r.length();
-    c.conds.pos.resize(n_conds);
-    c.conds.last.resize(n_conds);
-    for (std::uint64_t i = 0; i < n_conds; ++i) {
+    c.conds.numConds = static_cast<std::uint32_t>(r.u64());
+    c.conds.replay = r.u64() != 0;
+    const std::size_t touched = r.length(3);
+    c.conds.ids.resize(touched);
+    c.conds.pos.resize(touched);
+    c.conds.last.resize(touched);
+    for (std::size_t i = 0; i < touched; ++i) {
+        c.conds.ids[i] = static_cast<CondId>(r.u64());
         c.conds.pos[i] = static_cast<std::uint32_t>(r.u64());
         c.conds.last[i] = static_cast<std::uint8_t>(r.u64());
     }
@@ -205,8 +183,7 @@ Emulator::Checkpoint::deserialize(const std::vector<std::uint8_t> &bytes)
         w = r.u64();
     for (auto &w : c.rng)
         w = r.u64();
-    panicIfNot(r.at == bytes.size(),
-               "emulator checkpoint image has trailing bytes");
+    r.expectEnd();
     return c;
 }
 
@@ -402,7 +379,7 @@ Emulator::stepLegacy()
         switch (ins->ctype) {
           case CmpType::Unc:
             // Always writes both targets: QP & cond / QP & !cond.
-            rec.condVal = rec.qpVal ? conds.evaluate(ins->condId) : false;
+            rec.condVal = rec.qpVal ? evalCond(ins->condId) : false;
             writePred(ins->pdst1, rec.qpVal && rec.condVal,
                       rec.pd1Written, rec.pd1Val);
             writePred(ins->pdst2, rec.qpVal && !rec.condVal,
@@ -410,7 +387,7 @@ Emulator::stepLegacy()
             break;
           case CmpType::Normal:
             if (rec.qpVal) {
-                rec.condVal = conds.evaluate(ins->condId);
+                rec.condVal = evalCond(ins->condId);
                 writePred(ins->pdst1, rec.condVal, rec.pd1Written,
                           rec.pd1Val);
                 writePred(ins->pdst2, !rec.condVal, rec.pd2Written,
@@ -419,7 +396,7 @@ Emulator::stepLegacy()
             break;
           case CmpType::And:
             if (rec.qpVal) {
-                rec.condVal = conds.evaluate(ins->condId);
+                rec.condVal = evalCond(ins->condId);
                 if (!rec.condVal) {
                     writePred(ins->pdst1, false, rec.pd1Written,
                               rec.pd1Val);
@@ -430,7 +407,7 @@ Emulator::stepLegacy()
             break;
           case CmpType::Or:
             if (rec.qpVal) {
-                rec.condVal = conds.evaluate(ins->condId);
+                rec.condVal = evalCond(ins->condId);
                 if (rec.condVal) {
                     writePred(ins->pdst1, true, rec.pd1Written, rec.pd1Val);
                     writePred(ins->pdst2, true, rec.pd2Written, rec.pd2Val);

@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <variant>
 #include <vector>
 
 #include "common/bitutils.hh"
@@ -42,6 +43,8 @@ namespace pp
 {
 namespace program
 {
+
+class TraceFile;
 
 /**
  * FP payload mixing constant: FAdd/FMul/FDiv all produce
@@ -77,9 +80,35 @@ class Emulator
      * As above, executing on a shared predecode of @p prog. @p decoded
      * may be null (decode privately); when set it must have been built
      * from @p prog itself and must outlive the emulator.
+     *
+     * With @p trace set, conditions REPLAY the trace's recorded streams
+     * (program/trace.hh) instead of being generated: the emulator
+     * consumes the recorded outcome exactly where it would have drawn a
+     * fresh value, on every tier, so the execution is bit-identical to
+     * the recording run. The trace must match @p prog (it normally IS
+     * the trace's embedded binary) and must outlive the emulator.
      */
     Emulator(const Program &prog, const DecodedProgram *decoded,
-             std::uint64_t seed);
+             std::uint64_t seed, const TraceFile *trace = nullptr);
+
+    /**
+     * Not copyable or movable: conds/condGen/condRep point into the
+     * emulator's own condStore member and would dangle in the
+     * destination object.
+     */
+    Emulator(const Emulator &) = delete;
+    Emulator &operator=(const Emulator &) = delete;
+
+    /**
+     * Record every condition outcome this emulator draws from here on
+     * into @p streams (one per condition, sized to the program's
+     * condition count; nullptr detaches). Generation mode only — a
+     * replaying emulator has nothing new to record.
+     */
+    void recordConditions(std::vector<ConditionStream> *streams);
+
+    /** True when conditions replay a recorded trace. */
+    bool replaying() const { return condRep != nullptr; }
 
     /** Execute one instruction; returns its record. */
     ExecRecord step();
@@ -183,7 +212,7 @@ class Emulator
         std::vector<Addr> callStack;
         Addr pc = 0;
         std::uint64_t numInsts = 0;
-        ConditionTable::Checkpoint conds;
+        ConditionSource::Checkpoint conds;
         Rng::State rng{};
 
         /** Portable little-endian byte image (versioned). */
@@ -245,12 +274,37 @@ class Emulator
                    bool &val_flag);
     Addr effAddr(std::uint64_t base, std::int64_t disp) const;
 
+    /**
+     * Draw the next outcome of condition @p id. The source is one of
+     * exactly two final classes, picked at construction; dispatching on
+     * the cached typed pointer instead of through the vtable lets both
+     * header-defined evaluate() bodies inline into the hot loop (one
+     * well-predicted branch instead of an opaque indirect call).
+     */
+    bool
+    evalCond(CondId id)
+    {
+        return condGen != nullptr ? condGen->evaluateImpl(id)
+                                  : condRep->evaluateImpl(id);
+    }
+
     const Program &program;
     const DecodedProgram *dec;
     std::unique_ptr<const DecodedProgram> ownedDec;
     const isa::Instruction *image; ///< program.image().data()
     const DecodedOp *ops = nullptr; ///< dec->ops().data()
-    ConditionTable conds;
+    /**
+     * The condition source, stored by value (not behind an owning
+     * pointer): every executed compare reads it, and keeping it inside
+     * the emulator object saves a dependent heap load on that path —
+     * measurable on the fast-forward tiers. condGen/condRep cache the
+     * active alternative for evalCond(); conds is the interface view
+     * (checkpoint/restore).
+     */
+    std::variant<std::monostate, ConditionTable, ConditionReplay> condStore;
+    ConditionSource *conds = nullptr;
+    ConditionTable *condGen = nullptr;  ///< set in generation mode
+    ConditionReplay *condRep = nullptr; ///< set in replay mode
     Rng rng;
 
     std::vector<std::uint64_t> intRegs;
@@ -406,20 +460,20 @@ Emulator::execOne(ExecRecord *rec, Sink *sink, std::uint64_t &pred_mask)
         // Always writes both targets: QP & cond / QP & !cond. The
         // condition is only drawn (RNG!) under a true QP, exactly as
         // the reference interpreter does.
-        condVal = qpVal ? conds.evaluate(op.condId) : false;
+        condVal = qpVal ? evalCond(op.condId) : false;
         wpred(op.pdst1, qpVal && condVal, p1w, p1v);
         wpred(op.pdst2, qpVal && !condVal, p2w, p2v);
         goto compare_done;
       case ExecKind::CmpNormal:
         if (qpVal) {
-            condVal = conds.evaluate(op.condId);
+            condVal = evalCond(op.condId);
             wpred(op.pdst1, condVal, p1w, p1v);
             wpred(op.pdst2, !condVal, p2w, p2v);
         }
         goto compare_done;
       case ExecKind::CmpAnd:
         if (qpVal) {
-            condVal = conds.evaluate(op.condId);
+            condVal = evalCond(op.condId);
             if (!condVal) {
                 wpred(op.pdst1, false, p1w, p1v);
                 wpred(op.pdst2, false, p2w, p2v);
@@ -428,7 +482,7 @@ Emulator::execOne(ExecRecord *rec, Sink *sink, std::uint64_t &pred_mask)
         goto compare_done;
       case ExecKind::CmpOr:
         if (qpVal) {
-            condVal = conds.evaluate(op.condId);
+            condVal = evalCond(op.condId);
             if (condVal) {
                 wpred(op.pdst1, true, p1w, p1v);
                 wpred(op.pdst2, true, p2w, p2v);

@@ -54,12 +54,13 @@ sampledRunDetailed(const program::Program &binary,
                    const core::CoreConfig &base_cfg,
                    std::uint64_t warmup_insts, std::uint64_t measure_insts,
                    const SamplingPolicy &policy,
-                   const program::DecodedProgram *decoded)
+                   const program::DecodedProgram *decoded,
+                   const program::TraceFile *trace)
 {
     SampledRun out;
     if (!policy.enabled()) {
         out.result = sim::run(binary, profile, scheme, base_cfg,
-                              warmup_insts, measure_insts, decoded);
+                              warmup_insts, measure_insts, decoded, trace);
         return out;
     }
     panicIfNot(measure_insts > 0, "sampled run with empty region");
@@ -77,7 +78,7 @@ sampledRunDetailed(const program::Program &binary,
     // caches persist: between windows it drains, fast-forwards its own
     // oracle (warming those structures functionally), and resumes
     // detailed execution on the correct path.
-    core::OoOCore cpu(binary, cfg, seed, decoded);
+    core::OoOCore cpu(binary, cfg, seed, decoded, trace);
 
     core::CoreStats total;
     std::vector<double> window_ipc;
@@ -199,10 +200,12 @@ sampledRun(const program::Program &binary,
            const sim::SchemeConfig &scheme,
            const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
            std::uint64_t measure_insts, const SamplingPolicy &policy,
-           const program::DecodedProgram *decoded)
+           const program::DecodedProgram *decoded,
+           const program::TraceFile *trace)
 {
     return sampledRunDetailed(binary, profile, scheme, base_cfg,
-                              warmup_insts, measure_insts, policy, decoded)
+                              warmup_insts, measure_insts, policy, decoded,
+                              trace)
         .result;
 }
 

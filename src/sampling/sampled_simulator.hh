@@ -66,7 +66,9 @@ struct SampledRun
  * measurement region [warmup_insts, warmup_insts + measure_insts) under
  * @p policy. A disabled policy falls back to full detailed simulation.
  * @p decoded optionally shares a predecode of @p binary (nullptr: the
- * core decodes privately); results are bit-identical either way.
+ * core decodes privately); results are bit-identical either way. With
+ * @p trace the whole run — fast-forward tiers included — replays the
+ * trace's recorded condition streams (see sim::run()).
  */
 SampledRun sampledRunDetailed(const program::Program &binary,
                               const program::BenchmarkProfile &profile,
@@ -76,7 +78,8 @@ SampledRun sampledRunDetailed(const program::Program &binary,
                               std::uint64_t measure_insts,
                               const SamplingPolicy &policy,
                               const program::DecodedProgram *decoded =
-                                  nullptr);
+                                  nullptr,
+                              const program::TraceFile *trace = nullptr);
 
 /** As above, dropping the diagnostics. */
 sim::RunResult sampledRun(const program::Program &binary,
@@ -86,7 +89,8 @@ sim::RunResult sampledRun(const program::Program &binary,
                           std::uint64_t warmup_insts,
                           std::uint64_t measure_insts,
                           const SamplingPolicy &policy,
-                          const program::DecodedProgram *decoded = nullptr);
+                          const program::DecodedProgram *decoded = nullptr,
+                          const program::TraceFile *trace = nullptr);
 
 } // namespace sampling
 } // namespace pp

@@ -81,12 +81,13 @@ RunResult
 run(const program::Program &binary,
     const program::BenchmarkProfile &profile, const SchemeConfig &scheme,
     const core::CoreConfig &base_cfg, std::uint64_t warmup_insts,
-    std::uint64_t measure_insts, const program::DecodedProgram *decoded)
+    std::uint64_t measure_insts, const program::DecodedProgram *decoded,
+    const program::TraceFile *trace)
 {
     const core::CoreConfig cfg = resolveConfig(scheme, base_cfg);
 
     const auto host_start = std::chrono::steady_clock::now();
-    core::OoOCore cpu(binary, cfg, coreSeed(profile), decoded);
+    core::OoOCore cpu(binary, cfg, coreSeed(profile), decoded, trace);
     cpu.run(warmup_insts);
     const core::CoreStats at_warmup = cpu.coreStats();
     cpu.run(warmup_insts + measure_insts);

@@ -18,6 +18,7 @@
 #include "program/ifconvert.hh"
 #include "program/program.hh"
 #include "program/suite.hh"
+#include "program/trace.hh"
 
 namespace pp
 {
@@ -89,6 +90,15 @@ struct RunResult
      */
     double ipcErrorBound = 0.0;
     /// @}
+
+    /**
+     * Content hash (hex) of the trace artifact behind this run — the
+     * one recorded for it or the one it replayed; empty when the run
+     * generated its workload with no trace attached. Filled in by the
+     * sweep engine and surfaced by the sinks, so a result document
+     * names the exact workload bytes that produced it.
+     */
+    std::string traceHash;
 };
 
 /**
@@ -123,6 +133,25 @@ using DecodedRef = std::shared_ptr<const program::DecodedProgram>;
 DecodedRef decodeShared(const ProgramRef &binary);
 
 /**
+ * Immutable shared handle to a trace artifact (program/trace.hh).
+ * Loaded or recorded once per (benchmark, if-convert) cell and shared
+ * read-only by every run of the cell; per-run replay cursors live in
+ * each run's own emulator.
+ */
+using TraceRef = std::shared_ptr<const program::TraceFile>;
+
+/**
+ * A ProgramRef aliasing @p trace's embedded binary: the trace keeps the
+ * program alive, and every consumer (decode cache, cores) sees the one
+ * image the trace carries.
+ */
+inline ProgramRef
+traceBinary(const TraceRef &trace)
+{
+    return ProgramRef(trace, &trace->binary());
+}
+
+/**
  * Layer @p scheme onto @p base_cfg: the single place the scheme/
  * predication knobs map onto a CoreConfig (shared by full and sampled
  * runs so both build bit-identical cores).
@@ -151,13 +180,18 @@ RunResult run(const program::Program &binary,
  * default machine — the hook the experiment driver uses for core-config
  * override axes (ROB/queue sizing studies etc.). @p decoded optionally
  * shares a predecode of @p binary across runs (nullptr: the core
- * decodes privately); execution is bit-identical either way.
+ * decodes privately); execution is bit-identical either way. With
+ * @p trace the run REPLAYS the trace's recorded condition streams
+ * instead of generating conditions (@p binary must be the trace's
+ * embedded program); a replayed run is bit-identical to the run that
+ * recorded the trace.
  */
 RunResult run(const program::Program &binary,
               const program::BenchmarkProfile &profile,
               const SchemeConfig &scheme, const core::CoreConfig &base_cfg,
               std::uint64_t warmup_insts, std::uint64_t measure_insts,
-              const program::DecodedProgram *decoded = nullptr);
+              const program::DecodedProgram *decoded = nullptr,
+              const program::TraceFile *trace = nullptr);
 
 /** Convenience: build and run in one call. */
 RunResult buildAndRun(const program::BenchmarkProfile &profile,

@@ -140,3 +140,129 @@ TEST(ConditionDeath, CorrelatedWithInvalidSourcePanics)
         ConditionSpec::correlated(ConditionSpec::Fn::Copy, invalidCond));
     EXPECT_DEATH({ ConditionTable t(std::move(specs), 1); (void)t; }, "");
 }
+
+// ---------------------------------------------------------------------
+// Sparse checkpoints: only touched conditions carry state.
+// ---------------------------------------------------------------------
+
+TEST(ConditionCheckpoint, OnlyTouchedConditionsAreCaptured)
+{
+    std::vector<ConditionSpec> specs = {
+        ConditionSpec::loop(4), ConditionSpec::biased(0.5),
+        ConditionSpec::makePattern(0b101, 3), ConditionSpec::dataDep(0.3)};
+    auto t = makeTable(specs, 7);
+
+    // Nothing evaluated yet: an empty sparse set.
+    const auto fresh = t.checkpoint();
+    EXPECT_EQ(fresh.numConds, 4u);
+    EXPECT_FALSE(fresh.replay);
+    EXPECT_TRUE(fresh.ids.empty());
+
+    // Touch conditions 0 and 2 only.
+    t.evaluate(0);
+    t.evaluate(2);
+    t.evaluate(2);
+    const auto partial = t.checkpoint();
+    ASSERT_EQ(partial.ids.size(), 2u);
+    EXPECT_EQ(partial.ids[0], 0u);
+    EXPECT_EQ(partial.ids[1], 2u);
+    EXPECT_EQ(partial.pos[0], 1u);
+    EXPECT_EQ(partial.pos[1], 2u);
+
+    // Restoring onto a divergent twin resumes bit-identically.
+    auto u = makeTable(specs, 7);
+    u.evaluate(1);
+    u.evaluate(3);
+    u.restore(partial);
+    for (int i = 0; i < 200; ++i) {
+        for (CondId c = 0; c < 4; ++c)
+            ASSERT_EQ(u.evaluate(c), t.evaluate(c)) << "cond " << c;
+    }
+}
+
+TEST(ConditionCheckpointDeath, WrongShapeOrModeIsRejected)
+{
+    auto t = makeTable({ConditionSpec::loop(4)});
+    const auto ckpt = t.checkpoint();
+
+    auto other = makeTable({ConditionSpec::loop(4),
+                            ConditionSpec::biased(0.5)});
+    EXPECT_DEATH(other.restore(ckpt), "different program");
+
+    std::vector<ConditionStream> streams(1);
+    streams[0].push(true);
+    ConditionReplay replay(streams);
+    EXPECT_DEATH(replay.restore(ckpt), "source kind");
+}
+
+TEST(ConditionCheckpointDeath, OutOfRangeCursorIsRejected)
+{
+    auto t = makeTable({ConditionSpec::loop(4)});
+    t.evaluate(0);
+    auto ckpt = t.checkpoint();
+    ckpt.pos[0] = 99; // past the loop period
+    EXPECT_DEATH(t.restore(ckpt), "cursor");
+}
+
+// ---------------------------------------------------------------------
+// Stream recording and replay.
+// ---------------------------------------------------------------------
+
+TEST(ConditionReplay, ReplaysRecordedOutcomesExactly)
+{
+    std::vector<ConditionSpec> specs = {
+        ConditionSpec::dataDep(0.5), ConditionSpec::loop(3),
+        ConditionSpec::correlated(ConditionSpec::Fn::Xor, 0, 1, 0.05)};
+    auto gen = makeTable(specs, 1234);
+    std::vector<ConditionStream> streams(specs.size());
+    gen.recordInto(&streams);
+
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 500; ++i)
+        for (CondId c = 0; c < 3; ++c)
+            outcomes.push_back(gen.evaluate(c));
+    EXPECT_EQ(streams[0].length, 500u);
+    EXPECT_EQ(streams[2].length, 500u);
+
+    ConditionReplay rep(streams);
+    std::size_t k = 0;
+    for (int i = 0; i < 500; ++i) {
+        for (CondId c = 0; c < 3; ++c) {
+            ASSERT_EQ(rep.evaluate(c), outcomes[k]) << "draw " << k;
+            ASSERT_EQ(rep.lastOutcome(c), outcomes[k]);
+            ++k;
+        }
+    }
+}
+
+TEST(ConditionReplay, CheckpointRestoresStreamCursors)
+{
+    std::vector<ConditionSpec> specs = {ConditionSpec::dataDep(0.5)};
+    auto gen = makeTable(specs, 42);
+    std::vector<ConditionStream> streams(1);
+    gen.recordInto(&streams);
+    for (int i = 0; i < 100; ++i)
+        gen.evaluate(0);
+
+    ConditionReplay a(streams);
+    for (int i = 0; i < 60; ++i)
+        a.evaluate(0);
+    const auto ckpt = a.checkpoint();
+    EXPECT_TRUE(ckpt.replay);
+
+    ConditionReplay b(streams);
+    b.restore(ckpt);
+    for (int i = 60; i < 100; ++i)
+        ASSERT_EQ(b.evaluate(0), streams[0].at(i)) << "draw " << i;
+}
+
+TEST(ConditionReplayDeath, ExhaustedStreamPanics)
+{
+    std::vector<ConditionStream> streams(1);
+    streams[0].push(true);
+    streams[0].push(false);
+    ConditionReplay rep(streams);
+    EXPECT_TRUE(rep.evaluate(0));
+    EXPECT_FALSE(rep.evaluate(0));
+    EXPECT_DEATH(rep.evaluate(0), "exhausted");
+}

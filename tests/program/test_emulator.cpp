@@ -356,6 +356,46 @@ TEST(EmulatorCheckpoint, SkipMatchesSteppedExecution)
         ASSERT_EQ(a.intReg(r), b.intReg(r));
 }
 
+TEST(EmulatorCheckpoint, UntouchedConditionStreamsAreSkipped)
+{
+    // Two conditions, of which execution only ever evaluates one: the
+    // serialized checkpoint must carry exactly one condition entry, not
+    // dense rows for the whole table.
+    AsmProgram p;
+    const CondId used = p.addCondition(ConditionSpec::loop(5));
+    const CondId unused = p.addCondition(ConditionSpec::loop(7));
+    (void)unused;
+    p.emit(makeCmp(CmpType::Unc, 1, 2, used));
+    const Program bin = assembleWithLoop(p);
+
+    Emulator emu(bin, 3);
+    const Emulator::Checkpoint fresh = emu.checkpoint();
+    EXPECT_EQ(fresh.conds.numConds, 2u);
+    EXPECT_TRUE(fresh.conds.ids.empty());
+
+    emu.step(); // the one compare
+    const Emulator::Checkpoint after = emu.checkpoint();
+    ASSERT_EQ(after.conds.ids.size(), 1u);
+    EXPECT_EQ(after.conds.ids[0], used);
+
+    // The sparse image round-trips and is smaller than the fresh-state
+    // image plus two dense condition rows would be: exactly one
+    // 3-word entry separates the two serializations.
+    const auto fresh_img = fresh.serialize();
+    const auto after_img = after.serialize();
+    EXPECT_EQ(after_img.size(), fresh_img.size() + 3 * 8);
+
+    Emulator resumed(bin, 99);
+    resumed.restore(Emulator::Checkpoint::deserialize(after_img));
+    Emulator ref(bin, 3);
+    ref.step();
+    for (int i = 0; i < 2000; ++i) {
+        const ExecRecord ra = ref.step();
+        const ExecRecord rb = resumed.step();
+        expectRecordsEqual(ra, rb, i);
+    }
+}
+
 TEST(EmulatorCheckpointDeath, RestoreRejectsForeignProgram)
 {
     const Program big = generatedBenchmark();

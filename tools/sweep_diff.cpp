@@ -1,0 +1,456 @@
+/**
+ * @file
+ * sweep_diff: compare two pp.sweep.v1 JSON documents run-by-run.
+ *
+ * Loads both documents, pairs their runs (the spec order of a matrix is
+ * deterministic, so position + identity fields must agree), prints a
+ * per-run table of IPC and misprediction-rate deltas, and exits nonzero
+ * when the documents disagree — on run identity, on run count, or on
+ * any metric beyond the tolerances. With the default exact tolerances
+ * this is a structural replacement for `cmp` on scrubbed JSON: CI and
+ * humans both get told *which* run moved and by how much instead of a
+ * byte offset.
+ *
+ *   sweep_diff A.json B.json [--tol-ipc X] [--tol-mispred X] [--quiet]
+ *
+ * Exit codes: 0 = documents match, 1 = mismatch, 2 = usage/parse error.
+ *
+ * The parser below handles exactly the JSON the deterministic JsonSink
+ * emits (objects, arrays, strings, numbers, booleans, null) — no
+ * third-party dependency, by design.
+ */
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Minimal recursive-descent JSON parser
+// ---------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    // Key order preserved; pp.sweep.v1 keys are unique per object.
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        for (const auto &f : fields)
+            if (f.first == key)
+                return &f.second;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (at != s.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        std::fprintf(stderr, "sweep_diff: JSON parse error at byte %zu: %s\n",
+                     at, why.c_str());
+        std::exit(2);
+    }
+
+    void
+    skipWs()
+    {
+        while (at < s.size() && (s[at] == ' ' || s[at] == '\t' ||
+                                 s[at] == '\n' || s[at] == '\r'))
+            ++at;
+    }
+
+    char
+    peek()
+    {
+        if (at >= s.size())
+            fail("unexpected end of input");
+        return s[at];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++at;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': case 'f': return boolean();
+          case 'n': return null();
+          default: return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++at;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue key = string();
+            skipWs();
+            expect(':');
+            v.fields.emplace_back(key.str, value());
+            skipWs();
+            if (peek() == ',') {
+                ++at;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++at;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++at;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        expect('"');
+        while (peek() != '"') {
+            char c = s[at++];
+            if (c != '\\') {
+                v.str.push_back(c);
+                continue;
+            }
+            const char esc = peek();
+            ++at;
+            switch (esc) {
+              case '"': v.str.push_back('"'); break;
+              case '\\': v.str.push_back('\\'); break;
+              case '/': v.str.push_back('/'); break;
+              case 'n': v.str.push_back('\n'); break;
+              case 't': v.str.push_back('\t'); break;
+              case 'r': v.str.push_back('\r'); break;
+              case 'b': v.str.push_back('\b'); break;
+              case 'f': v.str.push_back('\f'); break;
+              case 'u': {
+                if (at + 4 > s.size())
+                    fail("bad \\u escape");
+                // The sink only emits \u00xx control escapes; decode
+                // the low byte and drop the (zero) high byte.
+                const std::string hex = s.substr(at + 2, 2);
+                v.str.push_back(static_cast<char>(
+                    std::strtoul(hex.c_str(), nullptr, 16)));
+                at += 4;
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+        ++at;
+        return v;
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (s.compare(at, 4, "true") == 0) {
+            v.boolean = true;
+            at += 4;
+        } else if (s.compare(at, 5, "false") == 0) {
+            v.boolean = false;
+            at += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    null()
+    {
+        if (s.compare(at, 4, "null") != 0)
+            fail("bad literal");
+        at += 4;
+        JsonValue v;
+        v.kind = JsonValue::Kind::Null;
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        const char *start = s.c_str() + at;
+        char *end = nullptr;
+        errno = 0;
+        const double d = std::strtod(start, &end);
+        if (end == start || errno == ERANGE)
+            fail("bad number");
+        at += static_cast<std::size_t>(end - start);
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+
+    const std::string &s;
+    std::size_t at = 0;
+};
+
+// ---------------------------------------------------------------------
+// pp.sweep.v1 extraction
+// ---------------------------------------------------------------------
+
+struct Run
+{
+    std::string id;      ///< benchmark[/ifc]/scheme[/config][/sampling]
+    double ipc = 0.0;
+    double mispredPct = 0.0;
+};
+
+std::string
+fieldStr(const JsonValue &run, const char *key)
+{
+    const JsonValue *v = run.get(key);
+    return v != nullptr && v->kind == JsonValue::Kind::String ? v->str : "";
+}
+
+double
+fieldNum(const JsonValue &run, const char *key)
+{
+    const JsonValue *v = run.get(key);
+    if (v == nullptr || v->kind != JsonValue::Kind::Number) {
+        std::fprintf(stderr, "sweep_diff: run is missing numeric '%s'\n",
+                     key);
+        std::exit(2);
+    }
+    return v->number;
+}
+
+std::vector<Run>
+loadRuns(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "sweep_diff: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    const JsonValue doc = JsonParser(text).parse();
+    const JsonValue *schema = doc.get("schema");
+    if (schema == nullptr || schema->str != "pp.sweep.v1") {
+        std::fprintf(stderr, "sweep_diff: %s is not a pp.sweep.v1 document\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    const JsonValue *runs = doc.get("runs");
+    if (runs == nullptr || runs->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr, "sweep_diff: %s has no runs array\n",
+                     path.c_str());
+        std::exit(2);
+    }
+
+    std::vector<Run> out;
+    for (const JsonValue &r : runs->items) {
+        Run run;
+        run.id = fieldStr(r, "benchmark");
+        const JsonValue *ifc = r.get("if_converted");
+        if (ifc != nullptr && ifc->boolean)
+            run.id += "+ifc";
+        run.id += "/" + fieldStr(r, "scheme");
+        const std::string config = fieldStr(r, "config");
+        if (!config.empty())
+            run.id += "/" + config;
+        const std::string sampling = fieldStr(r, "sampling");
+        if (!sampling.empty())
+            run.id += "/" + sampling;
+        run.ipc = fieldNum(r, "ipc");
+        run.mispredPct = fieldNum(r, "mispred_pct");
+        out.push_back(std::move(run));
+    }
+    return out;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "sweep_diff — per-run IPC/misprediction deltas between two"
+        " pp.sweep.v1 JSON files\n\n"
+        "  sweep_diff A.json B.json [--tol-ipc X] [--tol-mispred X]"
+        " [--quiet]\n\n"
+        "  --tol-ipc X       allowed |delta| on ipc (default 0: exact)\n"
+        "  --tol-mispred X   allowed |delta| on mispred_pct, absolute pp"
+        " (default 0)\n"
+        "  --quiet           print only mismatching runs and the verdict\n\n"
+        "exit status: 0 documents match, 1 mismatch, 2 usage/parse"
+        " error\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    double tol_ipc = 0.0;
+    double tol_mispred = 0.0;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto need_value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(a, "--tol-ipc") == 0) {
+            const char *v = need_value();
+            if (v == nullptr)
+                return 2;
+            tol_ipc = std::strtod(v, nullptr);
+        } else if (std::strcmp(a, "--tol-mispred") == 0) {
+            const char *v = need_value();
+            if (v == nullptr)
+                return 2;
+            tol_mispred = std::strtod(v, nullptr);
+        } else if (std::strcmp(a, "--quiet") == 0) {
+            quiet = true;
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            usage();
+            return 0;
+        } else if (a[0] == '-') {
+            usage();
+            return 2;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.size() != 2) {
+        usage();
+        return 2;
+    }
+
+    const std::vector<Run> a = loadRuns(paths[0]);
+    const std::vector<Run> b = loadRuns(paths[1]);
+
+    bool mismatch = false;
+    if (a.size() != b.size()) {
+        std::fprintf(stderr, "run count differs: %zu vs %zu\n", a.size(),
+                     b.size());
+        mismatch = true;
+    }
+
+    std::printf("%-44s %12s %12s %12s %10s\n", "run", "ipc(A)", "ipc(B)",
+                "d_ipc", "d_miss_pp");
+    const std::size_t n = std::min(a.size(), b.size());
+    std::size_t bad_runs = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Run &ra = a[i];
+        const Run &rb = b[i];
+        if (ra.id != rb.id) {
+            std::printf("%-44s   RUN IDENTITY DIFFERS: '%s' vs '%s'\n",
+                        ra.id.c_str(), ra.id.c_str(), rb.id.c_str());
+            mismatch = true;
+            ++bad_runs;
+            continue;
+        }
+        const double d_ipc = rb.ipc - ra.ipc;
+        const double d_mis = rb.mispredPct - ra.mispredPct;
+        // Negated <= so a NaN delta (e.g. a degenerate metric in one
+        // document) counts as a mismatch instead of slipping past the
+        // tolerance comparison.
+        const bool bad = !(std::fabs(d_ipc) <= tol_ipc) ||
+            !(std::fabs(d_mis) <= tol_mispred);
+        if (bad) {
+            mismatch = true;
+            ++bad_runs;
+        }
+        if (!quiet || bad) {
+            std::printf("%-44s %12.5f %12.5f %+12.6f %+10.4f%s\n",
+                        ra.id.c_str(), ra.ipc, rb.ipc, d_ipc, d_mis,
+                        bad ? "  <-- MISMATCH" : "");
+        }
+    }
+
+    if (mismatch) {
+        std::printf("MISMATCH: %zu of %zu compared runs differ beyond"
+                    " tolerance (tol_ipc=%g, tol_mispred=%g)\n",
+                    bad_runs, n, tol_ipc, tol_mispred);
+        return 1;
+    }
+    std::printf("OK: %zu runs match (tol_ipc=%g, tol_mispred=%g)\n", n,
+                tol_ipc, tol_mispred);
+    return 0;
+}
