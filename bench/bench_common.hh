@@ -22,6 +22,7 @@
 #include "driver/result_sink.hh"
 #include "driver/run_matrix.hh"
 #include "driver/sweep_engine.hh"
+#include "obs/trace_event.hh"
 #include "program/suite.hh"
 #include "sim/simulator.hh"
 
@@ -49,6 +50,8 @@ struct BenchOptions
     std::uint64_t measure = 0;
     std::string recordTraceDir; ///< record one trace per binary here
     std::string traceDir;       ///< replay traces from here (no codegen)
+    std::string traceEventsPath;///< write a Chrome trace-event span file
+    bool progress = false;      ///< live progress line on stderr
 };
 
 inline void
@@ -79,8 +82,17 @@ printUsage(const char *prog, const char *what, bool sweep_flags)
             "  --trace-dir D      replay workloads from the traces in"
             " directory D\n"
             "                     (generation code paths disabled;"
-            " byte-identical results)\n");
+            " byte-identical results)\n"
+            "  --trace-events F   write per-run host-time spans as Chrome"
+            " trace-event JSON\n"
+            "                     (load F in chrome://tracing or"
+            " ui.perfetto.dev)\n"
+            "  --progress         live progress line (runs done/total,"
+            " ETA) on stderr\n");
     }
+    std::fprintf(stderr,
+        "  --verbose          debug-level diagnostics (same as"
+        " PP_LOG_LEVEL=debug)\n");
     std::fprintf(stderr, "  --help             this text\n");
 }
 
@@ -150,6 +162,13 @@ parseBenchArgs(int argc, char **argv, const char *what,
         } else if (sweep_flags && std::strcmp(a, "--trace-dir") == 0) {
             opts.traceDir = need_value(i);
             ++i;
+        } else if (sweep_flags && std::strcmp(a, "--trace-events") == 0) {
+            opts.traceEventsPath = need_value(i);
+            ++i;
+        } else if (sweep_flags && std::strcmp(a, "--progress") == 0) {
+            opts.progress = true;
+        } else if (std::strcmp(a, "--verbose") == 0) {
+            setLogLevel(LogLevel::Debug);
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             printUsage(argv[0], what, sweep_flags);
@@ -196,6 +215,34 @@ reportStream(const BenchOptions &opts)
     return opts.jsonPath == "-" || opts.csvPath == "-" ? std::cerr
                                                        : std::cout;
 }
+
+/**
+ * @name Trace-event capture around a sweep
+ * beginTraceEvents() arms the global tracer when --trace-events was
+ * given; endTraceEvents() stops it and writes the span file. Harnesses
+ * that call the engine directly (config_axis_sweep) bracket their
+ * engine.run() with the pair; sweepSuite() does it internally.
+ */
+/// @{
+inline void
+beginTraceEvents(const BenchOptions &opts)
+{
+    if (!opts.traceEventsPath.empty())
+        obs::tracer().start();
+}
+
+inline void
+endTraceEvents(const BenchOptions &opts)
+{
+    if (opts.traceEventsPath.empty())
+        return;
+    obs::tracer().stop();
+    if (!obs::tracer().writeFile(opts.traceEventsPath))
+        fatal("cannot write trace-event file: " + opts.traceEventsPath);
+    informf("trace events written to %s (load in chrome://tracing or "
+            "ui.perfetto.dev)", opts.traceEventsPath.c_str());
+}
+/// @}
 
 /** Results matrix: result[benchmark][column]. */
 struct SweepResult
@@ -267,12 +314,14 @@ sweepSuite(const BenchOptions &opts,
 
     driver::SweepOptions sweep_opts;
     sweep_opts.threads = opts.threads;
-    sweep_opts.progress = true;
+    sweep_opts.progress = opts.progress;
     sweep_opts.recordTraceDir = opts.recordTraceDir;
     driver::SweepEngine engine(sweep_opts);
-    std::fprintf(stderr, "sweep: %zu runs, %zu binaries\n", specs.size(),
-                 specs.size() / columns.size());
+    informf("sweep: %zu runs, %zu binaries", specs.size(),
+            specs.size() / columns.size());
+    beginTraceEvents(opts);
     const std::vector<sim::RunResult> results = engine.run(specs);
+    endTraceEvents(opts);
 
     writeSinks(opts, specs, results, &engine.counters());
 

@@ -82,10 +82,12 @@ main(int argc, char **argv)
     bench::applyTraceDir(specs, opts.traceDir);
     driver::SweepOptions sweep_opts;
     sweep_opts.threads = opts.threads;
-    sweep_opts.progress = true;
+    sweep_opts.progress = opts.progress;
     sweep_opts.recordTraceDir = opts.recordTraceDir;
     driver::SweepEngine engine(sweep_opts);
+    bench::beginTraceEvents(opts);
     const std::vector<sim::RunResult> results = engine.run(specs);
+    bench::endTraceEvents(opts);
 
     bench::writeSinks(opts, specs, results, &engine.counters());
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common/bitutils.hh"
+#include "obs/trace_event.hh"
 
 namespace pp
 {
@@ -154,9 +155,8 @@ OoOCore::doFetch()
             } else {
                 fetchOnOracle = false;
                 if (traceOn) {
-                    std::fprintf(stderr,
-                                 "[%llu] diverge: fetchPc=0x%llx "
-                                 "oracle[%llu].pc=0x%llx\n",
+                    logRawf("[%llu] diverge: fetchPc=0x%llx "
+                            "oracle[%llu].pc=0x%llx\n",
                                  (unsigned long long)now,
                                  (unsigned long long)fetchPc,
                                  (unsigned long long)oracleCursor,
@@ -289,8 +289,7 @@ OoOCore::renameBranch(DynInst &d)
         // redirect fetch (the penalty is the natural refill latency).
         ++stats_.overrideRedirects;
         if (traceOn) {
-            std::fprintf(stderr,
-                         "[%llu] override seq=%llu idx=%llu pc=0x%llx "
+            logRawf("[%llu] override seq=%llu idx=%llu pc=0x%llx "
                          "cp=%d final=%d\n",
                          (unsigned long long)now,
                          (unsigned long long)d.seq,
@@ -849,8 +848,7 @@ OoOCore::completeBranch(DynInst &d)
 
     ++stats_.branchMispredFlushes;
     if (traceOn) {
-        std::fprintf(stderr,
-                     "[%llu] brflush seq=%llu idx=%llu pc=0x%llx -> "
+        logRawf("[%llu] brflush seq=%llu idx=%llu pc=0x%llx -> "
                      "0x%llx dirw=%d tgtw=%d\n",
                      (unsigned long long)now, (unsigned long long)d.seq,
                      (unsigned long long)d.oracleIdx,
@@ -930,8 +928,7 @@ OoOCore::commitTrain(DynInst &d)
     static const Addr trace_pc =
         trace_pc_env ? std::strtoull(trace_pc_env, nullptr, 16) : 0;
     if (trace_pc != 0 && d.pc == trace_pc && d.ins->isConditionalBranch()) {
-        std::fprintf(stderr,
-                     "BR pc=0x%llx pred=%d actual=%d early=%d "
+        logRawf("BR pc=0x%llx pred=%d actual=%d early=%d "
                      "l2ghr=%06llx l2loc=%03llx ppPred2=%d\n",
                      (unsigned long long)d.pc, (int)d.finalPredTaken,
                      (int)d.rec.branchTaken, (int)d.earlyResolved,
@@ -940,8 +937,7 @@ OoOCore::commitTrain(DynInst &d)
                      (int)d.ppState.pred2);
     }
     if (trace_pc != 0 && d.isCompare() && d.pc == trace_pc) {
-        std::fprintf(stderr,
-                     "CMP pc=0x%llx pred1=%d act1=%d ghr=%06llx loc=%03llx"
+        logRawf("CMP pc=0x%llx pred1=%d act1=%d ghr=%06llx loc=%03llx"
                      " out1=%d\n",
                      (unsigned long long)d.pc, (int)d.ppState.pred1,
                      (int)d.actualPd1,
@@ -1199,16 +1195,14 @@ OoOCore::registerStats(stats::Registry &registry) const
 void
 OoOCore::dumpState() const
 {
-    std::fprintf(stderr,
-                 "cycle=%llu committed=%llu rob=%zu fe=%zu iq(i/f/b)="
+    logRawf("cycle=%llu committed=%llu rob=%zu fe=%zu iq(i/f/b)="
                  "%u/%u/%u lq=%zu sq=%zu events=%zu\n",
                  static_cast<unsigned long long>(now),
                  static_cast<unsigned long long>(stats_.committedInsts),
                  rob.robSize(), rob.feSize(), intIqCount, fpIqCount,
                  brIqCount, loadQ.size(), storeQ.size(),
                  eventHeap.size());
-    std::fprintf(stderr,
-                 "fetchPc=0x%llx resume=%llu halted=%d onOracle=%d "
+    logRawf("fetchPc=0x%llx resume=%llu halted=%d onOracle=%d "
                  "cursor=%llu base=%llu free(i/f/p)=%zu/%zu\n",
                  static_cast<unsigned long long>(fetchPc),
                  static_cast<unsigned long long>(fetchResumeCycle),
@@ -1218,8 +1212,7 @@ OoOCore::dumpState() const
                  intMap.freeCount(), fpMap.freeCount());
     for (std::size_t i = 0; i < rob.robSize() && i < 8; ++i) {
         const DynInst &d = rob.atIndex(i);
-        std::fprintf(stderr,
-                     "  rob[%zu] seq=%llu pc=0x%llx stage=%d cp=%d "
+        logRawf("  rob[%zu] seq=%llu pc=0x%llx stage=%d cp=%d "
                      "done=%llu  %s\n",
                      i + 1, static_cast<unsigned long long>(d.seq),
                      static_cast<unsigned long long>(d.pc),
@@ -1229,7 +1222,7 @@ OoOCore::dumpState() const
     }
     for (std::size_t i = 0; i < rob.feSize() && i < 4; ++i) {
         const DynInst &d = rob.atIndex(rob.robSize() + i);
-        std::fprintf(stderr, "  fe[%zu] seq=%llu pc=0x%llx rdy=%llu %s\n",
+        logRawf("  fe[%zu] seq=%llu pc=0x%llx rdy=%llu %s\n",
                      i + 1, static_cast<unsigned long long>(d.seq),
                      static_cast<unsigned long long>(d.pc),
                      static_cast<unsigned long long>(d.renameReadyCycle),
@@ -1473,6 +1466,8 @@ OoOCore::fastForward(std::uint64_t n, bool warm_tables)
         return;
     panicIfNot(rob.total() == 0,
                "fastForward requires a drained pipeline");
+    obs::ScopedSpan span(obs::tracer(),
+                         warm_tables ? "ff_warm" : "ff_skip", "sampling");
 
     // Records the oracle already materialized for the (now drained)
     // detailed window are consumed first; past them the emulator

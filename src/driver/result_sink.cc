@@ -250,9 +250,17 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
         if (!r.traceHash.empty())
             w.field("trace_hash", r.traceHash);
         // Host wall time: nondeterministic by design — byte-identity
-        // consumers must scrub it and the summary's total_host_ms (see
-        // test_sweep_engine.cpp / the CI determinism smoke).
+        // consumers must scrub it, the breakdown below, and the
+        // summary's total_host_ms (the shared pattern is any key ending
+        // in "host_ms"; see test_sweep_engine.cpp / the CI determinism
+        // smoke).
         w.field("host_ms", r.hostMs);
+        // Where host_ms went: cell build cost amortized over the cell's
+        // runs, fast-forward (skip + warm tiers, sampled runs only) and
+        // detailed cycle-by-cycle windows.
+        w.field("build_host_ms", r.buildHostMs);
+        w.field("ff_host_ms", r.ffHostMs);
+        w.field("window_host_ms", r.windowHostMs);
         w.key("counters");
         w.beginObject();
         for (const auto &f : core::kCoreStatsFields)

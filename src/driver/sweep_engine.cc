@@ -1,11 +1,14 @@
 #include "driver/sweep_engine.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_event.hh"
 #include "program/trace.hh"
 #include "sampling/sampled_simulator.hh"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <filesystem>
@@ -167,35 +170,64 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     counters_.tracesLoaded = traced_builds;
     counters_.traceCacheHits = traced_specs - traced_builds;
 
+    // Wall time of each build job, amortized over the cell's runs as
+    // their buildHostMs so the result document carries the full host-
+    // time breakdown.
+    std::vector<double> build_ms(builds.size(), 0.0);
+    obs::Counter &m_builds = obs::metrics().counter("sweep.binaries_built");
+    obs::Histogram &m_build_ms =
+        obs::metrics().histogram("sweep.build_host_ms");
     parallelFor(builds.size(), threads, [&](std::size_t i) {
         BuildJob &b = builds[i];
         const RunSpec &s = *b.spec;
+        const auto t0 = std::chrono::steady_clock::now();
         if (!s.tracePath.empty()) {
             // Replay: the artifact is the workload. No codegen, no
             // if-conversion profiling, no condition generation happens
             // anywhere downstream of this load.
-            b.trace = std::make_shared<const program::TraceFile>(
-                program::TraceFile::load(s.tracePath));
+            {
+                obs::ScopedSpan span(obs::tracer(), "trace_load", "build",
+                                     s.binaryKey());
+                b.trace = std::make_shared<const program::TraceFile>(
+                    program::TraceFile::load(s.tracePath));
+            }
             b.binary = sim::traceBinary(b.trace);
+            obs::ScopedSpan span(obs::tracer(), "decode", "build",
+                                 s.binaryKey());
             b.decoded = sim::decodeShared(b.binary);
-            return;
+        } else {
+            {
+                obs::ScopedSpan span(obs::tracer(), "binary_build",
+                                     "build", s.binaryKey());
+                b.binary = sim::buildBinaryShared(s.profile, s.ifConvert);
+            }
+            {
+                obs::ScopedSpan span(obs::tracer(), "decode", "build",
+                                     s.binaryKey());
+                b.decoded = sim::decodeShared(b.binary);
+            }
+            if (record) {
+                obs::ScopedSpan span(obs::tracer(), "trace_record",
+                                     "build", s.binaryKey());
+                program::TraceFile::Meta meta;
+                meta.benchmark = s.profile.name;
+                meta.isFp = s.profile.isFp;
+                meta.ifConverted = s.ifConvert;
+                meta.seed = s.profile.seed;
+                auto t = std::make_shared<const program::TraceFile>(
+                    program::TraceFile::record(*b.binary, meta,
+                                               sim::coreSeed(s.profile),
+                                               record_insts,
+                                               b.decoded.get()));
+                t->store(opts_.recordTraceDir + "/" + s.binaryKey() +
+                         ".pptrace");
+                b.trace = std::move(t);
+            }
         }
-        b.binary = sim::buildBinaryShared(s.profile, s.ifConvert);
-        b.decoded = sim::decodeShared(b.binary);
-        if (record) {
-            program::TraceFile::Meta meta;
-            meta.benchmark = s.profile.name;
-            meta.isFp = s.profile.isFp;
-            meta.ifConverted = s.ifConvert;
-            meta.seed = s.profile.seed;
-            auto t = std::make_shared<const program::TraceFile>(
-                program::TraceFile::record(*b.binary, meta,
-                                           sim::coreSeed(s.profile),
-                                           record_insts, b.decoded.get()));
-            t->store(opts_.recordTraceDir + "/" + s.binaryKey() +
-                     ".pptrace");
-            b.trace = std::move(t);
-        }
+        build_ms[i] = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+        m_builds.add(1);
+        m_build_ms.observe(build_ms[i]);
     });
 
     // Validate every replaying spec against its loaded artifact — not
@@ -217,29 +249,56 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     // Phase 2: execute every run. results[i] belongs to specs[i]
     // regardless of which worker produced it or when.
     std::vector<sim::RunResult> results(specs.size());
+    obs::Counter &m_runs = obs::metrics().counter("sweep.runs");
+    obs::Histogram &m_run_ms =
+        obs::metrics().histogram("sweep.run_host_ms");
     std::mutex progress_mutex;
+    std::size_t progress_done = 0;
+    const auto phase2_start = std::chrono::steady_clock::now();
     parallelFor(specs.size(), threads, [&](std::size_t i) {
         const RunSpec &s = specs[i];
         const BuildJob &build = builds[spec_build[i]];
         const sim::ProgramRef &binary = build.binary;
         const program::TraceFile *replay =
             s.tracePath.empty() ? nullptr : build.trace.get();
-        results[i] = s.sampling.enabled()
-            ? sampling::sampledRun(*binary, s.profile, s.scheme, s.config,
-                                   s.warmupInsts, s.measureInsts,
-                                   s.sampling, build.decoded.get(), replay)
-            : sim::run(*binary, s.profile, s.scheme, s.config,
-                       s.warmupInsts, s.measureInsts, build.decoded.get(),
-                       replay);
+        {
+            obs::ScopedSpan span(obs::tracer(), "run", "sweep",
+                                 s.label());
+            results[i] = s.sampling.enabled()
+                ? sampling::sampledRun(*binary, s.profile, s.scheme,
+                                       s.config, s.warmupInsts,
+                                       s.measureInsts, s.sampling,
+                                       build.decoded.get(), replay)
+                : sim::run(*binary, s.profile, s.scheme, s.config,
+                           s.warmupInsts, s.measureInsts,
+                           build.decoded.get(), replay);
+        }
+        results[i].buildHostMs = build_ms[spec_build[i]];
         if (build.trace != nullptr)
             results[i].traceHash = build.trace->contentHashHex();
+        m_runs.add(1);
+        m_run_ms.observe(results[i].hostMs);
         if (opts_.progress) {
+            // Live progress line: completed/total plus an ETA scaled
+            // from elapsed wall time over completed runs.
             std::lock_guard<std::mutex> lock(progress_mutex);
-            std::fprintf(stderr, ".");
+            ++progress_done;
+            const double elapsed_s =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - phase2_start)
+                    .count();
+            const double eta_s = elapsed_s /
+                static_cast<double>(progress_done) *
+                static_cast<double>(specs.size() - progress_done);
+            logRawf("\rsweep: %zu/%zu runs (%.0f%%) eta %.1fs   ",
+                    progress_done, specs.size(),
+                    100.0 * static_cast<double>(progress_done) /
+                        static_cast<double>(specs.size()),
+                    eta_s);
         }
     });
     if (opts_.progress && !specs.empty())
-        std::fprintf(stderr, "\n");
+        logRaw("\n");
     return results;
 }
 

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Lock-cheap metrics registry: named counters, gauges and histograms
+ * with deterministic snapshot ordering.
+ *
+ * Design:
+ *  - Registration (counter()/gauge()/histogram()) takes a mutex once
+ *    and returns a stable reference; instruments live for the life of
+ *    the registry. Hot paths cache the reference and then touch only
+ *    atomics — no lock, no lookup.
+ *  - Updates are relaxed atomics. Counters and gauges are single
+ *    variables; histograms use per-bucket atomic counts plus a CAS-loop
+ *    atomic double sum. Cross-instrument consistency is not promised
+ *    mid-run (a snapshot taken while workers update may tear between
+ *    instruments), but every individual value is exact once the work
+ *    quiesces — which is when sweeps read them.
+ *  - snapshot() returns entries sorted by name, so serialized metrics
+ *    are byte-comparable whatever the thread count or the order in
+ *    which racing threads first registered each name.
+ *
+ * The process-global registry is obs::metrics(); subsystems register
+ * under dotted names ("sweep.runs", "sim.detailed_insts"). Tests build
+ * private MetricRegistry instances.
+ */
+
+#ifndef PP_OBS_METRICS_HH
+#define PP_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pp
+{
+namespace obs
+{
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations x with
+ * x <= edges[i] (first matching bucket); observations beyond the last
+ * edge land in the implicit overflow bucket. Edges are fixed at
+ * registration and strictly increasing.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> edges);
+
+    void observe(double x);
+
+    const std::vector<double> &edges() const { return edges_; }
+
+    /** Bucket counts; size() == edges().size() + 1 (overflow last). */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+    std::uint64_t count() const
+    { return count_.load(std::memory_order_relaxed); }
+
+    double sum() const;
+
+    /**
+     * Default edges for host-millisecond timings: 1,2,5 decades from
+     * 0.1ms to 100s.
+     */
+    static std::vector<double> defaultMsEdges();
+
+  private:
+    std::vector<double> edges_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** One serializable metric value (see MetricRegistry::snapshot()). */
+struct MetricEntry
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::uint64_t count = 0;                ///< counter value / histogram n
+    double value = 0.0;                     ///< gauge value / histogram sum
+    std::vector<double> edges;              ///< histogram only
+    std::vector<std::uint64_t> buckets;     ///< histogram only (+overflow)
+};
+
+/** Point-in-time view of a registry, sorted by name. */
+struct MetricSnapshot
+{
+    std::vector<MetricEntry> entries;
+
+    /** Deterministic JSON object keyed by metric name. */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+};
+
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * Find-or-create the named instrument. The returned reference is
+     * stable for the registry's lifetime. panic() if @p name is already
+     * registered as a different kind (or, for histograms, with
+     * different edges).
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> edges =
+                             Histogram::defaultMsEdges());
+
+    /** Entries sorted by name — deterministic at any thread count. */
+    MetricSnapshot snapshot() const;
+
+    /**
+     * Drop every instrument. Only safe when no thread holds a cached
+     * reference (tests; the start of a fresh sweep on the main thread).
+     */
+    void reset();
+
+  private:
+    struct Instrument
+    {
+        MetricEntry::Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    mutable std::mutex mutex_;
+    // Ordered map: snapshot order == name order by construction.
+    std::map<std::string, Instrument> instruments_;
+};
+
+/** The process-global registry. */
+MetricRegistry &metrics();
+
+} // namespace obs
+} // namespace pp
+
+#endif // PP_OBS_METRICS_HH

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "core/core.hh"
+#include "obs/trace_event.hh"
 #include "program/emulator.hh"
 
 namespace pp
@@ -91,6 +92,8 @@ sampledRunDetailed(const program::Program &binary,
     // the run(warmup); run(warmup + measure) calls of a full run.
     std::uint64_t ff_total = 0;
     std::uint64_t ff_in_region = 0; ///< gaps between windows, not lead-in
+    double ff_ms = 0.0;
+    double window_ms = 0.0;
 
     for (std::uint64_t s = region_start; s < region_end;
          s += policy.periodInsts) {
@@ -104,7 +107,12 @@ sampledRunDetailed(const program::Program &binary,
         // flow straight from one measurement into the next warmup with
         // the pipeline intact (and the first window from reset).
         if (warm_start > ff_total + cpu.coreStats().committedInsts) {
-            cpu.drainPipeline();
+            const auto ff_start = std::chrono::steady_clock::now();
+            {
+                obs::ScopedSpan drain_span(obs::tracer(), "drain",
+                                           "sampling");
+                cpu.drainPipeline();
+            }
             const std::uint64_t pos = cpu.programPosition();
             if (warm_start > pos) {
                 const std::uint64_t ff = warm_start - pos;
@@ -121,15 +129,29 @@ sampledRunDetailed(const program::Program &binary,
                 if (s != region_start)
                     ff_in_region += ff;
             }
+            ff_ms += std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - ff_start).count();
         }
 
-        cpu.run(s - ff_total);
-        const core::CoreStats at_warm = cpu.coreStats();
-        if (ff_total + at_warm.committedInsts >= meas_end)
-            continue; // drain overshot the whole window (tiny period)
-        cpu.run(meas_end - ff_total);
-        const core::CoreStats delta =
-            sim::statsDelta(at_warm, cpu.coreStats());
+        const auto win_start = std::chrono::steady_clock::now();
+        core::CoreStats delta;
+        bool overshot = false;
+        {
+            obs::ScopedSpan win_span(obs::tracer(), "detailed_window",
+                                     "sampling", profile.name);
+            cpu.run(s - ff_total);
+            const core::CoreStats at_warm = cpu.coreStats();
+            if (ff_total + at_warm.committedInsts >= meas_end) {
+                overshot = true; // drain overshot the window (tiny period)
+            } else {
+                cpu.run(meas_end - ff_total);
+                delta = sim::statsDelta(at_warm, cpu.coreStats());
+            }
+        }
+        window_ms += std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - win_start).count();
+        if (overshot)
+            continue;
 
         addInto(total, delta);
         window_ipc.push_back(delta.ipc());
@@ -190,6 +212,8 @@ sampledRunDetailed(const program::Program &binary,
     const auto host_end = std::chrono::steady_clock::now();
     r.hostMs = std::chrono::duration<double, std::milli>(
         host_end - host_start).count();
+    r.ffHostMs = ff_ms;
+    r.windowHostMs = window_ms;
     out.result = r;
     return out;
 }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "core/core.hh"
+#include "obs/trace_event.hh"
 #include "program/codegen.hh"
 
 namespace pp
@@ -88,16 +89,23 @@ run(const program::Program &binary,
 
     const auto host_start = std::chrono::steady_clock::now();
     core::OoOCore cpu(binary, cfg, coreSeed(profile), decoded, trace);
-    cpu.run(warmup_insts);
-    const core::CoreStats at_warmup = cpu.coreStats();
-    cpu.run(warmup_insts + measure_insts);
-    const core::CoreStats window =
-        statsDelta(at_warmup, cpu.coreStats());
+    core::CoreStats window;
+    {
+        obs::ScopedSpan span(obs::tracer(), "detailed_window", "sim",
+                             profile.name);
+        cpu.run(warmup_insts);
+        const core::CoreStats at_warmup = cpu.coreStats();
+        cpu.run(warmup_insts + measure_insts);
+        window = statsDelta(at_warmup, cpu.coreStats());
+    }
     const auto host_end = std::chrono::steady_clock::now();
 
     RunResult r;
     r.hostMs = std::chrono::duration<double, std::milli>(
         host_end - host_start).count();
+    // The whole full run is one detailed window (warmup + measurement);
+    // ffHostMs stays 0 and buildHostMs is assigned by the driver.
+    r.windowHostMs = r.hostMs;
     r.benchmark = profile.name;
     r.stats = window;
     r.detailedInsts = cpu.coreStats().committedInsts;

@@ -19,14 +19,15 @@ constexpr std::uint64_t kRun = 40000;
 
 /**
  * Neutralize the intentionally nondeterministic JSON fields (per-run
- * host wall time and the summary's total) so documents can be compared
+ * host wall time, its build/ff/window breakdown and the summary's
+ * total — every key ending in "host_ms") so documents can be compared
  * byte-for-byte.
  */
 std::string
 scrubHostMs(const std::string &json)
 {
-    static const std::regex host_ms("\"(total_)?host_ms\":[-+0-9.eE]+");
-    return std::regex_replace(json, host_ms, "\"$1host_ms\":0");
+    static const std::regex host_ms("\"([a-z_]*host_ms)\":[-+0-9.eE]+");
+    return std::regex_replace(json, host_ms, "\"$1\":0");
 }
 
 RunMatrix
@@ -195,6 +196,25 @@ TEST(SweepEngine, SamplingAxisRunsFullAndSampledSideBySide)
                         "\"total_detailed_insts\":"),
               std::string::npos);
     EXPECT_NE(json.find("\"total_host_ms\":"), std::string::npos);
+
+    // Host-time breakdown: every run reports the build/fast-forward/
+    // detailed-window split; all three fields are scrubbable wall-times.
+    EXPECT_NE(json.find("\"build_host_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"ff_host_ms\":"), std::string::npos);
+    EXPECT_NE(json.find("\"window_host_ms\":"), std::string::npos);
+    // The widened scrub pattern zeroes every breakdown field.
+    const std::string scrubbed = scrubHostMs(json);
+    EXPECT_NE(scrubbed.find("\"build_host_ms\":0"), std::string::npos);
+    EXPECT_NE(scrubbed.find("\"ff_host_ms\":0"), std::string::npos);
+    EXPECT_NE(scrubbed.find("\"window_host_ms\":0"), std::string::npos);
+    EXPECT_NE(scrubbed.find("\"total_host_ms\":0"), std::string::npos);
+    EXPECT_GT(full.buildHostMs, 0.0);
+    EXPECT_EQ(full.ffHostMs, 0.0);  // a full run never fast-forwards
+    EXPECT_GT(full.windowHostMs, 0.0);
+    EXPECT_GT(sam.ffHostMs, 0.0);
+    EXPECT_GT(sam.windowHostMs, 0.0);
+    // Both runs share one cached binary build, so the same build cost.
+    EXPECT_EQ(full.buildHostMs, sam.buildHostMs);
 
     // CSV: the sampling columns, empty on the full run's row and
     // policy-labeled on the sampled one.

@@ -4,263 +4,39 @@
  *
  * Loads both documents, pairs their runs (the spec order of a matrix is
  * deterministic, so position + identity fields must agree), prints a
- * per-run table of IPC and misprediction-rate deltas, and exits nonzero
- * when the documents disagree — on run identity, on run count, or on
- * any metric beyond the tolerances. With the default exact tolerances
- * this is a structural replacement for `cmp` on scrubbed JSON: CI and
- * humans both get told *which* run moved and by how much instead of a
- * byte offset.
+ * per-run table of IPC and misprediction-rate deltas, diffs the
+ * summary's deterministic counter block, and exits nonzero when the
+ * documents disagree — on run identity, on run count (naming the runs
+ * the shorter side is missing), on any metric beyond the tolerances, or
+ * on any summary counter. Host wall-times (every summary key ending in
+ * "host_ms") are perf samples, not results, and are never compared.
+ * With the default exact tolerances this is a structural replacement
+ * for `cmp` on scrubbed JSON: CI and humans both get told *which* run
+ * moved and by how much instead of a byte offset.
  *
  *   sweep_diff A.json B.json [--tol-ipc X] [--tol-mispred X] [--quiet]
  *
  * Exit codes: 0 = documents match, 1 = mismatch, 2 = usage/parse error.
  *
- * The parser below handles exactly the JSON the deterministic JsonSink
- * emits (objects, arrays, strings, numbers, booleans, null) — no
- * third-party dependency, by design.
+ * JSON parsing lives in json_min.hh (shared with sweep_store and
+ * sweep_report) — no third-party dependency, by design.
  */
 
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <map>
-#include <memory>
-#include <sstream>
+#include <set>
 #include <string>
 #include <vector>
+
+#include "json_min.hh"
 
 namespace
 {
 
-// ---------------------------------------------------------------------
-// Minimal recursive-descent JSON parser
-// ---------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<JsonValue> items;
-    // Key order preserved; pp.sweep.v1 keys are unique per object.
-    std::vector<std::pair<std::string, JsonValue>> fields;
-
-    const JsonValue *
-    get(const std::string &key) const
-    {
-        for (const auto &f : fields)
-            if (f.first == key)
-                return &f.second;
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : s(text) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = value();
-        skipWs();
-        if (at != s.size())
-            fail("trailing content");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &why)
-    {
-        std::fprintf(stderr, "sweep_diff: JSON parse error at byte %zu: %s\n",
-                     at, why.c_str());
-        std::exit(2);
-    }
-
-    void
-    skipWs()
-    {
-        while (at < s.size() && (s[at] == ' ' || s[at] == '\t' ||
-                                 s[at] == '\n' || s[at] == '\r'))
-            ++at;
-    }
-
-    char
-    peek()
-    {
-        if (at >= s.size())
-            fail("unexpected end of input");
-        return s[at];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++at;
-    }
-
-    JsonValue
-    value()
-    {
-        skipWs();
-        switch (peek()) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': case 'f': return boolean();
-          case 'n': return null();
-          default: return number();
-        }
-    }
-
-    JsonValue
-    object()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        expect('{');
-        skipWs();
-        if (peek() == '}') {
-            ++at;
-            return v;
-        }
-        for (;;) {
-            skipWs();
-            JsonValue key = string();
-            skipWs();
-            expect(':');
-            v.fields.emplace_back(key.str, value());
-            skipWs();
-            if (peek() == ',') {
-                ++at;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    JsonValue
-    array()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        expect('[');
-        skipWs();
-        if (peek() == ']') {
-            ++at;
-            return v;
-        }
-        for (;;) {
-            v.items.push_back(value());
-            skipWs();
-            if (peek() == ',') {
-                ++at;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue
-    string()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        expect('"');
-        while (peek() != '"') {
-            char c = s[at++];
-            if (c != '\\') {
-                v.str.push_back(c);
-                continue;
-            }
-            const char esc = peek();
-            ++at;
-            switch (esc) {
-              case '"': v.str.push_back('"'); break;
-              case '\\': v.str.push_back('\\'); break;
-              case '/': v.str.push_back('/'); break;
-              case 'n': v.str.push_back('\n'); break;
-              case 't': v.str.push_back('\t'); break;
-              case 'r': v.str.push_back('\r'); break;
-              case 'b': v.str.push_back('\b'); break;
-              case 'f': v.str.push_back('\f'); break;
-              case 'u': {
-                if (at + 4 > s.size())
-                    fail("bad \\u escape");
-                // The sink only emits \u00xx control escapes; decode
-                // the low byte and drop the (zero) high byte.
-                const std::string hex = s.substr(at + 2, 2);
-                v.str.push_back(static_cast<char>(
-                    std::strtoul(hex.c_str(), nullptr, 16)));
-                at += 4;
-                break;
-              }
-              default: fail("unknown escape");
-            }
-        }
-        ++at;
-        return v;
-    }
-
-    JsonValue
-    boolean()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (s.compare(at, 4, "true") == 0) {
-            v.boolean = true;
-            at += 4;
-        } else if (s.compare(at, 5, "false") == 0) {
-            v.boolean = false;
-            at += 5;
-        } else {
-            fail("bad literal");
-        }
-        return v;
-    }
-
-    JsonValue
-    null()
-    {
-        if (s.compare(at, 4, "null") != 0)
-            fail("bad literal");
-        at += 4;
-        JsonValue v;
-        v.kind = JsonValue::Kind::Null;
-        return v;
-    }
-
-    JsonValue
-    number()
-    {
-        const char *start = s.c_str() + at;
-        char *end = nullptr;
-        errno = 0;
-        const double d = std::strtod(start, &end);
-        if (end == start || errno == ERANGE)
-            fail("bad number");
-        at += static_cast<std::size_t>(end - start);
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.number = d;
-        return v;
-    }
-
-    const std::string &s;
-    std::size_t at = 0;
-};
+using pp::jsonmin::JsonParseError;
+using pp::jsonmin::JsonValue;
 
 // ---------------------------------------------------------------------
 // pp.sweep.v1 extraction
@@ -271,6 +47,18 @@ struct Run
     std::string id;      ///< benchmark[/ifc]/scheme[/config][/sampling]
     double ipc = 0.0;
     double mispredPct = 0.0;
+};
+
+struct SummaryCounter
+{
+    std::string name;
+    double value = 0.0;
+};
+
+struct Document
+{
+    std::vector<Run> runs;
+    std::vector<SummaryCounter> summary; ///< host_ms keys excluded
 };
 
 std::string
@@ -292,19 +80,25 @@ fieldNum(const JsonValue &run, const char *key)
     return v->number;
 }
 
-std::vector<Run>
-loadRuns(const std::string &path)
+/** Wall-time keys (host_ms and its variants) are never compared. */
+bool
+isHostTimeKey(const std::string &key)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
-        std::fprintf(stderr, "sweep_diff: cannot open %s\n", path.c_str());
+    return key.size() >= 7 &&
+        key.compare(key.size() - 7, 7, "host_ms") == 0;
+}
+
+Document
+loadDocument(const std::string &path)
+{
+    JsonValue doc;
+    try {
+        doc = pp::jsonmin::parseJsonFile(path);
+    } catch (const JsonParseError &e) {
+        std::fprintf(stderr, "sweep_diff: %s: %s\n", path.c_str(),
+                     e.what());
         std::exit(2);
     }
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    const std::string text = buf.str();
-
-    const JsonValue doc = JsonParser(text).parse();
     const JsonValue *schema = doc.get("schema");
     if (schema == nullptr || schema->str != "pp.sweep.v1") {
         std::fprintf(stderr, "sweep_diff: %s is not a pp.sweep.v1 document\n",
@@ -318,7 +112,7 @@ loadRuns(const std::string &path)
         std::exit(2);
     }
 
-    std::vector<Run> out;
+    Document out;
     for (const JsonValue &r : runs->items) {
         Run run;
         run.id = fieldStr(r, "benchmark");
@@ -334,9 +128,42 @@ loadRuns(const std::string &path)
             run.id += "/" + sampling;
         run.ipc = fieldNum(r, "ipc");
         run.mispredPct = fieldNum(r, "mispred_pct");
-        out.push_back(std::move(run));
+        out.runs.push_back(std::move(run));
+    }
+
+    // The summary counters are deterministic (a pure function of the
+    // spec list and options); wall-time keys are the one exception.
+    const JsonValue *summary = doc.get("summary");
+    if (summary != nullptr &&
+        summary->kind == JsonValue::Kind::Object) {
+        for (const auto &f : summary->fields) {
+            if (isHostTimeKey(f.first) ||
+                f.second.kind != JsonValue::Kind::Number)
+                continue;
+            out.summary.push_back(SummaryCounter{f.first, f.second.number});
+        }
     }
     return out;
+}
+
+/** Name the run ids present in @p longer but absent from @p shorter. */
+void
+reportMissingRuns(const char *longer_name,
+                  const std::vector<Run> &longer,
+                  const std::vector<Run> &shorter)
+{
+    std::multiset<std::string> have;
+    for (const Run &r : shorter)
+        have.insert(r.id);
+    for (const Run &r : longer) {
+        auto it = have.find(r.id);
+        if (it != have.end()) {
+            have.erase(it);
+            continue;
+        }
+        std::fprintf(stderr, "  only in %s: %s\n", longer_name,
+                     r.id.c_str());
+    }
 }
 
 void
@@ -402,23 +229,27 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const std::vector<Run> a = loadRuns(paths[0]);
-    const std::vector<Run> b = loadRuns(paths[1]);
+    const Document a = loadDocument(paths[0]);
+    const Document b = loadDocument(paths[1]);
 
     bool mismatch = false;
-    if (a.size() != b.size()) {
-        std::fprintf(stderr, "run count differs: %zu vs %zu\n", a.size(),
-                     b.size());
+    if (a.runs.size() != b.runs.size()) {
+        std::fprintf(stderr, "run count differs: %zu vs %zu\n",
+                     a.runs.size(), b.runs.size());
+        if (a.runs.size() > b.runs.size())
+            reportMissingRuns("A", a.runs, b.runs);
+        else
+            reportMissingRuns("B", b.runs, a.runs);
         mismatch = true;
     }
 
     std::printf("%-44s %12s %12s %12s %10s\n", "run", "ipc(A)", "ipc(B)",
                 "d_ipc", "d_miss_pp");
-    const std::size_t n = std::min(a.size(), b.size());
+    const std::size_t n = std::min(a.runs.size(), b.runs.size());
     std::size_t bad_runs = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        const Run &ra = a[i];
-        const Run &rb = b[i];
+        const Run &ra = a.runs[i];
+        const Run &rb = b.runs[i];
         if (ra.id != rb.id) {
             std::printf("%-44s   RUN IDENTITY DIFFERS: '%s' vs '%s'\n",
                         ra.id.c_str(), ra.id.c_str(), rb.id.c_str());
@@ -442,6 +273,36 @@ main(int argc, char **argv)
                         ra.id.c_str(), ra.ipc, rb.ipc, d_ipc, d_mis,
                         bad ? "  <-- MISMATCH" : "");
         }
+    }
+
+    // Summary counter block: exact comparison, key by key. A counter
+    // present on only one side (schema growth) is reported but only a
+    // differing shared counter is a mismatch — newer documents may
+    // carry counters older ones predate.
+    for (const SummaryCounter &sa : a.summary) {
+        const SummaryCounter *sb = nullptr;
+        for (const SummaryCounter &s : b.summary)
+            if (s.name == sa.name)
+                sb = &s;
+        if (sb == nullptr) {
+            if (!quiet)
+                std::printf("summary: '%s' only in A (%g)\n",
+                            sa.name.c_str(), sa.value);
+            continue;
+        }
+        if (sa.value != sb->value) {
+            std::printf("summary: '%s' differs: %g vs %g  <-- MISMATCH\n",
+                        sa.name.c_str(), sa.value, sb->value);
+            mismatch = true;
+        }
+    }
+    for (const SummaryCounter &sb : b.summary) {
+        bool in_a = false;
+        for (const SummaryCounter &s : a.summary)
+            in_a = in_a || s.name == sb.name;
+        if (!in_a && !quiet)
+            std::printf("summary: '%s' only in B (%g)\n",
+                        sb.name.c_str(), sb.value);
     }
 
     if (mismatch) {

@@ -1,0 +1,839 @@
+/**
+ * @file
+ * sweep_report: render result documents as SVG/HTML charts and gate
+ * perf trends — the repo's regression dashboard, no external deps.
+ *
+ * Three modes (combinable where it makes sense):
+ *
+ *  Figure: --sweep FILE --out chart.svg|chart.html
+ *    Renders a pp.sweep.v1 document as a Fig. 5/6-style grouped bar
+ *    chart of --metric (default ipc). When the document sweeps a
+ *    config axis (the ROB/IQ/width study), configs are the x groups
+ *    and benchmark/scheme/sampling cells are the series; otherwise
+ *    benchmarks group the x axis.
+ *
+ *  Trend: --store DIR --out trend.html
+ *    Charts the history of the perf documents in a sweep_store:
+ *    simulator throughput (pp.bench.sim_throughput.v1,
+ *    current.aggregate_kips) and sampling speedup
+ *    (pp.bench.sampling.v1, speedup.speedup) across store entries.
+ *
+ *  Gate: --store DIR --check [--noise PCT]
+ *    Compares each tracked metric's newest entry against the median of
+ *    its earlier entries and exits 1 when the newest value sits more
+ *    than PCT percent (default 10 — sized for shared-runner wall-clock
+ *    noise on KIPS-style metrics; see ci.yml) below the median. Both
+ *    tracked metrics are higher-is-better. Fewer than two entries pass
+ *    trivially: a trend needs history.
+ *
+ * Charts follow the repo's chart conventions: one y axis, categorical
+ * series colors in fixed slot order, legend for multi-series charts,
+ * text in ink tokens (never series colors), recessive hairline grid,
+ * and an HTML table view of every charted value. HTML output carries
+ * light and dark palettes; SVG output uses var() with light fallbacks
+ * so standalone viewers render light.
+ *
+ * Exit codes: 0 = ok, 1 = --check regression, 2 = usage/IO/parse error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_min.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using pp::jsonmin::JsonValue;
+
+// ---------------------------------------------------------------------
+// Palette (reference tokens; dark variants live in the HTML wrapper)
+// ---------------------------------------------------------------------
+
+const char *kSeriesLight[4] = {"#2a78d6", "#eb6834", "#1baf7a",
+                               "#eda100"};
+const char *kSurface = "#fcfcfb";
+const char *kInkPrimary = "#0b0b0b";
+const char *kInkSecondary = "#52514e";
+const char *kInkMuted = "#898781";
+const char *kGridline = "#e1e0d9";
+const char *kBaseline = "#c3c2b7";
+
+std::string
+seriesFill(std::size_t slot)
+{
+    // var() so the HTML wrapper's dark palette can restyle the marks;
+    // the fallback keeps standalone SVG on the light palette.
+    std::ostringstream os;
+    os << "var(--series-" << (slot + 1) << ", "
+       << kSeriesLight[slot % 4] << ")";
+    return os.str();
+}
+
+std::string
+fmtNum(double v, int prec = 2)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+escapeXml(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Round @p raw up to a 1/2/5-decade tick-friendly axis maximum. */
+double
+niceCeil(double raw)
+{
+    if (raw <= 0.0)
+        return 1.0;
+    const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+    for (const double m : {1.0, 2.0, 2.5, 5.0, 10.0}) {
+        if (raw <= m * mag)
+            return m * mag;
+    }
+    return 10.0 * mag;
+}
+
+// ---------------------------------------------------------------------
+// Chart model + SVG renderers
+// ---------------------------------------------------------------------
+
+struct Series
+{
+    std::string name;
+    std::vector<double> values; ///< aligned with the chart's categories
+};
+
+struct ChartData
+{
+    std::string title;
+    std::string yLabel;
+    std::vector<std::string> categories;
+    std::vector<Series> series;
+};
+
+/** Shared SVG scaffolding: surface, title, y grid + tick labels. */
+void
+svgFrame(std::ostream &os, const ChartData &c, int width, int height,
+         int left, int top, int right, int bottom, double ymax)
+{
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+       << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << " "
+       << height << "\" role=\"img\" aria-label=\""
+       << escapeXml(c.title) << "\">\n";
+    os << "<style>text{font-family:system-ui,-apple-system,'Segoe UI',"
+          "sans-serif;}</style>\n";
+    os << "<rect width=\"" << width << "\" height=\"" << height
+       << "\" fill=\"var(--surface-1, " << kSurface << ")\"/>\n";
+    os << "<text x=\"" << left << "\" y=\"22\" font-size=\"14\" "
+          "font-weight=\"600\" fill=\"var(--text-primary, "
+       << kInkPrimary << ")\">" << escapeXml(c.title) << "</text>\n";
+    os << "<text x=\"" << left << "\" y=\"40\" font-size=\"11\" "
+          "fill=\"var(--text-secondary, " << kInkSecondary << ")\">"
+       << escapeXml(c.yLabel) << "</text>\n";
+
+    const int plot_h = height - top - bottom;
+    const int plot_w = width - left - right;
+    const int ticks = 4;
+    for (int t = 1; t <= ticks; ++t) {
+        const double frac = static_cast<double>(t) / ticks;
+        const double y = top + plot_h * (1.0 - frac);
+        os << "<line x1=\"" << left << "\" y1=\"" << y << "\" x2=\""
+           << (left + plot_w) << "\" y2=\"" << y
+           << "\" stroke=\"var(--gridline, " << kGridline
+           << ")\" stroke-width=\"1\"/>\n";
+        os << "<text x=\"" << (left - 6) << "\" y=\"" << (y + 3.5)
+           << "\" font-size=\"10\" text-anchor=\"end\" "
+              "fill=\"var(--text-muted, " << kInkMuted << ")\">"
+           << fmtNum(ymax * frac, ymax >= 100 ? 0 : 2) << "</text>\n";
+    }
+    // Baseline (y = 0).
+    os << "<line x1=\"" << left << "\" y1=\"" << (top + plot_h)
+       << "\" x2=\"" << (left + plot_w) << "\" y2=\"" << (top + plot_h)
+       << "\" stroke=\"var(--baseline, " << kBaseline
+       << ")\" stroke-width=\"1\"/>\n";
+}
+
+/** Rows the wrapped legend will occupy (0 when no legend is drawn). */
+int
+legendRows(const ChartData &c, int left, int width)
+{
+    if (c.series.size() < 2)
+        return 0;
+    int rows = 1;
+    int x = left;
+    for (const Series &s : c.series) {
+        const int entry_w =
+            14 + 7 * static_cast<int>(s.name.size()) + 18;
+        if (x > left && x + entry_w > width - 16) {
+            x = left;
+            ++rows;
+        }
+        x += entry_w;
+    }
+    return rows;
+}
+
+/** Legend under the title; text in ink, swatch carries the color.
+ *  Wraps to further rows when the names outgrow the canvas. */
+void
+svgLegend(std::ostream &os, const ChartData &c, int left, int y,
+          int width)
+{
+    if (c.series.size() < 2)
+        return; // a single series is named by the title
+    int x = left;
+    for (std::size_t s = 0; s < c.series.size(); ++s) {
+        const int entry_w =
+            14 + 7 * static_cast<int>(c.series[s].name.size()) + 18;
+        if (x > left && x + entry_w > width - 16) {
+            x = left;
+            y += 16;
+        }
+        os << "<rect x=\"" << x << "\" y=\"" << (y - 8)
+           << "\" width=\"10\" height=\"10\" rx=\"2\" fill=\""
+           << seriesFill(s) << "\"/>\n";
+        os << "<text x=\"" << (x + 14) << "\" y=\"" << y
+           << "\" font-size=\"11\" fill=\"var(--text-secondary, "
+           << kInkSecondary << ")\">" << escapeXml(c.series[s].name)
+           << "</text>\n";
+        x += entry_w;
+    }
+}
+
+/** Bar with a rounded top anchored square on the baseline. */
+void
+svgBar(std::ostream &os, double x, double y, double w, double h,
+       const std::string &fill)
+{
+    const double r = std::min(4.0, std::min(w / 2.0, h));
+    os << "<path d=\"M" << x << "," << (y + h) << " L" << x << ","
+       << (y + r) << " Q" << x << "," << y << " " << (x + r) << "," << y
+       << " L" << (x + w - r) << "," << y << " Q" << (x + w) << "," << y
+       << " " << (x + w) << "," << (y + r) << " L" << (x + w) << ","
+       << (y + h) << " Z\" fill=\"" << fill << "\"/>\n";
+}
+
+std::string
+renderGroupedBars(const ChartData &c)
+{
+    const int width = 760, left = 56, right = 16, bottom = 48;
+    // Extra canvas for every wrapped legend row beyond the first.
+    const int extra = 16 * std::max(0, legendRows(c, left, width) - 1);
+    const int height = 420 + extra, top = 76 + extra;
+    const int plot_w = width - left - right;
+    const int plot_h = height - top - bottom;
+
+    double ymax = 0.0;
+    for (const Series &s : c.series)
+        for (const double v : s.values)
+            ymax = std::max(ymax, v);
+    ymax = niceCeil(ymax);
+
+    std::ostringstream os;
+    svgFrame(os, c, width, height, left, top, right, bottom, ymax);
+    svgLegend(os, c, left, 58, width);
+
+    const std::size_t ncat = c.categories.size();
+    const std::size_t nser = c.series.size();
+    const double group_w = static_cast<double>(plot_w) /
+        static_cast<double>(ncat);
+    const double gap = 2.0;                 // surface gap between bars
+    const double pad = group_w * 0.18;      // between groups
+    const double bar_w =
+        (group_w - 2 * pad - gap * static_cast<double>(nser - 1)) /
+        static_cast<double>(nser);
+
+    for (std::size_t g = 0; g < ncat; ++g) {
+        const double gx = left + group_w * static_cast<double>(g);
+        for (std::size_t s = 0; s < nser; ++s) {
+            const double v = c.series[s].values[g];
+            const double h = plot_h * (v / ymax);
+            const double x =
+                gx + pad + static_cast<double>(s) * (bar_w + gap);
+            const double y = top + plot_h - h;
+            if (h > 0.5)
+                svgBar(os, x, y, bar_w, h, seriesFill(s));
+        }
+        os << "<text x=\"" << (gx + group_w / 2) << "\" y=\""
+           << (top + plot_h + 18)
+           << "\" font-size=\"11\" text-anchor=\"middle\" "
+              "fill=\"var(--text-secondary, " << kInkSecondary << ")\">"
+           << escapeXml(c.categories[g]) << "</text>\n";
+    }
+    os << "</svg>\n";
+    return os.str();
+}
+
+std::string
+renderTrendLine(const ChartData &c)
+{
+    const int width = 760, left = 64, right = 16, bottom = 44;
+    const int extra = 16 * std::max(0, legendRows(c, left, width) - 1);
+    const int height = 300 + extra, top = 64 + extra;
+    const int plot_w = width - left - right;
+    const int plot_h = height - top - bottom;
+
+    double ymax = 0.0;
+    for (const Series &s : c.series)
+        for (const double v : s.values)
+            ymax = std::max(ymax, v);
+    ymax = niceCeil(ymax);
+
+    std::ostringstream os;
+    svgFrame(os, c, width, height, left, top, right, bottom, ymax);
+    svgLegend(os, c, left, 52, width);
+
+    const std::size_t n = c.categories.size();
+    auto px = [&](std::size_t i) {
+        return n <= 1 ? left + plot_w / 2.0
+                      : left + plot_w * static_cast<double>(i) /
+                static_cast<double>(n - 1);
+    };
+    for (std::size_t s = 0; s < c.series.size(); ++s) {
+        const Series &ser = c.series[s];
+        std::ostringstream pts;
+        for (std::size_t i = 0; i < n; ++i) {
+            pts << (i ? " " : "") << fmtNum(px(i), 1) << ","
+                << fmtNum(top + plot_h * (1.0 - ser.values[i] / ymax),
+                          1);
+        }
+        os << "<polyline points=\"" << pts.str()
+           << "\" fill=\"none\" stroke=\"" << seriesFill(s)
+           << "\" stroke-width=\"2\" stroke-linejoin=\"round\"/>\n";
+        for (std::size_t i = 0; i < n; ++i) {
+            os << "<circle cx=\"" << fmtNum(px(i), 1) << "\" cy=\""
+               << fmtNum(top + plot_h * (1.0 - ser.values[i] / ymax), 1)
+               << "\" r=\"4\" fill=\"" << seriesFill(s)
+               << "\" stroke=\"var(--surface-1, " << kSurface
+               << ")\" stroke-width=\"2\"/>\n";
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        os << "<text x=\"" << fmtNum(px(i), 1) << "\" y=\""
+           << (top + plot_h + 16)
+           << "\" font-size=\"10\" text-anchor=\"middle\" "
+              "fill=\"var(--text-muted, " << kInkMuted << ")\">"
+           << escapeXml(c.categories[i]) << "</text>\n";
+    }
+    os << "</svg>\n";
+    return os.str();
+}
+
+/** Table view of a chart — the accessibility twin of every figure. */
+std::string
+renderTable(const ChartData &c)
+{
+    std::ostringstream os;
+    os << "<table><thead><tr><th></th>";
+    for (const Series &s : c.series)
+        os << "<th>" << escapeXml(s.name) << "</th>";
+    os << "</tr></thead><tbody>\n";
+    for (std::size_t g = 0; g < c.categories.size(); ++g) {
+        os << "<tr><td>" << escapeXml(c.categories[g]) << "</td>";
+        for (const Series &s : c.series)
+            os << "<td>" << fmtNum(s.values[g], 3) << "</td>";
+        os << "</tr>\n";
+    }
+    os << "</tbody></table>\n";
+    return os.str();
+}
+
+std::string
+htmlDocument(const std::string &title,
+             const std::vector<std::string> &sections)
+{
+    std::ostringstream os;
+    os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+          "<meta charset=\"utf-8\">\n<title>"
+       << escapeXml(title) << "</title>\n<style>\n"
+          ".viz-root {\n"
+          "  color-scheme: light;\n"
+          "  --surface-1: #fcfcfb;\n"
+          "  --text-primary: #0b0b0b;\n"
+          "  --text-secondary: #52514e;\n"
+          "  --text-muted: #898781;\n"
+          "  --gridline: #e1e0d9;\n"
+          "  --baseline: #c3c2b7;\n"
+          "  --series-1: #2a78d6;\n"
+          "  --series-2: #eb6834;\n"
+          "  --series-3: #1baf7a;\n"
+          "  --series-4: #eda100;\n"
+          "}\n"
+          "@media (prefers-color-scheme: dark) {\n"
+          "  :root:where(:not([data-theme=\"light\"])) .viz-root {\n"
+          "    color-scheme: dark;\n"
+          "    --surface-1: #1a1a19;\n"
+          "    --text-primary: #ffffff;\n"
+          "    --text-secondary: #c3c2b7;\n"
+          "    --text-muted: #898781;\n"
+          "    --gridline: #2c2c2a;\n"
+          "    --baseline: #383835;\n"
+          "    --series-1: #3987e5;\n"
+          "    --series-2: #d95926;\n"
+          "    --series-3: #199e70;\n"
+          "    --series-4: #c98500;\n"
+          "  }\n"
+          "}\n"
+          "body { margin: 0; background: var(--surface-1); }\n"
+          ".viz-root { font-family: system-ui, -apple-system,"
+          " 'Segoe UI', sans-serif; background: var(--surface-1);"
+          " color: var(--text-primary); max-width: 800px;"
+          " margin: 0 auto; padding: 24px 16px; }\n"
+          "h1 { font-size: 18px; }\n"
+          "table { border-collapse: collapse; font-size: 12px;"
+          " margin: 12px 0 28px; }\n"
+          "td, th { padding: 4px 10px; border-bottom: 1px solid"
+          " var(--gridline); text-align: right;"
+          " font-variant-numeric: tabular-nums; }\n"
+          "th { color: var(--text-secondary); font-weight: 600; }\n"
+          "td:first-child, th:first-child { text-align: left;"
+          " color: var(--text-secondary); }\n"
+          "</style>\n</head>\n<body>\n<div class=\"viz-root\">\n"
+          "<h1>" << escapeXml(title) << "</h1>\n";
+    for (const std::string &s : sections)
+        os << s;
+    os << "</div>\n</body>\n</html>\n";
+    return os.str();
+}
+
+void
+writeOut(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        std::fprintf(stderr, "sweep_report: cannot write %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    os << content;
+}
+
+// ---------------------------------------------------------------------
+// Figure mode: pp.sweep.v1 -> grouped bars
+// ---------------------------------------------------------------------
+
+struct SweepRun
+{
+    std::string benchmark; ///< benchmark[+ifc]
+    std::string scheme;    ///< scheme[/sampling]
+    std::string config;    ///< "table1" when unnamed
+    double value = 0.0;
+};
+
+std::vector<SweepRun>
+loadSweepRuns(const std::string &path, const std::string &metric)
+{
+    JsonValue doc;
+    try {
+        doc = pp::jsonmin::parseJsonFile(path);
+    } catch (const pp::jsonmin::JsonParseError &e) {
+        std::fprintf(stderr, "sweep_report: %s: %s\n", path.c_str(),
+                     e.what());
+        std::exit(2);
+    }
+    const JsonValue *schema = doc.get("schema");
+    if (schema == nullptr || schema->str != "pp.sweep.v1") {
+        std::fprintf(stderr,
+                     "sweep_report: %s is not a pp.sweep.v1 document\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::vector<SweepRun> out;
+    for (const JsonValue &r : doc.get("runs")->items) {
+        SweepRun run;
+        auto str = [&](const char *k) {
+            const JsonValue *v = r.get(k);
+            return v != nullptr && v->kind == JsonValue::Kind::String
+                ? v->str : std::string();
+        };
+        run.benchmark = str("benchmark");
+        const JsonValue *ifc = r.get("if_converted");
+        if (ifc != nullptr && ifc->boolean)
+            run.benchmark += "+ifc";
+        run.scheme = str("scheme");
+        const std::string sampling = str("sampling");
+        if (!sampling.empty())
+            run.scheme += "/" + sampling;
+        run.config = str("config");
+        if (run.config.empty())
+            run.config = "table1";
+        const JsonValue *v = r.get(metric);
+        if (v == nullptr || v->kind != JsonValue::Kind::Number) {
+            std::fprintf(stderr,
+                         "sweep_report: run has no numeric '%s'\n",
+                         metric.c_str());
+            std::exit(2);
+        }
+        run.value = v->number;
+        out.push_back(std::move(run));
+    }
+    return out;
+}
+
+ChartData
+sweepToChart(const std::vector<SweepRun> &runs, const std::string &path,
+             const std::string &metric)
+{
+    ChartData c;
+    c.yLabel = metric;
+
+    std::vector<std::string> configs;
+    for (const SweepRun &r : runs)
+        if (std::find(configs.begin(), configs.end(), r.config) ==
+            configs.end())
+            configs.push_back(r.config);
+
+    // Config-axis study (the ROB/IQ/width sweep): configs make the x
+    // groups and each benchmark/scheme cell is a series. Single-config
+    // sweeps group by benchmark instead, series = scheme.
+    const bool config_axis = configs.size() > 1;
+    std::vector<std::string> series_ids;
+    auto series_of = [&](const SweepRun &r) {
+        return config_axis ? r.benchmark + "/" + r.scheme : r.scheme;
+    };
+    auto cat_of = [&](const SweepRun &r) {
+        return config_axis ? r.config : r.benchmark;
+    };
+    for (const SweepRun &r : runs) {
+        if (std::find(c.categories.begin(), c.categories.end(),
+                      cat_of(r)) == c.categories.end())
+            c.categories.push_back(cat_of(r));
+        if (std::find(series_ids.begin(), series_ids.end(),
+                      series_of(r)) == series_ids.end())
+            series_ids.push_back(series_of(r));
+    }
+    for (const std::string &id : series_ids) {
+        Series s;
+        s.name = id;
+        s.values.assign(c.categories.size(), 0.0);
+        c.series.push_back(std::move(s));
+    }
+    for (const SweepRun &r : runs) {
+        const std::size_t si = static_cast<std::size_t>(
+            std::find(series_ids.begin(), series_ids.end(),
+                      series_of(r)) -
+            series_ids.begin());
+        const std::size_t ci = static_cast<std::size_t>(
+            std::find(c.categories.begin(), c.categories.end(),
+                      cat_of(r)) -
+            c.categories.begin());
+        c.series[si].values[ci] = r.value;
+    }
+    c.title = metric + " — " + fs::path(path).filename().string() +
+        (config_axis ? " (config axis)" : "");
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// Trend + gate mode: sweep_store history
+// ---------------------------------------------------------------------
+
+struct TrendMetric
+{
+    std::string name;   ///< chart title
+    std::string unit;
+    std::vector<std::string> labels; ///< per-entry x label (commit/seq)
+    std::vector<double> values;
+};
+
+/** A tracked metric: store kind + path into the document. */
+struct MetricSpec
+{
+    const char *kind;
+    const char *section;
+    const char *field;
+    const char *title;
+    const char *unit;
+};
+
+const MetricSpec kTrendMetrics[] = {
+    {"pp.bench.sim_throughput.v1", "current", "aggregate_kips",
+     "simulator throughput", "KIPS (aggregate, detailed path)"},
+    {"pp.bench.sim_throughput.v1", "fast_forward", "aggregate_skip_kips",
+     "fast-forward throughput", "KIPS (emulator skip tier)"},
+    {"pp.bench.sampling.v1", "speedup", "speedup",
+     "sampling speedup", "sampled vs full (x)"},
+};
+
+std::vector<TrendMetric>
+loadTrends(const std::string &store)
+{
+    const std::string index_path =
+        (fs::path(store) / "index.jsonl").string();
+    std::ifstream is(index_path);
+    if (!is) {
+        std::fprintf(stderr, "sweep_report: no index at %s\n",
+                     index_path.c_str());
+        std::exit(2);
+    }
+    std::vector<TrendMetric> out;
+    for (const MetricSpec &m : kTrendMetrics)
+        out.push_back(TrendMetric{std::string(m.title) + " — " + m.unit,
+                                  m.unit, {}, {}});
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        JsonValue entry;
+        try {
+            entry = pp::jsonmin::parseJson(line);
+        } catch (const pp::jsonmin::JsonParseError &e) {
+            std::fprintf(stderr, "sweep_report: bad index line: %s\n",
+                         e.what());
+            std::exit(2);
+        }
+        const JsonValue *kind = entry.get("kind");
+        const JsonValue *object = entry.get("object");
+        const JsonValue *seq = entry.get("seq");
+        if (kind == nullptr || object == nullptr)
+            continue;
+        for (std::size_t i = 0; i < std::size(kTrendMetrics); ++i) {
+            const MetricSpec &m = kTrendMetrics[i];
+            if (kind->str != m.kind)
+                continue;
+            const fs::path obj = fs::path(store) / "objects" /
+                (object->str + ".json");
+            JsonValue doc;
+            try {
+                doc = pp::jsonmin::parseJsonFile(obj.string());
+            } catch (const pp::jsonmin::JsonParseError &e) {
+                std::fprintf(stderr, "sweep_report: %s: %s\n",
+                             obj.string().c_str(), e.what());
+                std::exit(2);
+            }
+            // The detailed-throughput smoke also embeds a fast_forward
+            // section, but measured at a different instruction count
+            // than the dedicated fast-forward document — mixing the two
+            // would make the trend series bimodal. Keep the ff series
+            // to docs without a top-level detailed aggregate.
+            if (std::strcmp(m.section, "fast_forward") == 0 &&
+                doc.get("aggregate_kips") != nullptr)
+                continue;
+            const JsonValue *section = doc.get(m.section);
+            const JsonValue *value =
+                section != nullptr ? section->get(m.field) : nullptr;
+            // Fresh per-commit documents carry the metric at top level;
+            // only the committed baseline doc nests it in a "current"
+            // section (recorded next to its pre-overhaul baseline).
+            if (value == nullptr)
+                value = doc.get(m.field);
+            if (value == nullptr ||
+                value->kind != JsonValue::Kind::Number)
+                continue;
+            const JsonValue *commit = entry.get("commit");
+            std::string label =
+                commit != nullptr && !commit->str.empty()
+                    ? commit->str.substr(0, 7)
+                    : "#" + std::to_string(static_cast<long long>(
+                          seq != nullptr ? seq->number : 0));
+            out[i].labels.push_back(std::move(label));
+            out[i].values.push_back(value->number);
+        }
+    }
+    return out;
+}
+
+double
+median(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    return n % 2 == 1 ? xs[n / 2]
+                      : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/**
+ * Gate: newest entry vs the median of the earlier ones; both tracked
+ * metrics are higher-is-better, so only a drop beyond the noise band
+ * fails. Returns the number of regressed metrics.
+ */
+int
+checkTrends(const std::vector<TrendMetric> &trends, double noise_pct)
+{
+    int regressions = 0;
+    for (const TrendMetric &t : trends) {
+        if (t.values.size() < 2) {
+            std::printf("check: %-45s SKIP (%zu entries; need >= 2)\n",
+                        t.name.c_str(), t.values.size());
+            continue;
+        }
+        std::vector<double> prior(t.values.begin(), t.values.end() - 1);
+        const double base = median(prior);
+        const double latest = t.values.back();
+        const double floor = base * (1.0 - noise_pct / 100.0);
+        const double delta_pct =
+            base > 0.0 ? 100.0 * (latest - base) / base : 0.0;
+        const bool bad = latest < floor;
+        std::printf("check: %-45s latest %.2f vs median %.2f "
+                    "(%+.1f%%, noise band %.0f%%) %s\n",
+                    t.name.c_str(), latest, base, delta_pct, noise_pct,
+                    bad ? "REGRESSION" : "ok");
+        if (bad)
+            ++regressions;
+    }
+    return regressions;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "sweep_report — SVG/HTML charts + perf-trend gate for result"
+        " documents\n\n"
+        "  sweep_report --sweep FILE.json --out chart.svg|chart.html"
+        " [--metric M]\n"
+        "  sweep_report --store DIR --out trend.html\n"
+        "  sweep_report --store DIR --check [--noise PCT]\n\n"
+        "  --sweep FILE   render a pp.sweep.v1 document as grouped"
+        " bars\n"
+        "  --metric M     run field to chart (default ipc)\n"
+        "  --store DIR    sweep_store directory (trend/check modes)\n"
+        "  --out PATH     output file; .svg = bare chart, .html ="
+        " chart + table view\n"
+        "  --check        exit 1 when a tracked metric's newest entry"
+        " drops more\n"
+        "                 than the noise band below the median of its"
+        " history\n"
+        "  --noise PCT    noise band for --check (default 10)\n\n"
+        "exit status: 0 ok, 1 check regression, 2 usage/IO/parse"
+        " error\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string sweep_path;
+    std::string store;
+    std::string out;
+    std::string metric = "ipc";
+    bool check = false;
+    double noise_pct = 10.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        auto need_value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(a, "--sweep") == 0) {
+            sweep_path = need_value();
+        } else if (std::strcmp(a, "--store") == 0) {
+            store = need_value();
+        } else if (std::strcmp(a, "--out") == 0) {
+            out = need_value();
+        } else if (std::strcmp(a, "--metric") == 0) {
+            metric = need_value();
+        } else if (std::strcmp(a, "--check") == 0) {
+            check = true;
+        } else if (std::strcmp(a, "--noise") == 0) {
+            noise_pct = std::strtod(need_value(), nullptr);
+        } else if (std::strcmp(a, "--help") == 0 ||
+                   std::strcmp(a, "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    const bool html =
+        out.size() > 5 && out.compare(out.size() - 5, 5, ".html") == 0;
+
+    if (!sweep_path.empty()) {
+        if (out.empty()) {
+            std::fprintf(stderr,
+                         "sweep_report: --sweep needs --out\n");
+            return 2;
+        }
+        const std::vector<SweepRun> runs =
+            loadSweepRuns(sweep_path, metric);
+        if (runs.empty()) {
+            std::fprintf(stderr, "sweep_report: empty sweep\n");
+            return 2;
+        }
+        const ChartData c = sweepToChart(runs, sweep_path, metric);
+        if (c.series.size() > 4) {
+            std::fprintf(stderr,
+                         "sweep_report: %zu series exceeds the 4-slot"
+                         " categorical palette; filter the sweep or"
+                         " split the chart\n",
+                         c.series.size());
+            return 2;
+        }
+        const std::string svg = renderGroupedBars(c);
+        writeOut(out, html ? htmlDocument(c.title,
+                                          {svg, renderTable(c)})
+                           : svg);
+        std::printf("sweep_report: wrote %s (%zu categories x %zu"
+                    " series)\n",
+                    out.c_str(), c.categories.size(), c.series.size());
+        return 0;
+    }
+
+    if (!store.empty()) {
+        const std::vector<TrendMetric> trends = loadTrends(store);
+        int rc = 0;
+        if (check)
+            rc = checkTrends(trends, noise_pct) > 0 ? 1 : 0;
+        if (!out.empty()) {
+            std::vector<std::string> sections;
+            for (const TrendMetric &t : trends) {
+                if (t.values.empty())
+                    continue;
+                ChartData c;
+                c.title = t.name;
+                c.yLabel = t.unit;
+                c.categories = t.labels;
+                c.series.push_back(Series{"", t.values});
+                sections.push_back(renderTrendLine(c));
+                c.series[0].name = t.unit;
+                sections.push_back(renderTable(c));
+            }
+            if (sections.empty())
+                sections.push_back(
+                    "<p>No perf documents in the store yet.</p>\n");
+            writeOut(out, htmlDocument("perf trends", sections));
+            std::printf("sweep_report: wrote %s\n", out.c_str());
+        }
+        if (!check && out.empty()) {
+            std::fprintf(stderr,
+                         "sweep_report: --store needs --out or"
+                         " --check\n");
+            return 2;
+        }
+        return rc;
+    }
+
+    usage();
+    return 2;
+}
