@@ -4,6 +4,13 @@
  * interface (--threads/--json/--csv/--filter/--stress), sweep execution
  * on the parallel driver (driver::RunMatrix + driver::SweepEngine), and
  * paper-style table printing.
+ *
+ * With --shards N a harness becomes its own fault-tolerant supervisor:
+ * it re-execs itself as shard workers (hidden --shard-range/--shard-out
+ * flags) under exec::ShardSupervisor, with retry/timeout/backoff and
+ * crash-safe merge — the merged sinks are byte-identical (modulo
+ * *host_ms) to the single-process sweep. --inject-fault drives the
+ * deterministic fault harness for testing the failure paths.
  */
 
 #ifndef PP_BENCH_BENCH_COMMON_HH
@@ -17,11 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_io.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "driver/result_sink.hh"
 #include "driver/run_matrix.hh"
 #include "driver/sweep_engine.hh"
+#include "exec/shard.hh"
+#include "exec/shard_supervisor.hh"
+#include "obs/metrics.hh"
 #include "obs/trace_event.hh"
 #include "program/suite.hh"
 #include "sim/simulator.hh"
@@ -52,6 +63,27 @@ struct BenchOptions
     std::string traceDir;       ///< replay traces from here (no codegen)
     std::string traceEventsPath;///< write a Chrome trace-event span file
     bool progress = false;      ///< live progress line on stderr
+    std::string metricsJsonPath;///< dump the metrics snapshot here
+
+    /** @name Multi-process execution (--shards; see file comment) */
+    /// @{
+    std::size_t shards = 0;     ///< >0: supervise N self-exec'd workers
+    std::string injectFault;    ///< fault plan forwarded via PP_FAULT
+    std::string shardWorkDir;   ///< fragments + journal (default derived)
+    std::uint64_t shardTimeoutMs = 120000;
+    unsigned shardMaxAttempts = 3;
+    /// @}
+
+    /** @name Worker mode (hidden flags the supervisor appends) */
+    /// @{
+    bool workerMode = false;    ///< --shard-out given: run one shard
+    std::size_t shardBegin = 0;
+    std::size_t shardEnd = 0;   ///< 0 = all specs
+    std::string shardOutPath;   ///< pp.shard.v1 fragment destination
+    /// @}
+
+    /** argv[0] + the matrix-defining flags, for self-exec workers. */
+    std::vector<std::string> forwardArgs;
 };
 
 inline void
@@ -88,7 +120,27 @@ printUsage(const char *prog, const char *what, bool sweep_flags)
             "                     (load F in chrome://tracing or"
             " ui.perfetto.dev)\n"
             "  --progress         live progress line (runs done/total,"
-            " ETA) on stderr\n");
+            " ETA) on stderr\n"
+            "  --shards N         run the sweep across N supervised"
+            " worker processes\n"
+            "                     (crash/timeout retries; merged output"
+            " byte-identical\n"
+            "                     to a single-process run modulo"
+            " *host_ms)\n"
+            "  --inject-fault S   deterministic worker fault plan"
+            " (testing), e.g.\n"
+            "                     crash@0:1,hang@1:1 — classes: crash,"
+            " hang, truncate,\n"
+            "                     corrupt, corrupt-trace\n"
+            "  --shard-work-dir D fragment/journal directory (default:"
+            " <json>.shards)\n"
+            "  --shard-timeout-ms N   per-worker-attempt deadline"
+            " (default 120000)\n"
+            "  --shard-max-attempts N attempts per shard (default 3)\n"
+            "  --metrics-json F   write the metrics registry snapshot"
+            " (counters,\n"
+            "                     per-phase host-time histograms) as"
+            " JSON to F\n");
     }
     std::fprintf(stderr,
         "  --verbose          debug-level diagnostics (same as"
@@ -122,6 +174,7 @@ parseBenchArgs(int argc, char **argv, const char *what,
     BenchOptions opts;
     opts.warmup = sim::defaultWarmup();
     opts.measure = sim::defaultInstructions();
+    opts.forwardArgs.push_back(argv[0]);
 
     auto need_value = [&](int i) -> const char * {
         if (i + 1 >= argc) {
@@ -130,12 +183,21 @@ parseBenchArgs(int argc, char **argv, const char *what,
         }
         return argv[i + 1];
     };
+    // Matrix-defining flags replay into self-exec'd shard workers so
+    // both sides enumerate the identical spec list; sink/progress/shard
+    // flags deliberately do not forward.
+    auto forward = [&](const char *flag, const char *value) {
+        opts.forwardArgs.push_back(flag);
+        if (value != nullptr)
+            opts.forwardArgs.push_back(value);
+    };
 
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (sweep_flags && std::strcmp(a, "--threads") == 0) {
             opts.threads =
                 static_cast<unsigned>(parseU64(a, need_value(i)));
+            forward(a, need_value(i));
             ++i;
         } else if (std::strcmp(a, "--json") == 0) {
             opts.jsonPath = need_value(i);
@@ -145,15 +207,19 @@ parseBenchArgs(int argc, char **argv, const char *what,
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--filter") == 0) {
             opts.filter = need_value(i);
+            forward(a, need_value(i));
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--stress") == 0) {
             opts.stress = true;
+            forward(a, nullptr);
         } else if (sweep_flags && std::strcmp(a, "--warmup") == 0) {
             opts.warmup = parseU64(a, need_value(i));
+            forward(a, need_value(i));
             ++i;
         } else if (sweep_flags &&
                    std::strcmp(a, "--instructions") == 0) {
             opts.measure = parseU64(a, need_value(i));
+            forward(a, need_value(i));
             ++i;
         } else if (sweep_flags &&
                    std::strcmp(a, "--record-traces") == 0) {
@@ -161,14 +227,57 @@ parseBenchArgs(int argc, char **argv, const char *what,
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--trace-dir") == 0) {
             opts.traceDir = need_value(i);
+            forward(a, need_value(i));
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--trace-events") == 0) {
             opts.traceEventsPath = need_value(i);
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--progress") == 0) {
             opts.progress = true;
+        } else if (sweep_flags && std::strcmp(a, "--shards") == 0) {
+            opts.shards = parseU64(a, need_value(i));
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--inject-fault") == 0) {
+            opts.injectFault = need_value(i);
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--shard-work-dir") == 0) {
+            opts.shardWorkDir = need_value(i);
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--shard-timeout-ms") == 0) {
+            opts.shardTimeoutMs = parseU64(a, need_value(i));
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--shard-max-attempts") == 0) {
+            opts.shardMaxAttempts =
+                static_cast<unsigned>(parseU64(a, need_value(i)));
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--metrics-json") == 0) {
+            opts.metricsJsonPath = need_value(i);
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--shard-range") == 0) {
+            // Hidden: appended by the supervisor to its own argv.
+            const std::string range = need_value(i);
+            ++i;
+            const std::size_t colon = range.find(':');
+            if (colon == std::string::npos)
+                fatal("bad --shard-range '" + range + "' (want B:E)");
+            opts.shardBegin = parseU64(
+                "--shard-range", range.substr(0, colon).c_str());
+            opts.shardEnd = parseU64(
+                "--shard-range", range.substr(colon + 1).c_str());
+        } else if (sweep_flags && std::strcmp(a, "--shard-out") == 0) {
+            // Hidden: switches this invocation into worker mode.
+            opts.shardOutPath = need_value(i);
+            opts.workerMode = true;
+            ++i;
         } else if (std::strcmp(a, "--verbose") == 0) {
             setLogLevel(LogLevel::Debug);
+            forward(a, nullptr);
         } else if (std::strcmp(a, "--help") == 0 ||
                    std::strcmp(a, "-h") == 0) {
             printUsage(argv[0], what, sweep_flags);
@@ -180,6 +289,13 @@ parseBenchArgs(int argc, char **argv, const char *what,
     }
     if (!opts.recordTraceDir.empty() && !opts.traceDir.empty())
         fatal("--record-traces and --trace-dir are mutually exclusive");
+    if (opts.shards > 0 && !opts.recordTraceDir.empty()) {
+        fatal("--record-traces cannot run under --shards: record a "
+              "clean single-process run first, then sweep the traces "
+              "with --trace-dir --shards");
+    }
+    if (opts.shards > 0 && opts.workerMode)
+        fatal("--shards and --shard-out are mutually exclusive");
     return opts;
 }
 
@@ -191,10 +307,7 @@ parseBenchArgs(int argc, char **argv, const char *what,
 inline void
 applyTraceDir(std::vector<driver::RunSpec> &specs, const std::string &dir)
 {
-    if (dir.empty())
-        return;
-    for (auto &s : specs)
-        s.tracePath = dir + "/" + s.binaryKey() + ".pptrace";
+    driver::applyTraceDir(specs, dir);
 }
 
 /**
@@ -243,6 +356,21 @@ endTraceEvents(const BenchOptions &opts)
             "ui.perfetto.dev)", opts.traceEventsPath.c_str());
 }
 /// @}
+
+/** Dump the metrics registry snapshot when --metrics-json was given. */
+inline void
+writeMetricsSnapshot(const BenchOptions &opts)
+{
+    if (opts.metricsJsonPath.empty())
+        return;
+    std::string error;
+    if (!writeFileAtomic(opts.metricsJsonPath,
+                         obs::metrics().snapshot().toJson() + "\n",
+                         &error))
+        fatal("cannot write metrics snapshot: " + error);
+    informf("metrics snapshot written to %s",
+            opts.metricsJsonPath.c_str());
+}
 
 /** Results matrix: result[benchmark][column]. */
 struct SweepResult
@@ -310,20 +438,60 @@ sweepSuite(const BenchOptions &opts,
     std::vector<driver::RunSpec> specs = matrix.specs();
     if (specs.empty())
         fatal("sweep is empty (filter matched no benchmarks?)");
-    applyTraceDir(specs, opts.traceDir);
+    bench::applyTraceDir(specs, opts.traceDir);
 
-    driver::SweepOptions sweep_opts;
-    sweep_opts.threads = opts.threads;
-    sweep_opts.progress = opts.progress;
-    sweep_opts.recordTraceDir = opts.recordTraceDir;
-    driver::SweepEngine engine(sweep_opts);
-    informf("sweep: %zu runs, %zu binaries", specs.size(),
-            specs.size() / columns.size());
-    beginTraceEvents(opts);
-    const std::vector<sim::RunResult> results = engine.run(specs);
-    endTraceEvents(opts);
+    // Worker mode: this process is a supervisor's self-exec'd child.
+    // Execute the assigned spec range, write the fragment, and exit
+    // before any report/sink path runs.
+    if (opts.workerMode) {
+        const std::size_t begin = opts.shardBegin;
+        const std::size_t end =
+            opts.shardEnd == 0 ? specs.size() : opts.shardEnd;
+        exec::runShardWorker(specs, begin, end, opts.threads,
+                             opts.shardOutPath);
+        std::exit(0);
+    }
 
-    writeSinks(opts, specs, results, &engine.counters());
+    std::vector<sim::RunResult> results;
+    driver::SweepCounters counters;
+    if (opts.shards > 0) {
+        exec::ShardOptions shard_opts;
+        shard_opts.shards = opts.shards;
+        shard_opts.timeoutMs = opts.shardTimeoutMs;
+        shard_opts.maxAttempts = opts.shardMaxAttempts;
+        shard_opts.faultSpec = opts.injectFault;
+        shard_opts.workDir = !opts.shardWorkDir.empty()
+            ? opts.shardWorkDir
+            : (!opts.jsonPath.empty() && opts.jsonPath != "-"
+                   ? opts.jsonPath + ".shards"
+                   : "shards");
+        shard_opts.workerCmd = opts.forwardArgs;
+        exec::ShardSupervisor supervisor(shard_opts);
+        informf("sweep: %zu runs across %zu shard worker(s)",
+                specs.size(),
+                std::min(opts.shards, specs.size()));
+        beginTraceEvents(opts);
+        results = supervisor.run(specs);
+        endTraceEvents(opts);
+        // Summary counters are a pure function of the spec list, so
+        // the merged document matches a single-process run's bytes.
+        counters = driver::sweepCountersFor(specs, false);
+    } else {
+        driver::SweepOptions sweep_opts;
+        sweep_opts.threads = opts.threads;
+        sweep_opts.progress = opts.progress;
+        sweep_opts.recordTraceDir = opts.recordTraceDir;
+        driver::SweepEngine engine(sweep_opts);
+        informf("sweep: %zu runs, %zu binaries", specs.size(),
+                specs.size() / columns.size());
+        beginTraceEvents(opts);
+        results = engine.run(specs);
+        endTraceEvents(opts);
+        counters = engine.counters();
+    }
+
+    writeSinks(opts, specs, results, &counters);
+    writeMetricsSnapshot(opts);
 
     // Reshape into the benchmark × column table the reports consume.
     // specs() enumerates benchmark-major then scheme, so rows are

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "driver/grids.hh"
 
 int
 main(int argc, char **argv)
@@ -25,19 +26,13 @@ main(int argc, char **argv)
     const BenchOptions opts = parseBenchArgs(
         argc, argv, "Figure 5: mispred rate, non-if-converted suite");
 
-    std::vector<SchemeColumn> columns(4);
-    columns[0].name = "conventional";
-    columns[0].cfg.scheme = core::PredictionScheme::Conventional;
-    columns[1].name = "predicate";
-    columns[1].cfg.scheme = core::PredictionScheme::PredicatePredictor;
-    columns[2].name = "ideal-conv";
-    columns[2].cfg.scheme = core::PredictionScheme::Conventional;
-    columns[2].cfg.idealNoAlias = true;
-    columns[2].cfg.idealPerfectHistory = true;
-    columns[3].name = "ideal-pred";
-    columns[3].cfg.scheme = core::PredictionScheme::PredicatePredictor;
-    columns[3].cfg.idealNoAlias = true;
-    columns[3].cfg.idealPerfectHistory = true;
+    // The canonical Figure-5 columns (conventional/predicate and their
+    // idealized twins) live in driver/grids.hh so this harness and the
+    // multi-process tools (sweep_worker --grid fig5) sweep identical
+    // cells by construction.
+    std::vector<SchemeColumn> columns;
+    for (const driver::SchemeAxis &axis : driver::fig5Schemes())
+        columns.push_back(SchemeColumn{axis.name, axis.scheme});
 
     const auto sweep = sweepSuite(opts, program::spec2000Suite(),
                                   /*if_convert=*/false, columns);

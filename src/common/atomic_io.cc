@@ -1,0 +1,98 @@
+#include "common/atomic_io.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace pp
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error != nullptr)
+        *error = what + ": " + std::strerror(errno);
+}
+
+/** write(2) until done, retrying on EINTR/short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &contents,
+                std::string *error)
+{
+    // The pid suffix keeps concurrent writers of the same target (e.g.
+    // retried shard workers racing a supervisor timeout) off each
+    // other's tmp files; last rename wins with a complete document.
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setError(error, "cannot open " + tmp);
+        return false;
+    }
+    const bool written = writeAll(fd, contents.data(), contents.size());
+    // fsync before rename: the rename must not be durable before the
+    // data is, or a power cut could pin an empty file under the final
+    // name. (Process kills — the failure mode the supervisor handles —
+    // are already safe without it.)
+    const bool synced = written && ::fsync(fd) == 0;
+    if (::close(fd) != 0 || !synced) {
+        setError(error, "cannot write " + tmp);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot rename " + tmp + " to " + path);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+appendLineDurable(const std::string &path, const std::string &line,
+                  std::string *error)
+{
+    std::string buf = line;
+    if (buf.empty() || buf.back() != '\n')
+        buf.push_back('\n');
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        setError(error, "cannot open " + path);
+        return false;
+    }
+    // One write(2): O_APPEND makes the offset+write atomic with respect
+    // to other appenders, so lines never interleave.
+    const bool written = writeAll(fd, buf.data(), buf.size());
+    const bool synced = written && ::fsync(fd) == 0;
+    if (::close(fd) != 0 || !synced) {
+        setError(error, "cannot append to " + path);
+        return false;
+    }
+    return true;
+}
+
+} // namespace pp

@@ -1,17 +1,18 @@
 /**
  * @file
  * Minimal recursive-descent JSON parser shared by the result-analytics
- * tools (sweep_diff, sweep_store, sweep_report) and the trace-event
- * tests. Handles exactly the JSON the repo's deterministic writers emit
- * (objects, arrays, strings, numbers, booleans, null) — no third-party
- * dependency, by design.
+ * tools (sweep_diff, sweep_store, sweep_report), the shard-fragment
+ * reader (exec/shard.cc) and the trace-event tests. Handles exactly the
+ * JSON the repo's deterministic writers emit (objects, arrays, strings,
+ * numbers, booleans, null) — no third-party dependency, by design.
  *
  * Parse errors throw JsonParseError (with the byte offset in the
- * message); the command-line tools catch it at top level and exit 2.
+ * message); the command-line tools catch it at top level and exit 2,
+ * the shard supervisor classifies it as corrupt worker output.
  */
 
-#ifndef PP_TOOLS_JSON_MIN_HH
-#define PP_TOOLS_JSON_MIN_HH
+#ifndef PP_COMMON_JSON_MIN_HH
+#define PP_COMMON_JSON_MIN_HH
 
 #include <cerrno>
 #include <cstdlib>
@@ -275,4 +276,4 @@ parseJsonFile(const std::string &path)
 } // namespace jsonmin
 } // namespace pp
 
-#endif // PP_TOOLS_JSON_MIN_HH
+#endif // PP_COMMON_JSON_MIN_HH

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/atomic_io.hh"
 #include "common/logging.hh"
 #include "core/corestats.hh"
 
@@ -179,13 +180,16 @@ withOutputStream(const std::string &path,
             fatal("error writing results to stdout");
         return;
     }
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        fatal("cannot open result file: " + path);
+    // Buffer the whole document and land it atomically: a sink that a
+    // crash (or a supervisor's SIGKILL) interrupts must never leave a
+    // torn file under the advertised name.
+    std::ostringstream os;
     emit(os);
-    os.flush();
     if (!os)
-        fatal("error writing result file: " + path);
+        fatal("error serializing result document for " + path);
+    std::string error;
+    if (!writeFileAtomic(path, os.str(), &error))
+        fatal("error writing result file: " + error);
 }
 
 std::string
@@ -208,6 +212,58 @@ ResultSink::writeFile(const std::string &path,
 }
 
 void
+writeRunJson(JsonWriter &w, const RunSpec &s, const sim::RunResult &r)
+{
+    w.beginObject();
+    w.field("benchmark", s.profile.name);
+    w.field("suite", s.profile.isFp ? "fp" : "int");
+    w.field("if_converted", s.ifConvert);
+    w.field("scheme", s.schemeName);
+    w.field("config", s.configName);
+    w.field("seed", s.profile.seed);
+    w.field("warmup_insts", s.warmupInsts);
+    w.field("measure_insts", s.measureInsts);
+    w.field("ipc", r.ipc);
+    w.field("mispred_pct", r.mispredRatePct);
+    w.field("accuracy_pct", r.accuracyPct);
+    w.field("early_resolved_pct", r.earlyResolvedPct);
+    w.field("shadow_mispred_pct", r.shadowMispredRatePct);
+    // Sampled-simulation annotations. For full runs: sampled=false,
+    // measured_insts/ipc_error_bound are 0 and detailed_insts is
+    // warmup + measurement (everything ran in detail).
+    w.field("sampling", s.samplingName);
+    w.field("sampled", r.sampled);
+    w.field("measured_insts", r.measuredInsts);
+    w.field("detailed_insts", r.detailedInsts);
+    w.field("ipc_error_bound", r.ipcErrorBound);
+    // Content identity of the workload artifact behind the run
+    // (recorded or replayed — the same trace hashes the same, so a
+    // replaying sweep's document matches its recording sweep's).
+    // Omitted entirely for trace-less runs: their byte layout
+    // predates the field and must not change.
+    if (!r.traceHash.empty())
+        w.field("trace_hash", r.traceHash);
+    // Host wall time: nondeterministic by design — byte-identity
+    // consumers must scrub it, the breakdown below, and the
+    // summary's total_host_ms (the shared pattern is any key ending
+    // in "host_ms"; see test_sweep_engine.cpp / the CI determinism
+    // smoke).
+    w.field("host_ms", r.hostMs);
+    // Where host_ms went: cell build cost amortized over the cell's
+    // runs, fast-forward (skip + warm tiers, sampled runs only) and
+    // detailed cycle-by-cycle windows.
+    w.field("build_host_ms", r.buildHostMs);
+    w.field("ff_host_ms", r.ffHostMs);
+    w.field("window_host_ms", r.windowHostMs);
+    w.key("counters");
+    w.beginObject();
+    for (const auto &f : core::kCoreStatsFields)
+        w.field(f.name, r.stats.*f.member);
+    w.endObject();
+    w.endObject();
+}
+
+void
 JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
                 const std::vector<sim::RunResult> &results) const
 {
@@ -217,57 +273,8 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
     w.field("schema", "pp.sweep.v1");
     w.key("runs");
     w.beginArray();
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-        const RunSpec &s = specs[i];
-        const sim::RunResult &r = results[i];
-        w.beginObject();
-        w.field("benchmark", s.profile.name);
-        w.field("suite", s.profile.isFp ? "fp" : "int");
-        w.field("if_converted", s.ifConvert);
-        w.field("scheme", s.schemeName);
-        w.field("config", s.configName);
-        w.field("seed", s.profile.seed);
-        w.field("warmup_insts", s.warmupInsts);
-        w.field("measure_insts", s.measureInsts);
-        w.field("ipc", r.ipc);
-        w.field("mispred_pct", r.mispredRatePct);
-        w.field("accuracy_pct", r.accuracyPct);
-        w.field("early_resolved_pct", r.earlyResolvedPct);
-        w.field("shadow_mispred_pct", r.shadowMispredRatePct);
-        // Sampled-simulation annotations. For full runs: sampled=false,
-        // measured_insts/ipc_error_bound are 0 and detailed_insts is
-        // warmup + measurement (everything ran in detail).
-        w.field("sampling", s.samplingName);
-        w.field("sampled", r.sampled);
-        w.field("measured_insts", r.measuredInsts);
-        w.field("detailed_insts", r.detailedInsts);
-        w.field("ipc_error_bound", r.ipcErrorBound);
-        // Content identity of the workload artifact behind the run
-        // (recorded or replayed — the same trace hashes the same, so a
-        // replaying sweep's document matches its recording sweep's).
-        // Omitted entirely for trace-less runs: their byte layout
-        // predates the field and must not change.
-        if (!r.traceHash.empty())
-            w.field("trace_hash", r.traceHash);
-        // Host wall time: nondeterministic by design — byte-identity
-        // consumers must scrub it, the breakdown below, and the
-        // summary's total_host_ms (the shared pattern is any key ending
-        // in "host_ms"; see test_sweep_engine.cpp / the CI determinism
-        // smoke).
-        w.field("host_ms", r.hostMs);
-        // Where host_ms went: cell build cost amortized over the cell's
-        // runs, fast-forward (skip + warm tiers, sampled runs only) and
-        // detailed cycle-by-cycle windows.
-        w.field("build_host_ms", r.buildHostMs);
-        w.field("ff_host_ms", r.ffHostMs);
-        w.field("window_host_ms", r.windowHostMs);
-        w.key("counters");
-        w.beginObject();
-        for (const auto &f : core::kCoreStatsFields)
-            w.field(f.name, r.stats.*f.member);
-        w.endObject();
-        w.endObject();
-    }
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        writeRunJson(w, specs[i], results[i]);
     w.endArray();
     // Sweep-level roll-up: how much work the sweep actually did. With a
     // sampling axis in play, total_detailed_insts against the runs'

@@ -72,10 +72,24 @@ class JsonWriter
 /**
  * Open @p path ("-" = stdout) and run @p emit on it. fatal() if the
  * file cannot be opened or the stream is bad after emitting (e.g. disk
- * full), so a truncated document can never pass silently.
+ * full), so a truncated document can never pass silently. File targets
+ * are written atomically (tmp + rename, common/atomic_io.hh): a killed
+ * process leaves either the previous complete document or the new one,
+ * never a torn prefix.
  */
 void withOutputStream(const std::string &path,
                       const std::function<void(std::ostream &)> &emit);
+
+/**
+ * Emit one pp.sweep.v1 run object for (spec, result) — the exact field
+ * set and order of JsonSink's runs array. Shared with the shard-
+ * fragment writer (exec/shard.cc) so a fragment's run objects are
+ * byte-identical to the objects the merged document re-emits, which is
+ * what makes supervised multi-process sweeps byte-identical to clean
+ * single-process ones.
+ */
+void writeRunJson(JsonWriter &w, const RunSpec &spec,
+                  const sim::RunResult &result);
 
 /** Abstract sink: serialize one sweep (specs + aligned results). */
 class ResultSink

@@ -97,6 +97,46 @@ makeDirs(const std::string &dir)
 
 } // namespace
 
+SweepCounters
+sweepCountersFor(const std::vector<RunSpec> &specs, bool record)
+{
+    SweepCounters c;
+    // Distinct workloads, first-appearance order (the engine's cache
+    // layout).
+    std::unordered_map<std::string, std::size_t> keys;
+    std::vector<const RunSpec *> builds;
+    for (const RunSpec &s : specs) {
+        const std::string key = s.buildKey();
+        if (keys.emplace(key, builds.size()).second)
+            builds.push_back(&s);
+    }
+    c.binariesBuilt = builds.size();
+    c.decodedPrograms = builds.size();
+    c.decodedCacheHits = specs.size() - builds.size();
+    // Trace counters are deliberately symmetric between recording and
+    // replaying: the sweep that records N artifacts and the sweep that
+    // replays them report identical numbers, keeping their summaries
+    // byte-comparable.
+    std::uint64_t traced_builds = 0;
+    for (const RunSpec *b : builds)
+        traced_builds += (!b->tracePath.empty() || record) ? 1 : 0;
+    std::uint64_t traced_specs = 0;
+    for (const RunSpec &s : specs)
+        traced_specs += (!s.tracePath.empty() || record) ? 1 : 0;
+    c.tracesLoaded = traced_builds;
+    c.traceCacheHits = traced_specs - traced_builds;
+    return c;
+}
+
+void
+applyTraceDir(std::vector<RunSpec> &specs, const std::string &dir)
+{
+    if (dir.empty())
+        return;
+    for (auto &s : specs)
+        s.tracePath = dir + "/" + s.binaryKey() + ".pptrace";
+}
+
 SweepEngine::SweepEngine(SweepOptions opts) : opts_(opts) {}
 
 std::vector<sim::RunResult>
@@ -152,23 +192,10 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
         spec_build[i] = it->second;
     }
     binariesBuilt_ = builds.size();
-    counters_ = SweepCounters{};
-    counters_.binariesBuilt = builds.size();
-    counters_.decodedPrograms = builds.size();
-    counters_.decodedCacheHits = specs.size() - builds.size();
-    // Trace counters are a pure function of the spec list and options
-    // (like everything above), and deliberately symmetric between
-    // recording and replaying: the sweep that records N artifacts and
-    // the sweep that replays them report identical numbers, keeping
-    // their summaries byte-comparable.
-    std::uint64_t traced_builds = 0;
-    for (const BuildJob &b : builds)
-        traced_builds += (!b.spec->tracePath.empty() || record) ? 1 : 0;
-    std::uint64_t traced_specs = 0;
-    for (const RunSpec &s : specs)
-        traced_specs += (!s.tracePath.empty() || record) ? 1 : 0;
-    counters_.tracesLoaded = traced_builds;
-    counters_.traceCacheHits = traced_specs - traced_builds;
+    // Counters are a pure function of the spec list and options (shared
+    // with the shard supervisor, which reports a merged sweep without
+    // running an engine over the full list itself).
+    counters_ = sweepCountersFor(specs, record);
 
     // Wall time of each build job, amortized over the cell's runs as
     // their buildHostMs so the result document carries the full host-
@@ -188,8 +215,12 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
             {
                 obs::ScopedSpan span(obs::tracer(), "trace_load", "build",
                                      s.binaryKey());
+                // loadOrThrow: a corrupt artifact surfaces as a typed
+                // TraceError out of run() (parallelFor rethrows), so a
+                // shard worker can report "corrupt trace" distinctly
+                // instead of dying mid-pool.
                 b.trace = std::make_shared<const program::TraceFile>(
-                    program::TraceFile::load(s.tracePath));
+                    program::TraceFile::loadOrThrow(s.tracePath));
             }
             b.binary = sim::traceBinary(b.trace);
             obs::ScopedSpan span(obs::tracer(), "decode", "build",

@@ -1,0 +1,239 @@
+#include "exec/shard.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_io.hh"
+#include "common/fnv.hh"
+#include "common/json_min.hh"
+#include "common/logging.hh"
+#include "core/corestats.hh"
+#include "driver/result_sink.hh"
+#include "driver/sweep_engine.hh"
+#include "exec/fault.hh"
+#include "program/trace.hh"
+
+namespace pp
+{
+namespace exec
+{
+
+namespace
+{
+
+constexpr const char *kShardSchema = "pp.shard.v1";
+
+/**
+ * The runs-array bytes payload_hash covers: everything between the
+ * value of the "runs" key and the closing "}" of the document. Both
+ * writer and reader slice with this one rule.
+ */
+std::string
+extractPayload(const std::string &text)
+{
+    const std::size_t pos = text.find("\"runs\":");
+    if (pos == std::string::npos)
+        throw ShardError("shard fragment: no runs array");
+    const std::size_t from = pos + 7;
+    // Writer always ends the document "]}\n".
+    if (text.size() < from + 3 || text.compare(text.size() - 3, 3, "]}\n") != 0)
+        throw ShardError("shard fragment: truncated document");
+    return text.substr(from, text.size() - 2 - from);
+}
+
+const jsonmin::JsonValue &
+member(const jsonmin::JsonValue &obj, const char *key)
+{
+    const jsonmin::JsonValue *v = obj.get(key);
+    if (v == nullptr)
+        throw ShardError(std::string("shard fragment: missing field '") +
+                         key + "'");
+    return *v;
+}
+
+double
+num(const jsonmin::JsonValue &obj, const char *key)
+{
+    const jsonmin::JsonValue &v = member(obj, key);
+    if (v.kind != jsonmin::JsonValue::Kind::Number)
+        throw ShardError(std::string("shard fragment: field '") + key +
+                         "' is not a number");
+    return v.number;
+}
+
+std::uint64_t
+u64(const jsonmin::JsonValue &obj, const char *key)
+{
+    return static_cast<std::uint64_t>(num(obj, key));
+}
+
+/**
+ * Rebuild a sim::RunResult from one pp.sweep.v1/pp.shard.v1 run
+ * object — the inverse of driver::writeRunJson for every field that
+ * emitter reads from the result.
+ */
+sim::RunResult
+parseRunResult(const jsonmin::JsonValue &r)
+{
+    sim::RunResult out;
+    const jsonmin::JsonValue &bench = member(r, "benchmark");
+    out.benchmark = bench.str;
+    out.ipc = num(r, "ipc");
+    out.mispredRatePct = num(r, "mispred_pct");
+    out.accuracyPct = num(r, "accuracy_pct");
+    out.earlyResolvedPct = num(r, "early_resolved_pct");
+    out.shadowMispredRatePct = num(r, "shadow_mispred_pct");
+    const jsonmin::JsonValue &sampled = member(r, "sampled");
+    if (sampled.kind != jsonmin::JsonValue::Kind::Bool)
+        throw ShardError("shard fragment: 'sampled' is not a bool");
+    out.sampled = sampled.boolean;
+    out.measuredInsts = u64(r, "measured_insts");
+    out.detailedInsts = u64(r, "detailed_insts");
+    out.ipcErrorBound = num(r, "ipc_error_bound");
+    if (const jsonmin::JsonValue *th = r.get("trace_hash")) {
+        if (th->kind != jsonmin::JsonValue::Kind::String)
+            throw ShardError("shard fragment: 'trace_hash' is not a "
+                             "string");
+        out.traceHash = th->str;
+    }
+    out.hostMs = num(r, "host_ms");
+    out.buildHostMs = num(r, "build_host_ms");
+    out.ffHostMs = num(r, "ff_host_ms");
+    out.windowHostMs = num(r, "window_host_ms");
+    const jsonmin::JsonValue &counters = member(r, "counters");
+    for (const auto &f : core::kCoreStatsFields)
+        out.stats.*f.member = u64(counters, f.name);
+    return out;
+}
+
+} // namespace
+
+std::vector<std::pair<std::size_t, std::size_t>>
+shardRanges(std::size_t n, std::size_t shards)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    if (shards == 0)
+        shards = 1;
+    const std::size_t base = n / shards;
+    const std::size_t extra = n % shards;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < shards && at < n; ++i) {
+        const std::size_t len = base + (i < extra ? 1 : 0);
+        if (len == 0)
+            continue;
+        out.emplace_back(at, at + len);
+        at += len;
+    }
+    return out;
+}
+
+std::string
+shardFragmentJson(std::size_t begin,
+                  const std::vector<driver::RunSpec> &specs,
+                  const std::vector<sim::RunResult> &results)
+{
+    if (specs.size() != results.size())
+        panic("shard fragment: specs/results size mismatch");
+    std::ostringstream runs_os;
+    {
+        driver::JsonWriter w(runs_os);
+        w.beginArray();
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            driver::writeRunJson(w, specs[i], results[i]);
+        w.endArray();
+    }
+    const std::string runs = runs_os.str();
+    std::ostringstream os;
+    os << "{\"schema\":\"" << kShardSchema << "\",\"begin\":" << begin
+       << ",\"end\":" << begin + specs.size() << ",\"payload_hash\":\""
+       << hashHex(fnv1a(runs)) << "\",\"runs\":" << runs << "}\n";
+    return os.str();
+}
+
+std::vector<sim::RunResult>
+readShardFragment(const std::string &path, std::size_t expect_begin,
+                  std::size_t expect_end)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw ShardError("cannot open shard fragment: " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+
+    // Hash first (like the trace loader): any damage reports as
+    // corruption, not as whatever parse error it decodes into.
+    const std::string payload = extractPayload(text);
+
+    jsonmin::JsonValue doc;
+    try {
+        doc = jsonmin::parseJson(text);
+    } catch (const jsonmin::JsonParseError &e) {
+        throw ShardError(std::string("shard fragment ") + path + ": " +
+                         e.what());
+    }
+    const jsonmin::JsonValue &schema = member(doc, "schema");
+    if (schema.str != kShardSchema)
+        throw ShardError("shard fragment " + path +
+                         ": unexpected schema '" + schema.str + "'");
+    const jsonmin::JsonValue &hash = member(doc, "payload_hash");
+    if (hash.str != hashHex(fnv1a(payload)))
+        throw ShardError("shard fragment " + path +
+                         ": payload hash mismatch (corrupt output)");
+    const std::size_t begin = u64(doc, "begin");
+    const std::size_t end = u64(doc, "end");
+    if (begin != expect_begin || end != expect_end) {
+        throw ShardError(
+            "shard fragment " + path + ": covers [" +
+            std::to_string(begin) + "," + std::to_string(end) +
+            "), expected [" + std::to_string(expect_begin) + "," +
+            std::to_string(expect_end) + ")");
+    }
+    const jsonmin::JsonValue &runs = member(doc, "runs");
+    if (runs.kind != jsonmin::JsonValue::Kind::Array ||
+        runs.items.size() != end - begin) {
+        throw ShardError("shard fragment " + path +
+                         ": runs array does not match the range");
+    }
+    std::vector<sim::RunResult> out;
+    out.reserve(runs.items.size());
+    for (const auto &item : runs.items)
+        out.push_back(parseRunResult(item));
+    return out;
+}
+
+void
+runShardWorker(const std::vector<driver::RunSpec> &specs,
+               std::size_t begin, std::size_t end, unsigned threads,
+               const std::string &out_path)
+{
+    applyStartFault();
+    if (begin >= end || end > specs.size()) {
+        fatal("shard range [" + std::to_string(begin) + "," +
+              std::to_string(end) + ") out of bounds (have " +
+              std::to_string(specs.size()) + " specs)");
+    }
+    const std::vector<driver::RunSpec> slice(specs.begin() + begin,
+                                             specs.begin() + end);
+    driver::SweepOptions opts;
+    opts.threads = threads;
+    driver::SweepEngine engine(opts);
+    std::vector<sim::RunResult> results;
+    try {
+        results = engine.run(slice);
+    } catch (const program::TraceError &e) {
+        // Typed artifact failure: report it distinctly so the
+        // supervisor classifies corrupt-trace, not crash.
+        std::fprintf(stderr, "corrupt trace artifact: %s\n", e.what());
+        std::exit(kTraceErrorExit);
+    }
+    std::string error;
+    if (!writeFileAtomic(out_path, shardFragmentJson(begin, slice, results),
+                         &error))
+        fatal("cannot write shard fragment: " + error);
+    applyOutputFault(out_path);
+}
+
+} // namespace exec
+} // namespace pp

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shard partitioning and the pp.shard.v1 fragment format.
+ *
+ * A shard is a contiguous spec range [begin, end) of a deterministic
+ * RunMatrix enumeration. A worker process executes its range and writes
+ * one self-checking JSON fragment:
+ *
+ *   {"schema":"pp.shard.v1","begin":B,"end":E,
+ *    "payload_hash":"<fnv1a 16hex>","runs":[...]}
+ *
+ * The runs array reuses the pp.sweep.v1 run-object emitter
+ * (driver::writeRunJson), so a fragment's run objects are byte-
+ * identical to what the merged document re-emits; payload_hash covers
+ * the runs array's exact bytes, so truncation or bit rot anywhere in
+ * the payload is detected before a result is trusted. Numbers round-
+ * trip exactly: doubles are %.17g on both sides, u64 counters are far
+ * below 2^53.
+ */
+
+#ifndef PP_EXEC_SHARD_HH
+#define PP_EXEC_SHARD_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/run_matrix.hh"
+#include "sim/simulator.hh"
+
+namespace pp
+{
+namespace exec
+{
+
+/**
+ * Exit code a worker uses for a corrupt/unloadable trace artifact
+ * (program::TraceError), so the supervisor can classify corrupt-trace
+ * separately from a plain crash.
+ */
+constexpr int kTraceErrorExit = 3;
+
+/** A fragment that fails parsing or its self-check. */
+class ShardError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Partition @p n specs into @p shards contiguous [begin, end) ranges,
+ * sizes differing by at most one (earlier shards take the remainder).
+ * Empty ranges are dropped, so at most n shards come back.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+shardRanges(std::size_t n, std::size_t shards);
+
+/**
+ * Serialize one executed shard ([begin, begin + results.size()) of the
+ * full spec list) as a pp.shard.v1 document. @p specs is the shard's
+ * slice, aligned with @p results.
+ */
+std::string
+shardFragmentJson(std::size_t begin,
+                  const std::vector<driver::RunSpec> &specs,
+                  const std::vector<sim::RunResult> &results);
+
+/**
+ * Parse and verify a pp.shard.v1 document covering exactly
+ * [expect_begin, expect_end); returns the shard's results in spec
+ * order. Throws ShardError on schema/range mismatch, a payload-hash
+ * failure, or any structural problem — the supervisor classifies all
+ * of them as corrupt output.
+ */
+std::vector<sim::RunResult>
+readShardFragment(const std::string &path, std::size_t expect_begin,
+                  std::size_t expect_end);
+
+/**
+ * Worker-process body shared by tools/sweep_worker and the harness
+ * self-exec mode: apply any armed start fault, execute specs
+ * [begin, end) on @p threads, write the fragment to @p out_path
+ * atomically, then apply any armed output fault. A TraceError exits
+ * with kTraceErrorExit after printing the typed message to stderr;
+ * success returns normally (the caller exits 0).
+ */
+void runShardWorker(const std::vector<driver::RunSpec> &specs,
+                    std::size_t begin, std::size_t end, unsigned threads,
+                    const std::string &out_path);
+
+} // namespace exec
+} // namespace pp
+
+#endif // PP_EXEC_SHARD_HH

@@ -1,0 +1,349 @@
+#include "exec/shard_supervisor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <system_error>
+#include <thread>
+#include <unordered_map>
+
+#include "common/atomic_io.hh"
+#include "common/json_min.hh"
+#include "common/logging.hh"
+#include "exec/shard.hh"
+#include "exec/subprocess.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_event.hh"
+
+namespace pp
+{
+namespace exec
+{
+
+namespace
+{
+
+std::string
+fragmentName(std::size_t shard)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "shard-%03zu.json", shard);
+    return buf;
+}
+
+/** Last journaled (begin, end) per shard; bad lines are skipped (the
+ *  only torn line a kill can leave is the last, see atomic_io.hh). */
+std::unordered_map<std::size_t, std::pair<std::size_t, std::size_t>>
+readJournal(const std::string &path)
+{
+    std::unordered_map<std::size_t, std::pair<std::size_t, std::size_t>>
+        done;
+    std::ifstream is(path);
+    if (!is)
+        return done;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        try {
+            const jsonmin::JsonValue v = jsonmin::parseJson(line);
+            const jsonmin::JsonValue *shard = v.get("shard");
+            const jsonmin::JsonValue *begin = v.get("begin");
+            const jsonmin::JsonValue *end = v.get("end");
+            if (shard == nullptr || begin == nullptr || end == nullptr)
+                continue;
+            done[static_cast<std::size_t>(shard->number)] = {
+                static_cast<std::size_t>(begin->number),
+                static_cast<std::size_t>(end->number)};
+        } catch (const jsonmin::JsonParseError &) {
+            continue;
+        }
+    }
+    return done;
+}
+
+std::string
+describeFailure(const std::string &klass, const Subprocess::Result &res)
+{
+    if (res.timedOut)
+        return klass;
+    if (res.termSignal != 0)
+        return klass + " (signal " + std::to_string(res.termSignal) + ")";
+    if (res.exitCode != 0)
+        return klass + " (exit " + std::to_string(res.exitCode) + ")";
+    return klass;
+}
+
+std::string
+stderrTail(const std::string &err)
+{
+    constexpr std::size_t kTail = 400;
+    std::string tail =
+        err.size() <= kTail ? err : err.substr(err.size() - kTail);
+    // One line for the fatal message.
+    std::replace(tail.begin(), tail.end(), '\n', ' ');
+    while (!tail.empty() && tail.back() == ' ')
+        tail.pop_back();
+    return tail;
+}
+
+} // namespace
+
+ShardSupervisor::ShardSupervisor(ShardOptions opts)
+    : opts_(std::move(opts)), plan_(FaultPlan::parse(opts_.faultSpec))
+{
+    if (opts_.workerCmd.empty())
+        fatal("shard supervisor: no worker command configured");
+    if (opts_.maxAttempts == 0)
+        fatal("shard supervisor: maxAttempts must be >= 1");
+}
+
+std::vector<sim::RunResult>
+ShardSupervisor::run(const std::vector<driver::RunSpec> &specs)
+{
+    const auto ranges = shardRanges(specs.size(), opts_.shards);
+    if (ranges.empty())
+        fatal("shard supervisor: empty sweep");
+
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.workDir, ec);
+    if (ec)
+        fatal("cannot create shard work directory " + opts_.workDir +
+              ": " + ec.message());
+    const std::string journal = opts_.workDir + "/journal.jsonl";
+
+    // Instruments are registered up front so a clean run still reports
+    // zeroed failure counters in its metrics snapshot.
+    obs::Counter &m_retries =
+        obs::metrics().counter("sweep.shard_retries");
+    obs::Counter &m_crash =
+        obs::metrics().counter("sweep.shard_failures.crash");
+    obs::Counter &m_timeout =
+        obs::metrics().counter("sweep.shard_failures.timeout");
+    obs::Counter &m_corrupt_out =
+        obs::metrics().counter("sweep.shard_failures.corrupt_output");
+    obs::Counter &m_corrupt_trace =
+        obs::metrics().counter("sweep.shard_failures.corrupt_trace");
+    obs::Histogram &m_backoff =
+        obs::metrics().histogram("sweep.shard_backoff_ms");
+    obs::Histogram &m_attempt_ms =
+        obs::metrics().histogram("sweep.shard_attempt_ms");
+
+    const auto journaled = opts_.resume
+        ? readJournal(journal)
+        : std::unordered_map<std::size_t,
+                             std::pair<std::size_t, std::size_t>>{};
+
+    std::vector<sim::RunResult> results(specs.size());
+    stats_ = ShardStats{};
+    std::mutex state_mutex;
+    std::vector<std::string> errors;
+    std::atomic<bool> abort{false};
+    std::atomic<std::size_t> next{0};
+
+    auto place = [&](std::size_t begin,
+                     std::vector<sim::RunResult> &&shard_results) {
+        for (std::size_t i = 0; i < shard_results.size(); ++i)
+            results[begin + i] = std::move(shard_results[i]);
+    };
+
+    auto runShard = [&](std::size_t shard) {
+        const auto [begin, end] = ranges[shard];
+        const std::string frag =
+            opts_.workDir + "/" + fragmentName(shard);
+
+        // Resume: a journaled shard whose fragment still verifies is
+        // done; anything stale or damaged silently re-runs.
+        const auto it = journaled.find(shard);
+        if (it != journaled.end() && it->second.first == begin &&
+            it->second.second == end) {
+            try {
+                place(begin, readShardFragment(frag, begin, end));
+                std::lock_guard<std::mutex> lock(state_mutex);
+                ++stats_.resumedShards;
+                return;
+            } catch (const ShardError &e) {
+                warn("journaled fragment rejected, re-running shard " +
+                     std::to_string(shard) + ": " + e.what());
+            }
+        }
+
+        std::vector<std::string> history;
+        unsigned corrupt_trace_seen = 0;
+        for (unsigned attempt = 1;; ++attempt) {
+            if (abort.load())
+                return;
+            {
+                std::lock_guard<std::mutex> lock(state_mutex);
+                ++stats_.attempts;
+            }
+            Subprocess::Options sopts;
+            sopts.timeoutMs = opts_.timeoutMs;
+            // Always pinned, even to "": a worker must see exactly the
+            // fault the plan injects for this attempt, never one
+            // inherited from the supervisor's own environment.
+            sopts.env.emplace_back("PP_FAULT",
+                                   plan_.classFor(shard, attempt));
+            std::vector<std::string> cmd = opts_.workerCmd;
+            cmd.push_back("--shard-range");
+            cmd.push_back(std::to_string(begin) + ":" +
+                          std::to_string(end));
+            cmd.push_back("--shard-out");
+            cmd.push_back(frag);
+
+            const auto t0 = std::chrono::steady_clock::now();
+            Subprocess::Result res;
+            {
+                obs::ScopedSpan span(obs::tracer(), "shard_attempt",
+                                     "exec",
+                                     "shard " + std::to_string(shard) +
+                                         " attempt " +
+                                         std::to_string(attempt));
+                res = Subprocess::run(cmd, sopts);
+            }
+            m_attempt_ms.observe(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+
+            std::string klass;
+            std::string why;
+            if (res.ok()) {
+                try {
+                    place(begin, readShardFragment(frag, begin, end));
+                    std::string jerr;
+                    if (!appendLineDurable(
+                            journal,
+                            "{\"shard\":" + std::to_string(shard) +
+                                ",\"begin\":" + std::to_string(begin) +
+                                ",\"end\":" + std::to_string(end) +
+                                ",\"fragment\":\"" +
+                                fragmentName(shard) +
+                                "\",\"attempts\":" +
+                                std::to_string(attempt) + "}",
+                            &jerr))
+                        warn("cannot journal shard completion: " + jerr);
+                    logDebugf("shard %zu done: specs [%zu,%zu) in %u "
+                              "attempt(s)",
+                              shard, begin, end, attempt);
+                    return;
+                } catch (const ShardError &e) {
+                    klass = "corrupt-output";
+                    why = e.what();
+                }
+            } else if (res.timedOut) {
+                klass = "timeout";
+                why = "deadline of " + std::to_string(opts_.timeoutMs) +
+                      " ms exceeded";
+            } else if (res.termSignal == 0 &&
+                       res.exitCode == kTraceErrorExit) {
+                klass = "corrupt-trace";
+                why = stderrTail(res.err);
+            } else {
+                klass = "crash";
+                why = stderrTail(res.err);
+            }
+
+            history.push_back(describeFailure(klass, res));
+            {
+                std::lock_guard<std::mutex> lock(state_mutex);
+                if (klass == "crash")
+                    ++stats_.crashFailures;
+                else if (klass == "timeout")
+                    ++stats_.timeoutFailures;
+                else if (klass == "corrupt-output")
+                    ++stats_.corruptOutputFailures;
+                else
+                    ++stats_.corruptTraceFailures;
+            }
+            (klass == "crash"
+                 ? m_crash
+                 : klass == "timeout"
+                       ? m_timeout
+                       : klass == "corrupt-output" ? m_corrupt_out
+                                                   : m_corrupt_trace)
+                .add(1);
+            if (klass == "corrupt-trace")
+                ++corrupt_trace_seen;
+
+            const bool out_of_attempts = attempt >= opts_.maxAttempts;
+            const bool artifact_hopeless =
+                corrupt_trace_seen > opts_.corruptTraceRetries;
+            if (out_of_attempts || artifact_hopeless) {
+                std::ostringstream msg;
+                msg << "shard " << shard << " (specs [" << begin << ","
+                    << end << ") of " << specs.size()
+                    << ") failed permanently after " << attempt
+                    << " attempt(s): ";
+                for (std::size_t i = 0; i < history.size(); ++i)
+                    msg << (i != 0 ? ", " : "") << history[i];
+                if (!why.empty())
+                    msg << "; last error: " << why;
+                std::lock_guard<std::mutex> lock(state_mutex);
+                errors.push_back(msg.str());
+                abort.store(true);
+                return;
+            }
+
+            // Transient (or possibly transient): back off and retry.
+            const std::uint64_t backoff = std::min<std::uint64_t>(
+                opts_.backoffMaxMs,
+                opts_.backoffBaseMs << (attempt - 1));
+            warnf("shard %zu attempt %u failed (%s); retrying in %llu ms",
+                  shard, attempt, history.back().c_str(),
+                  static_cast<unsigned long long>(backoff));
+            m_retries.add(1);
+            m_backoff.observe(static_cast<double>(backoff));
+            {
+                std::lock_guard<std::mutex> lock(state_mutex);
+                ++stats_.retries;
+            }
+            // Sleep in slices so a sibling's permanent failure aborts
+            // promptly.
+            const auto until = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(backoff);
+            while (std::chrono::steady_clock::now() < until &&
+                   !abort.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+        }
+    };
+
+    unsigned parallel = opts_.parallel;
+    if (parallel == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        parallel = hw == 0 ? 1 : hw;
+    }
+    parallel = static_cast<unsigned>(
+        std::min<std::size_t>(parallel, ranges.size()));
+
+    auto pump = [&]() {
+        for (;;) {
+            const std::size_t shard = next.fetch_add(1);
+            if (shard >= ranges.size() || abort.load())
+                return;
+            runShard(shard);
+        }
+    };
+    if (parallel <= 1) {
+        pump();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(parallel);
+        for (unsigned t = 0; t < parallel; ++t)
+            pool.emplace_back(pump);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    if (!errors.empty())
+        fatal(errors.front());
+    return results;
+}
+
+} // namespace exec
+} // namespace pp

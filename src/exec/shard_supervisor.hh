@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fault-tolerant multi-process sweep execution.
+ *
+ * The ShardSupervisor partitions a deterministic spec list into
+ * contiguous shards, runs each shard in a child worker process
+ * (exec/subprocess.hh), verifies the self-checking pp.shard.v1 fragment
+ * each worker writes, and merges the results back at their spec
+ * indices. Because specs order deterministically and every result
+ * lands at its own index, the merged result vector — and therefore the
+ * pp.sweep.v1 document written from it — is byte-identical to a clean
+ * single-process run, regardless of shard count, failure schedule or
+ * retry order.
+ *
+ * Failure taxonomy and policy:
+ *  - crash          worker killed by a signal or exited nonzero
+ *  - timeout        wall-clock deadline hit; worker SIGKILLed
+ *  - corrupt-output fragment missing, torn, unparseable or failing its
+ *                   payload hash
+ *  - corrupt-trace  worker reported a typed TraceError (exit code
+ *                   kTraceErrorExit) for a workload artifact
+ *
+ * All classes are retried with exponential backoff — a shard re-runs
+ * bit-identically from its spec range (and trace artifacts), so
+ * retries are free and even a "corrupt" observation may be transient
+ * (a torn concurrent write, a flaky disk). The caps differ: transient
+ * classes get maxAttempts total; corrupt-trace gets at most
+ * corruptTraceRetries extra attempts, because a genuinely damaged
+ * artifact fails identically forever and should abort fast with the
+ * typed message. Exhaustion is loud: fatal() naming the shard, its
+ * spec range, the per-attempt failure history and the worker's last
+ * stderr — a run is never silently dropped.
+ *
+ * Crash safety: fragments and sinks are written atomically
+ * (common/atomic_io.hh) and completed shards are journaled with
+ * O_APPEND single-line appends. A re-run supervisor (same work dir)
+ * re-verifies journaled fragments and re-runs only what is missing.
+ *
+ * Observability: sweep.shard_retries / sweep.shard_failures.<class>
+ * counters, a sweep.shard_backoff_ms histogram and per-attempt
+ * "shard_attempt" spans through the obs registry/tracer.
+ */
+
+#ifndef PP_EXEC_SHARD_SUPERVISOR_HH
+#define PP_EXEC_SHARD_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/run_matrix.hh"
+#include "exec/fault.hh"
+#include "sim/simulator.hh"
+
+namespace pp
+{
+namespace exec
+{
+
+/** Supervisor policy knobs. */
+struct ShardOptions
+{
+    /** Shard count (contiguous spec ranges; capped at the spec count). */
+    std::size_t shards = 4;
+
+    /** Concurrent worker processes; 0 = min(shards, hardware threads). */
+    unsigned parallel = 0;
+
+    /** Total attempts per shard for transient failures. */
+    unsigned maxAttempts = 3;
+
+    /** Extra attempts after a corrupt-trace failure (see file comment). */
+    unsigned corruptTraceRetries = 1;
+
+    /** Per-attempt wall-clock deadline for a worker; 0 = none. */
+    std::uint64_t timeoutMs = 120000;
+
+    /** Exponential backoff between retries: base * 2^(attempt-1),
+     *  capped at backoffMaxMs. */
+    std::uint64_t backoffBaseMs = 100;
+    std::uint64_t backoffMaxMs = 5000;
+
+    /** Fragment + journal directory (created if missing). */
+    std::string workDir = "shards";
+
+    /**
+     * Worker command; the supervisor appends
+     * "--shard-range B:E --shard-out FILE" per attempt. The command
+     * must enumerate the same spec list as the supervisor (a named
+     * grid, or the harness's own matrix via self-exec).
+     */
+    std::vector<std::string> workerCmd;
+
+    /** --inject-fault spec forwarded to workers via PP_FAULT. */
+    std::string faultSpec;
+
+    /** Re-use verified fragments journaled by a previous run. */
+    bool resume = true;
+};
+
+/** What one run() observed — the fault-injection tests assert on this. */
+struct ShardStats
+{
+    std::uint64_t attempts = 0;       ///< worker processes launched
+    std::uint64_t retries = 0;        ///< failed attempts that re-ran
+    std::uint64_t resumedShards = 0;  ///< shards served from the journal
+    std::uint64_t crashFailures = 0;
+    std::uint64_t timeoutFailures = 0;
+    std::uint64_t corruptOutputFailures = 0;
+    std::uint64_t corruptTraceFailures = 0;
+};
+
+class ShardSupervisor
+{
+  public:
+    explicit ShardSupervisor(ShardOptions opts);
+
+    /**
+     * Execute @p specs across worker processes; the returned results
+     * align with @p specs. fatal() when any shard exhausts its attempt
+     * budget (after every other shard settles).
+     */
+    std::vector<sim::RunResult> run(const std::vector<driver::RunSpec> &specs);
+
+    const ShardStats &stats() const { return stats_; }
+
+  private:
+    ShardOptions opts_;
+    FaultPlan plan_;
+    ShardStats stats_;
+};
+
+} // namespace exec
+} // namespace pp
+
+#endif // PP_EXEC_SHARD_SUPERVISOR_HH

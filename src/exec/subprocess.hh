@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Child-process execution with capture, deadline and kill-on-hang: the
+ * isolation primitive under the shard supervisor. A worker that
+ * crashes, corrupts memory or hangs takes down only its own process;
+ * the supervisor observes an exit status, a signal, or a timeout and
+ * decides retry-vs-abort.
+ */
+
+#ifndef PP_EXEC_SUBPROCESS_HH
+#define PP_EXEC_SUBPROCESS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pp
+{
+namespace exec
+{
+
+/** fork/exec one child and wait for it, capturing stdout/stderr. */
+class Subprocess
+{
+  public:
+    struct Options
+    {
+        /** Wall-clock deadline; the child is SIGKILLed past it.
+         *  0 = no deadline. */
+        std::uint64_t timeoutMs = 0;
+
+        /** Extra environment (name, value) pairs set in the child. */
+        std::vector<std::pair<std::string, std::string>> env;
+    };
+
+    struct Result
+    {
+        int exitCode = -1;    ///< valid when termSignal == 0 && !timedOut
+        int termSignal = 0;   ///< terminating signal, 0 if exited
+        bool timedOut = false;///< deadline hit; child was SIGKILLed
+        std::string out;      ///< captured stdout
+        std::string err;      ///< captured stderr
+
+        bool ok() const
+        { return !timedOut && termSignal == 0 && exitCode == 0; }
+    };
+
+    /**
+     * Run argv[0] with arguments argv[1..] (execvp PATH lookup) and
+     * block until it exits or the deadline kills it. Pipes are drained
+     * concurrently with the wait, so a chatty child never deadlocks on
+     * a full pipe. fatal() only on spawn-infrastructure failure
+     * (pipe/fork); everything the child does wrong is reported in the
+     * Result.
+     */
+    static Result run(const std::vector<std::string> &argv,
+                      const Options &opts);
+    static Result run(const std::vector<std::string> &argv)
+    { return run(argv, Options{}); }
+};
+
+} // namespace exec
+} // namespace pp
+
+#endif // PP_EXEC_SUBPROCESS_HH

@@ -1,9 +1,13 @@
 #include "program/trace.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
+#include "common/atomic_io.hh"
 #include "common/bytestream.hh"
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "program/emulator.hh"
 
@@ -17,17 +21,6 @@ namespace
 
 constexpr std::uint64_t kTraceMagic = 0x70707472616365ull; // "pptrace"
 constexpr const char *kWhat = "trace file";
-
-std::uint64_t
-fnv1a(const std::uint8_t *bytes, std::size_t n)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= bytes[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
 
 void
 putInstruction(std::vector<std::uint8_t> &out, const isa::Instruction &i)
@@ -134,10 +127,7 @@ TraceFile::record(const Program &binary, Meta meta, std::uint64_t emu_seed,
 std::string
 TraceFile::contentHashHex() const
 {
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(hash_));
-    return buf;
+    return hashHex(hash_);
 }
 
 void
@@ -253,25 +243,82 @@ void
 TraceFile::store(const std::string &path) const
 {
     const std::vector<std::uint8_t> bytes = serialize();
-    std::ofstream os(path, std::ios::binary);
-    panicIfNot(static_cast<bool>(os), "cannot open trace file: " + path);
-    os.write(reinterpret_cast<const char *>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    panicIfNot(static_cast<bool>(os), "error writing trace file: " + path);
+    std::string error;
+    panicIfNot(writeFileAtomic(path,
+                               std::string(reinterpret_cast<const char *>(
+                                               bytes.data()),
+                                           bytes.size()),
+                               &error),
+               "error writing trace file: " + error);
+}
+
+TraceError::TraceError(Kind kind, const std::string &path,
+                       std::uint64_t offset, const std::string &detail)
+    : std::runtime_error("trace file " + path + ": " + detail +
+                         " (byte offset " + std::to_string(offset) + ")"),
+      kind_(kind), path_(path), offset_(offset)
+{}
+
+TraceFile
+TraceFile::loadOrThrow(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is)
+        throw TraceError(TraceError::Kind::Io, path, 0, "cannot open");
+    const std::streamsize size = is.tellg();
+    is.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    is.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!is)
+        throw TraceError(TraceError::Kind::Io, path, 0, "read error");
+
+    // Deterministic fault injection for the supervisor tests/CI: flip
+    // one mid-image byte of the in-memory copy only — the artifact on
+    // disk may be shared with healthy concurrent workers.
+    const char *fault = std::getenv("PP_FAULT");
+    if (fault != nullptr && std::strcmp(fault, "corrupt-trace") == 0 &&
+        !bytes.empty())
+        bytes[bytes.size() / 2] ^= 0x01;
+
+    // Header validation mirrors deserialize() but reports recoverable
+    // typed errors with the offending header offset. After the hash
+    // matches, the structural decode below can only fail on a 64-bit
+    // hash collision, which stays a panic (a simulator bug in practice).
+    if (bytes.size() < 24) {
+        throw TraceError(TraceError::Kind::Truncated, path, bytes.size(),
+                         "truncated header (" +
+                             std::to_string(bytes.size()) + " bytes)");
+    }
+    auto header_u64 = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        for (std::size_t b = 0; b < 8; ++b)
+            v |= static_cast<std::uint64_t>(bytes[at + b]) << (8 * b);
+        return v;
+    };
+    if (header_u64(0) != kTraceMagic) {
+        throw TraceError(TraceError::Kind::BadMagic, path, 0,
+                         "not a trace file (bad magic)");
+    }
+    if (header_u64(8) != kTraceVersion) {
+        throw TraceError(TraceError::Kind::BadVersion, path, 8,
+                         "unsupported version " +
+                             std::to_string(header_u64(8)));
+    }
+    if (fnv1a(bytes.data() + 24, bytes.size() - 24) != header_u64(16)) {
+        throw TraceError(TraceError::Kind::HashMismatch, path, 16,
+                         "content hash mismatch (corrupt image)");
+    }
+    return deserialize(bytes);
 }
 
 TraceFile
 TraceFile::load(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary | std::ios::ate);
-    panicIfNot(static_cast<bool>(is), "cannot open trace file: " + path);
-    const std::streamsize size = is.tellg();
-    is.seekg(0);
-    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-    is.read(reinterpret_cast<char *>(bytes.data()), size);
-    panicIfNot(static_cast<bool>(is), "error reading trace file: " + path);
-    return deserialize(bytes);
+    try {
+        return loadOrThrow(path);
+    } catch (const TraceError &e) {
+        panic(e.what());
+    }
 }
 
 } // namespace program

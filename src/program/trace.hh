@@ -29,6 +29,7 @@
 #define PP_PROGRAM_TRACE_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,43 @@ namespace program
 {
 
 class DecodedProgram;
+
+/**
+ * Recoverable trace-artifact load failure: the file on disk is
+ * unreadable, not a trace, the wrong version, truncated, or fails its
+ * content hash. Thrown by TraceFile::loadOrThrow() so a supervising
+ * process can classify "corrupt artifact" separately from transient
+ * worker failures and decide retry-vs-abort itself; the in-process
+ * load() wrapper keeps the historical panic behavior.
+ *
+ * what() carries the path, the failure detail and the byte offset of
+ * the offending header field (0 = the file/magic, 8 = version, 16 =
+ * content hash; for truncation, the actual size).
+ */
+class TraceError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        Io,           ///< cannot open/read the file
+        Truncated,    ///< shorter than the fixed header
+        BadMagic,     ///< not a trace file
+        BadVersion,   ///< trace format version unsupported by this build
+        HashMismatch, ///< payload bytes do not match the header hash
+    };
+
+    TraceError(Kind kind, const std::string &path, std::uint64_t offset,
+               const std::string &detail);
+
+    Kind kind() const { return kind_; }
+    const std::string &path() const { return path_; }
+    std::uint64_t offset() const { return offset_; }
+
+  private:
+    Kind kind_;
+    std::string path_;
+    std::uint64_t offset_;
+};
 
 /** Trace format version accepted by this build. */
 constexpr std::uint64_t kTraceVersion = 1;
@@ -115,10 +153,29 @@ class TraceFile
     /** Parse a serialize() image; fatal on malformed or corrupt input. */
     static TraceFile deserialize(const std::vector<std::uint8_t> &bytes);
 
-    /** Write the serialized image to @p path; fatal on I/O failure. */
+    /**
+     * Write the serialized image to @p path atomically (tmp file +
+     * rename, common/atomic_io.hh) so a killed writer never leaves a
+     * torn artifact under the final name; panic on I/O failure.
+     */
     void store(const std::string &path) const;
 
-    /** Read and deserialize @p path; fatal on I/O failure or corruption. */
+    /**
+     * Read and deserialize @p path; throws TraceError on I/O failure,
+     * truncation, bad magic/version or a content-hash mismatch. The
+     * hash is checked before any structural decode, so every corruption
+     * reports as TraceError, not as a decode panic.
+     *
+     * Fault injection: when the PP_FAULT environment variable is
+     * "corrupt-trace", one byte of the in-memory image is flipped after
+     * the read (the file on disk — possibly shared with concurrent
+     * workers — is never touched), deterministically producing a
+     * HashMismatch end-to-end.
+     */
+    static TraceFile loadOrThrow(const std::string &path);
+
+    /** loadOrThrow(), with failures kept as panics for in-process
+     *  callers that treat a bad artifact as an unrecoverable bug. */
     static TraceFile load(const std::string &path);
 
   private:

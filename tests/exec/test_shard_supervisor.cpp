@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Fault-tolerant multi-process sweep execution, end to end against the
+ * real sweep_worker binary (built beside this test; ctest runs from the
+ * build directory).
+ *
+ * The load-bearing property throughout: the merged result of a
+ * supervised sweep is byte-identical to a clean single-process sweep of
+ * the same specs — whatever the shard count, fault schedule or retry
+ * order — once the wall-time-only *host_ms fields are scrubbed.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "common/atomic_io.hh"
+#include "driver/grids.hh"
+#include "driver/result_sink.hh"
+#include "driver/sweep_engine.hh"
+#include "exec/fault.hh"
+#include "exec/shard.hh"
+#include "exec/shard_supervisor.hh"
+
+using namespace pp;
+
+namespace
+{
+
+constexpr std::uint64_t kWarmup = 1000;
+constexpr std::uint64_t kMeasure = 5000;
+
+/** The "smoke" grid (3 benchmarks x 2 schemes = 6 specs) with the test
+ *  window, optionally pointed at replay traces. */
+std::vector<driver::RunSpec>
+smokeSpecs(const std::string &trace_dir = "")
+{
+    driver::RunMatrix m = driver::namedGrid("smoke");
+    m.window(kWarmup, kMeasure);
+    std::vector<driver::RunSpec> specs = m.specs();
+    driver::applyTraceDir(specs, trace_dir);
+    return specs;
+}
+
+/** sweep_worker is built beside this test binary; find it there so the
+ *  test passes whatever directory it is invoked from. */
+std::string
+workerBinary()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "./sweep_worker";
+    buf[n] = '\0';
+    return std::filesystem::path(buf).parent_path() / "sweep_worker";
+}
+
+/** The worker command a supervisor spawns: the same grid by name. */
+std::vector<std::string>
+workerCmd(const std::string &trace_dir = "")
+{
+    std::vector<std::string> cmd = {
+        workerBinary(),       "--grid",   "smoke",
+        "--warmup",           "1000",     "--instructions",
+        "5000",               "--threads", "1"};
+    if (!trace_dir.empty()) {
+        cmd.push_back("--trace-dir");
+        cmd.push_back(trace_dir);
+    }
+    return cmd;
+}
+
+/** Zero the wall-time-only fields; everything else must match exactly. */
+std::string
+scrubHostMs(const std::string &json)
+{
+    static const std::regex re("\"([a-z_]*host_ms)\":[-+0-9.eE]+");
+    return std::regex_replace(json, re, "\"$1\":0");
+}
+
+std::string
+mergedJson(const std::vector<driver::RunSpec> &specs,
+           const std::vector<sim::RunResult> &results)
+{
+    return scrubHostMs(
+        driver::JsonSink{driver::sweepCountersFor(specs, false)}.toString(
+            specs, results));
+}
+
+/** Fresh per-test scratch directory (under the gtest temp root). */
+std::string
+uniqueDir(const std::string &name)
+{
+    static int counter = 0;
+    const std::string d = ::testing::TempDir() + "ppshard-" + name + "-" +
+        std::to_string(::getpid()) + "-" + std::to_string(counter++);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+exec::ShardOptions
+baseOptions(const std::string &dir)
+{
+    exec::ShardOptions opts;
+    opts.shards = 4;
+    opts.workDir = dir;
+    opts.workerCmd = workerCmd();
+    opts.backoffBaseMs = 1; // keep retry tests fast
+    return opts;
+}
+
+/** Clean single-process reference sweep of the same specs. */
+std::string
+referenceJson(const std::vector<driver::RunSpec> &specs)
+{
+    driver::SweepEngine engine{driver::SweepOptions{}};
+    return mergedJson(specs, engine.run(specs));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// FaultPlan + shardRanges
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesPointsAndBareClasses)
+{
+    const auto plan =
+        exec::FaultPlan::parse("crash@0:1,hang@2:3,corrupt@1");
+    EXPECT_EQ(plan.classFor(0, 1), "crash");
+    EXPECT_EQ(plan.classFor(0, 2), "");
+    EXPECT_EQ(plan.classFor(2, 3), "hang");
+    EXPECT_EQ(plan.classFor(1, 1), "corrupt"); // attempt defaults to 1
+    EXPECT_EQ(plan.classFor(3, 1), "");
+
+    const auto bare = exec::FaultPlan::parse("truncate");
+    EXPECT_EQ(bare.classFor(0, 1), "truncate");
+    EXPECT_EQ(bare.classFor(7, 1), "truncate"); // every shard, attempt 1
+    EXPECT_EQ(bare.classFor(0, 2), "");
+
+    EXPECT_TRUE(exec::FaultPlan::parse("").empty());
+    EXPECT_TRUE(exec::knownFaultClass("corrupt-trace"));
+    EXPECT_FALSE(exec::knownFaultClass("meltdown"));
+}
+
+TEST(ShardRanges, ContiguousCoverWithRemainderUpFront)
+{
+    using Range = std::pair<std::size_t, std::size_t>;
+    const auto r = exec::shardRanges(10, 4);
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(r[0], Range(0, 3));
+    EXPECT_EQ(r[1], Range(3, 6));
+    EXPECT_EQ(r[2], Range(6, 8));
+    EXPECT_EQ(r[3], Range(8, 10));
+
+    // More shards than specs: empty ranges drop.
+    const auto tight = exec::shardRanges(3, 8);
+    ASSERT_EQ(tight.size(), 3u);
+    EXPECT_EQ(tight[2], Range(2, 3));
+
+    const auto one = exec::shardRanges(5, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], Range(0, 5));
+
+    EXPECT_TRUE(exec::shardRanges(0, 4).empty());
+}
+
+// ---------------------------------------------------------------------
+// Fragment format
+// ---------------------------------------------------------------------
+
+TEST(ShardFragment, RoundTripsByteIdentically)
+{
+    const auto specs = smokeSpecs();
+    const std::vector<driver::RunSpec> slice(specs.begin() + 2,
+                                             specs.begin() + 5);
+    driver::SweepEngine engine{driver::SweepOptions{}};
+    const auto results = engine.run(slice);
+
+    const std::string fragment = exec::shardFragmentJson(2, slice, results);
+    const std::string path = uniqueDir("frag") + "/frag.json";
+    ASSERT_TRUE(writeFileAtomic(path, fragment));
+
+    const auto parsed = exec::readShardFragment(path, 2, 5);
+    ASSERT_EQ(parsed.size(), 3u);
+    // Re-serializing the parsed results reproduces the exact bytes:
+    // every double and counter round-tripped losslessly.
+    EXPECT_EQ(exec::shardFragmentJson(2, slice, parsed), fragment);
+}
+
+TEST(ShardFragment, DetectsDamage)
+{
+    const auto specs = smokeSpecs();
+    const std::vector<driver::RunSpec> slice(specs.begin(),
+                                             specs.begin() + 2);
+    driver::SweepEngine engine{driver::SweepOptions{}};
+    const auto results = engine.run(slice);
+    const std::string fragment =
+        exec::shardFragmentJson(0, slice, results);
+    const std::string dir = uniqueDir("damage");
+
+    // Flipped payload byte -> hash mismatch.
+    std::string corrupt = fragment;
+    corrupt[corrupt.size() / 2] ^= 0x01;
+    ASSERT_TRUE(writeFileAtomic(dir + "/corrupt.json", corrupt));
+    EXPECT_THROW(exec::readShardFragment(dir + "/corrupt.json", 0, 2),
+                 exec::ShardError);
+
+    // Truncation -> torn document.
+    ASSERT_TRUE(writeFileAtomic(dir + "/short.json",
+                                fragment.substr(0, fragment.size() / 2)));
+    EXPECT_THROW(exec::readShardFragment(dir + "/short.json", 0, 2),
+                 exec::ShardError);
+
+    // Range mismatch -> stale fragment rejected.
+    ASSERT_TRUE(writeFileAtomic(dir + "/frag.json", fragment));
+    EXPECT_THROW(exec::readShardFragment(dir + "/frag.json", 2, 4),
+                 exec::ShardError);
+
+    EXPECT_THROW(exec::readShardFragment(dir + "/missing.json", 0, 2),
+                 exec::ShardError);
+}
+
+// ---------------------------------------------------------------------
+// Supervisor end-to-end (real worker processes)
+// ---------------------------------------------------------------------
+
+TEST(ShardSupervisor, CleanRunMatchesInProcessSweepByteForByte)
+{
+    const auto specs = smokeSpecs();
+    exec::ShardSupervisor supervisor(baseOptions(uniqueDir("clean")));
+    const auto results = supervisor.run(specs);
+
+    EXPECT_EQ(mergedJson(specs, results), referenceJson(specs));
+    EXPECT_EQ(supervisor.stats().attempts, 4u);
+    EXPECT_EQ(supervisor.stats().retries, 0u);
+    EXPECT_EQ(supervisor.stats().resumedShards, 0u);
+}
+
+TEST(ShardSupervisor, RecoversFromCrashTruncateAndCorrupt)
+{
+    const auto specs = smokeSpecs();
+    auto opts = baseOptions(uniqueDir("faults"));
+    // kill -9 mid-shard, a torn fragment, and a flipped payload byte —
+    // one shard is left clean as control.
+    opts.faultSpec = "crash@0:1,truncate@2:1,corrupt@3:1";
+    exec::ShardSupervisor supervisor(opts);
+    const auto results = supervisor.run(specs);
+
+    EXPECT_EQ(mergedJson(specs, results), referenceJson(specs));
+    const exec::ShardStats &st = supervisor.stats();
+    EXPECT_EQ(st.crashFailures, 1u);
+    EXPECT_EQ(st.corruptOutputFailures, 2u);
+    EXPECT_EQ(st.timeoutFailures, 0u);
+    EXPECT_EQ(st.retries, 3u);
+    EXPECT_EQ(st.attempts, 7u); // 4 shards + 3 retried attempts
+}
+
+TEST(ShardSupervisor, HangHitsDeadlineAndRecovers)
+{
+    const auto specs = smokeSpecs();
+    auto opts = baseOptions(uniqueDir("hang"));
+    opts.shards = 2;
+    opts.faultSpec = "hang@1:1";
+    opts.timeoutMs = 2000;
+    exec::ShardSupervisor supervisor(opts);
+    const auto results = supervisor.run(specs);
+
+    EXPECT_EQ(mergedJson(specs, results), referenceJson(specs));
+    EXPECT_EQ(supervisor.stats().timeoutFailures, 1u);
+    EXPECT_EQ(supervisor.stats().retries, 1u);
+    EXPECT_EQ(supervisor.stats().attempts, 3u);
+}
+
+TEST(ShardSupervisor, RecoversFromCorruptTraceArtifact)
+{
+    // Record replay traces with a clean in-process sweep first.
+    const std::string trace_dir = uniqueDir("traces");
+    {
+        driver::SweepOptions record_opts;
+        record_opts.recordTraceDir = trace_dir;
+        driver::SweepEngine recorder(record_opts);
+        recorder.run(smokeSpecs());
+    }
+    const auto specs = smokeSpecs(trace_dir);
+
+    auto opts = baseOptions(uniqueDir("ctrace"));
+    opts.workerCmd = workerCmd(trace_dir);
+    opts.faultSpec = "corrupt-trace@1:1";
+    exec::ShardSupervisor supervisor(opts);
+    const auto results = supervisor.run(specs);
+
+    EXPECT_EQ(mergedJson(specs, results), referenceJson(specs));
+    EXPECT_EQ(supervisor.stats().corruptTraceFailures, 1u);
+    EXPECT_EQ(supervisor.stats().retries, 1u);
+}
+
+TEST(ShardSupervisor, ResumesCompletedShardsFromJournal)
+{
+    const auto specs = smokeSpecs();
+    const std::string dir = uniqueDir("resume");
+    std::vector<sim::RunResult> first;
+    {
+        auto opts = baseOptions(dir);
+        opts.shards = 2;
+        exec::ShardSupervisor supervisor(opts);
+        first = supervisor.run(specs);
+        EXPECT_EQ(supervisor.stats().attempts, 2u);
+    }
+    // Second supervisor, same work dir, but a worker that can only
+    // fail: completing proves every shard came from the journal and no
+    // worker ever ran.
+    auto opts = baseOptions(dir);
+    opts.shards = 2;
+    opts.workerCmd = {"/bin/false"};
+    exec::ShardSupervisor supervisor(opts);
+    const auto resumed = supervisor.run(specs);
+
+    EXPECT_EQ(mergedJson(specs, resumed), mergedJson(specs, first));
+    EXPECT_EQ(supervisor.stats().resumedShards, 2u);
+    EXPECT_EQ(supervisor.stats().attempts, 0u);
+}
+
+TEST(ShardSupervisor, NoResumeReRunsEveryShard)
+{
+    const auto specs = smokeSpecs();
+    const std::string dir = uniqueDir("noresume");
+    {
+        auto opts = baseOptions(dir);
+        opts.shards = 2;
+        exec::ShardSupervisor(opts).run(specs);
+    }
+    auto opts = baseOptions(dir);
+    opts.shards = 2;
+    opts.resume = false;
+    exec::ShardSupervisor supervisor(opts);
+    supervisor.run(specs);
+    EXPECT_EQ(supervisor.stats().resumedShards, 0u);
+    EXPECT_EQ(supervisor.stats().attempts, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Loud permanent failure
+// ---------------------------------------------------------------------
+
+TEST(ShardSupervisorDeathTest, ExhaustionNamesShardAndSpecRange)
+{
+    const auto specs = smokeSpecs();
+    auto opts = baseOptions(uniqueDir("exhaust"));
+    opts.faultSpec = "crash@0:1,crash@0:2";
+    opts.maxAttempts = 2;
+    opts.parallel = 1; // deterministic: shard 0 fails first
+    EXPECT_EXIT(
+        {
+            exec::ShardSupervisor supervisor(opts);
+            supervisor.run(specs);
+        },
+        ::testing::ExitedWithCode(1),
+        "shard 0 \\(specs \\[0,2\\) of 6\\) failed permanently after "
+        "2 attempt\\(s\\): crash \\(signal 9\\), crash \\(signal 9\\)");
+}
+
+TEST(ShardSupervisorDeathTest, PersistentCorruptTraceFailsFastAndTyped)
+{
+    const std::string trace_dir = uniqueDir("badtraces");
+    {
+        driver::SweepOptions record_opts;
+        record_opts.recordTraceDir = trace_dir;
+        driver::SweepEngine recorder(record_opts);
+        recorder.run(smokeSpecs());
+    }
+    const auto specs = smokeSpecs(trace_dir);
+
+    auto opts = baseOptions(uniqueDir("ctrace-perm"));
+    opts.workerCmd = workerCmd(trace_dir);
+    // corrupt-trace on every attempt of shard 0: exceeds the
+    // corruptTraceRetries=1 budget on attempt 2 — long before the
+    // generic maxAttempts would give up.
+    opts.faultSpec = "corrupt-trace@0:1,corrupt-trace@0:2";
+    opts.maxAttempts = 5;
+    opts.parallel = 1;
+    EXPECT_EXIT(
+        {
+            exec::ShardSupervisor supervisor(opts);
+            supervisor.run(specs);
+        },
+        ::testing::ExitedWithCode(1),
+        "failed permanently after 2 attempt\\(s\\).*corrupt trace "
+        "artifact");
+}

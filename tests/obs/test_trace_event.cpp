@@ -9,7 +9,7 @@
 
 #include <gtest/gtest.h>
 
-#include "json_min.hh"
+#include "common/json_min.hh"
 #include "obs/trace_event.hh"
 
 using namespace pp;

@@ -30,7 +30,7 @@
 #include <string>
 #include <vector>
 
-#include "json_min.hh"
+#include "common/json_min.hh"
 
 namespace
 {

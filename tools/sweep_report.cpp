@@ -26,6 +26,15 @@
  *    tracked metrics are higher-is-better. Fewer than two entries pass
  *    trivially: a trend needs history.
  *
+ *  Metrics: --metrics FILE --out report.html
+ *    Renders a metrics registry snapshot (obs::MetricSnapshot::toJson,
+ *    as written by --metrics-json on the sweep harnesses and
+ *    sweep_supervise) — every histogram (per-phase host-time
+ *    distributions like sweep.build_host_ms / sweep.run_host_ms, and
+ *    the supervisor's sweep.shard_backoff_ms / sweep.shard_attempt_ms)
+ *    becomes a bucket-count bar chart, and the scalar counters/gauges
+ *    land in one summary table.
+ *
  * Charts follow the repo's chart conventions: one y axis, categorical
  * series colors in fixed slot order, legend for multi-series charts,
  * text in ink tokens (never series colors), recessive hairline grid,
@@ -47,7 +56,8 @@
 #include <string>
 #include <vector>
 
-#include "json_min.hh"
+#include "common/atomic_io.hh"
+#include "common/json_min.hh"
 
 namespace
 {
@@ -423,13 +433,12 @@ htmlDocument(const std::string &title,
 void
 writeOut(const std::string &path, const std::string &content)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os) {
-        std::fprintf(stderr, "sweep_report: cannot write %s\n",
-                     path.c_str());
+    std::string error;
+    if (!pp::writeFileAtomic(path, content, &error)) {
+        std::fprintf(stderr, "sweep_report: cannot write %s: %s\n",
+                     path.c_str(), error.c_str());
         std::exit(2);
     }
-    os << content;
 }
 
 // ---------------------------------------------------------------------
@@ -698,6 +707,83 @@ checkTrends(const std::vector<TrendMetric> &trends, double noise_pct)
     return regressions;
 }
 
+// ---------------------------------------------------------------------
+// Metrics mode: obs snapshot -> histogram bar charts + scalar table
+// ---------------------------------------------------------------------
+
+/** Compact edge label: 0.1 -> "0.1", 100000 -> "100000" (no trailing
+ *  zeros — these caption histogram buckets, not data cells). */
+std::string
+fmtEdge(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/** One chart per histogram entry, in the snapshot's (sorted) order. */
+std::vector<std::string>
+metricsToSections(const JsonValue &doc)
+{
+    std::vector<std::string> sections;
+    std::ostringstream scalars;
+    scalars << "<table><thead><tr><th>metric</th><th>value</th></tr>"
+               "</thead><tbody>\n";
+    bool have_scalar = false;
+
+    for (const auto &field : doc.fields) {
+        const std::string &name = field.first;
+        const JsonValue &v = field.second;
+        if (v.kind == JsonValue::Kind::Number) {
+            scalars << "<tr><td>" << escapeXml(name) << "</td><td>"
+                    << fmtNum(v.number, 3) << "</td></tr>\n";
+            have_scalar = true;
+            continue;
+        }
+        if (v.kind != JsonValue::Kind::Object)
+            continue;
+        const JsonValue *count = v.get("count");
+        const JsonValue *sum = v.get("sum");
+        const JsonValue *edges = v.get("edges");
+        const JsonValue *buckets = v.get("buckets");
+        if (count == nullptr || sum == nullptr || edges == nullptr ||
+            buckets == nullptr ||
+            buckets->items.size() != edges->items.size() + 1) {
+            std::fprintf(stderr,
+                         "sweep_report: metric '%s' is not a histogram"
+                         " snapshot\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        ChartData c;
+        const double n = count->number;
+        std::ostringstream title;
+        title << name << " — " << fmtNum(n, 0) << " obs";
+        if (n > 0.0)
+            title << ", mean " << fmtNum(sum->number / n, 2);
+        c.title = title.str();
+        c.yLabel = "observations per bucket";
+        for (std::size_t i = 0; i < edges->items.size(); ++i)
+            c.categories.push_back(
+                "<=" + fmtEdge(edges->items[i].number));
+        c.categories.push_back(
+            ">" + fmtEdge(edges->items.back().number));
+        Series s;
+        s.name = "count";
+        for (const JsonValue &b : buckets->items)
+            s.values.push_back(b.number);
+        c.series.push_back(std::move(s));
+        sections.push_back(renderGroupedBars(c));
+        sections.push_back(renderTable(c));
+    }
+    scalars << "</tbody></table>\n";
+    if (have_scalar) {
+        sections.push_back("<h1>counters &amp; gauges</h1>\n");
+        sections.push_back(scalars.str());
+    }
+    return sections;
+}
+
 void
 usage()
 {
@@ -707,10 +793,15 @@ usage()
         "  sweep_report --sweep FILE.json --out chart.svg|chart.html"
         " [--metric M]\n"
         "  sweep_report --store DIR --out trend.html\n"
-        "  sweep_report --store DIR --check [--noise PCT]\n\n"
+        "  sweep_report --store DIR --check [--noise PCT]\n"
+        "  sweep_report --metrics FILE.json --out report.html\n\n"
         "  --sweep FILE   render a pp.sweep.v1 document as grouped"
         " bars\n"
         "  --metric M     run field to chart (default ipc)\n"
+        "  --metrics FILE render a metrics snapshot (--metrics-json"
+        " output):\n"
+        "                 histograms as bucket charts, scalars as a"
+        " table\n"
         "  --store DIR    sweep_store directory (trend/check modes)\n"
         "  --out PATH     output file; .svg = bare chart, .html ="
         " chart + table view\n"
@@ -729,6 +820,7 @@ int
 main(int argc, char **argv)
 {
     std::string sweep_path;
+    std::string metrics_path;
     std::string store;
     std::string out;
     std::string metric = "ipc";
@@ -746,6 +838,8 @@ main(int argc, char **argv)
         };
         if (std::strcmp(a, "--sweep") == 0) {
             sweep_path = need_value();
+        } else if (std::strcmp(a, "--metrics") == 0) {
+            metrics_path = need_value();
         } else if (std::strcmp(a, "--store") == 0) {
             store = need_value();
         } else if (std::strcmp(a, "--out") == 0) {
@@ -797,6 +891,33 @@ main(int argc, char **argv)
         std::printf("sweep_report: wrote %s (%zu categories x %zu"
                     " series)\n",
                     out.c_str(), c.categories.size(), c.series.size());
+        return 0;
+    }
+
+    if (!metrics_path.empty()) {
+        if (out.empty()) {
+            std::fprintf(stderr,
+                         "sweep_report: --metrics needs --out\n");
+            return 2;
+        }
+        JsonValue doc;
+        try {
+            doc = pp::jsonmin::parseJsonFile(metrics_path);
+        } catch (const pp::jsonmin::JsonParseError &e) {
+            std::fprintf(stderr, "sweep_report: %s: %s\n",
+                         metrics_path.c_str(), e.what());
+            return 2;
+        }
+        std::vector<std::string> sections = metricsToSections(doc);
+        if (sections.empty())
+            sections.push_back("<p>No metrics in the snapshot.</p>\n");
+        writeOut(out,
+                 htmlDocument("metrics — " +
+                                  fs::path(metrics_path)
+                                      .filename()
+                                      .string(),
+                              sections));
+        std::printf("sweep_report: wrote %s\n", out.c_str());
         return 0;
     }
 

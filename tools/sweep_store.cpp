@@ -24,6 +24,10 @@
  *   sweep_store add  --store DIR --label L [--commit SHA] FILE...
  *   sweep_store list --store DIR
  *
+ * Crash safety: objects land via atomic tmp+rename and index lines via
+ * single O_APPEND writes (common/atomic_io.hh), so a killed add never
+ * leaves a torn object or a half-written index entry behind.
+ *
  * Exit codes: 0 = ok, 2 = usage/IO/parse error.
  */
 
@@ -37,33 +41,15 @@
 #include <system_error>
 #include <vector>
 
-#include "json_min.hh"
+#include "common/atomic_io.hh"
+#include "common/fnv.hh"
+#include "common/json_min.hh"
 
 namespace
 {
 
 namespace fs = std::filesystem;
 using pp::jsonmin::JsonValue;
-
-std::uint64_t
-fnv1a(const std::string &bytes)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (const char c : bytes) {
-        h ^= static_cast<std::uint8_t>(c);
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-std::string
-hashHex(const std::string &bytes)
-{
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(fnv1a(bytes)));
-    return buf;
-}
 
 std::string
 readFile(const std::string &path)
@@ -147,41 +133,40 @@ cmdAdd(const std::string &store, const std::string &label,
         (fs::path(store) / "index.jsonl").string();
     std::uint64_t seq = nextSeq(index_path);
 
-    std::ofstream index(index_path, std::ios::app | std::ios::binary);
-    if (!index) {
-        std::fprintf(stderr, "sweep_store: cannot append to %s\n",
-                     index_path.c_str());
-        return 2;
-    }
     for (const std::string &file : files) {
         const std::string bytes = readFile(file);
         const std::string kind = sniffKind(bytes);
-        const std::string hash = hashHex(bytes);
+        const std::string hash = pp::hashHex(pp::fnv1a(bytes));
         const fs::path obj =
             fs::path(store) / "objects" / (hash + ".json");
-        if (!fs::exists(obj)) {
-            std::ofstream os(obj, std::ios::binary);
-            os << bytes;
-            if (!os) {
-                std::fprintf(stderr, "sweep_store: cannot write %s\n",
-                             obj.string().c_str());
-                return 2;
-            }
+        std::string error;
+        // Atomic: a killed add leaves either the whole object or none.
+        if (!fs::exists(obj) &&
+            !pp::writeFileAtomic(obj.string(), bytes, &error)) {
+            std::fprintf(stderr, "sweep_store: cannot write %s: %s\n",
+                         obj.string().c_str(), error.c_str());
+            return 2;
         }
-        index << "{\"seq\":" << seq << ",\"label\":\""
+        std::ostringstream entry;
+        entry << "{\"seq\":" << seq << ",\"label\":\""
               << escapeJson(label) << "\",\"commit\":\""
               << escapeJson(commit) << "\",\"kind\":\""
               << escapeJson(kind) << "\",\"object\":\"" << hash
               << "\",\"file\":\""
               << escapeJson(fs::path(file).filename().string())
-              << "\"}\n";
+              << "\"}";
+        if (!pp::appendLineDurable(index_path, entry.str(), &error)) {
+            std::fprintf(stderr,
+                         "sweep_store: cannot append to %s: %s\n",
+                         index_path.c_str(), error.c_str());
+            return 2;
+        }
         std::printf("sweep_store: added %s as %s (kind %s, seq %llu)\n",
                     file.c_str(), hash.c_str(), kind.c_str(),
                     static_cast<unsigned long long>(seq));
         ++seq;
     }
-    index.flush();
-    return index ? 0 : 2;
+    return 0;
 }
 
 int
