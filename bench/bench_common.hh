@@ -61,6 +61,8 @@ struct BenchOptions
     std::uint64_t measure = 0;
     std::string recordTraceDir; ///< record one trace per binary here
     std::string traceDir;       ///< replay traces from here (no codegen)
+    std::uint64_t smartsPeriod = 0; ///< >0: sample every cell (smarts(N))
+    std::string checkpointDir;  ///< on-disk window-checkpoint cache
     std::string traceEventsPath;///< write a Chrome trace-event span file
     bool progress = false;      ///< live progress line on stderr
     std::string metricsJsonPath;///< dump the metrics snapshot here
@@ -115,6 +117,14 @@ printUsage(const char *prog, const char *what, bool sweep_flags)
             " directory D\n"
             "                     (generation code paths disabled;"
             " byte-identical results)\n"
+            "  --smarts N         run every cell sampled under"
+            " SamplingPolicy::smarts(N)\n"
+            "                     (period N; checkpoint-parallel when the"
+            " policy has a gap)\n"
+            "  --checkpoint-dir D cache window-checkpoint sets (pp.ckpt.v1)"
+            " in directory D\n"
+            "                     across runs and shard workers"
+            " (byte-identical results)\n"
             "  --trace-events F   write per-run host-time spans as Chrome"
             " trace-event JSON\n"
             "                     (load F in chrome://tracing or"
@@ -227,6 +237,15 @@ parseBenchArgs(int argc, char **argv, const char *what,
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--trace-dir") == 0) {
             opts.traceDir = need_value(i);
+            forward(a, need_value(i));
+            ++i;
+        } else if (sweep_flags && std::strcmp(a, "--smarts") == 0) {
+            opts.smartsPeriod = parseU64(a, need_value(i));
+            forward(a, need_value(i));
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--checkpoint-dir") == 0) {
+            opts.checkpointDir = need_value(i);
             forward(a, need_value(i));
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--trace-events") == 0) {
@@ -434,6 +453,11 @@ sweepSuite(const BenchOptions &opts,
         .filterBenchmarks(opts.filter);
     for (const auto &col : columns)
         matrix.addScheme(col.name, col.cfg);
+    if (opts.smartsPeriod > 0) {
+        matrix.addSampling(
+            "smarts",
+            sampling::SamplingPolicy::smarts(opts.smartsPeriod));
+    }
 
     std::vector<driver::RunSpec> specs = matrix.specs();
     if (specs.empty())
@@ -448,7 +472,7 @@ sweepSuite(const BenchOptions &opts,
         const std::size_t end =
             opts.shardEnd == 0 ? specs.size() : opts.shardEnd;
         exec::runShardWorker(specs, begin, end, opts.threads,
-                             opts.shardOutPath);
+                             opts.shardOutPath, opts.checkpointDir);
         std::exit(0);
     }
 
@@ -481,6 +505,7 @@ sweepSuite(const BenchOptions &opts,
         sweep_opts.threads = opts.threads;
         sweep_opts.progress = opts.progress;
         sweep_opts.recordTraceDir = opts.recordTraceDir;
+        sweep_opts.checkpointDir = opts.checkpointDir;
         driver::SweepEngine engine(sweep_opts);
         informf("sweep: %zu runs, %zu binaries", specs.size(),
                 specs.size() / columns.size());

@@ -15,8 +15,22 @@
  *    simulation vs the production SamplingPolicy::smarts() policy,
  *    best-of-`--repeat` wall times. The contract is >=5x end-to-end.
  *
+ *  - Checkpoint-parallel (--parallel-windows): the same ifcmax region
+ *    swept over four scheme cells three ways — standalone serial runs
+ *    of the checkpoint tier (sampledRunCheckpointed: each cell builds
+ *    and consumes its own window-checkpoint set), one SweepEngine pass
+ *    fanning the detailed windows across the thread pool (one shared
+ *    functional pass for all cells), and a second engine pass served
+ *    from the on-disk checkpoint cache. The engine results must match
+ *    the serial runs bit-for-bit (the tier's identity contract). The
+ *    >= kCheckpointParallelSpeedupBound gate is enforced when the pool
+ *    has >= 2 workers (any CI runner); on a single-hardware-thread
+ *    host only the build-sharing win is measurable, so the gate there
+ *    is speedup > 1x and the JSON records the bound as unenforced.
+ *
  *    bench_sampling_accuracy [--json PATH] [--check] [--repeat N]
  *                            [--speedup-insts N] [--skip-speedup]
+ *                            [--parallel-windows] [--checkpoint-dir D]
  *
  * --check exits non-zero when any accuracy cell or the speedup bound
  * fails — the CI release-perf job runs it as a regression gate.
@@ -33,8 +47,11 @@
 #include "bench_common.hh"
 #include "common/table.hh"
 #include "driver/result_sink.hh"
+#include "driver/run_matrix.hh"
+#include "driver/sweep_engine.hh"
 #include "sampling/accuracy_contract.hh"
 #include "sampling/sampled_simulator.hh"
+#include "sampling/window_checkpoint.hh"
 #include "sim/simulator.hh"
 
 using namespace pp;
@@ -96,6 +113,29 @@ struct SpeedupResult
     bool ciWarn = false; ///< CI width above kCiWarnPct (warn, not fail)
 };
 
+/** The four scheme cells the checkpoint-parallel comparison sweeps. */
+const char *const kParallelSchemes[] = {"conventional", "peppa",
+                                        "predicate", "selective"};
+
+struct ParallelWindowsResult
+{
+    std::uint64_t regionInsts = 0;
+    std::uint64_t warmupInsts = 0;
+    double serialMs = 0.0;    ///< sum of standalone serial sampled runs
+    double parallelMs = 0.0;  ///< one engine pass, windows fanned out
+    double cachedMs = 0.0;    ///< second engine pass, disk-cached sets
+    double speedup = 0.0;
+    double cachedSpeedup = 0.0;
+    unsigned threads = 0;
+    std::uint64_t schemes = 0;
+    std::uint64_t windowsPerCell = 0;
+    std::uint64_t checkpointsBuilt = 0;
+    std::uint64_t checkpointCacheHits = 0;
+    bool identical = false;   ///< engine stats == serial stats, bitwise
+    bool boundEnforced = false; ///< pool had >= 2 workers
+    bool pass = false;
+};
+
 CellResult
 runCell(const AccuracyCell &c)
 {
@@ -134,6 +174,8 @@ runSpeedup(std::uint64_t region, unsigned repeats)
     const std::uint64_t warmup = 20000;
     const sampling::SamplingPolicy policy =
         sampling::SamplingPolicy::smarts();
+
+    policy.validateForRegion(region);
 
     SpeedupResult r;
     r.regionInsts = region;
@@ -179,9 +221,142 @@ runSpeedup(std::uint64_t region, unsigned repeats)
     return r;
 }
 
+ParallelWindowsResult
+runParallelWindows(std::uint64_t region, unsigned repeats,
+                   const std::string &ckpt_dir, unsigned threads)
+{
+    const auto profile = program::profileByName("ifcmax");
+    const std::uint64_t warmup = 20000;
+    const sampling::SamplingPolicy policy =
+        sampling::SamplingPolicy::smarts();
+    policy.validateForRegion(region);
+
+    ParallelWindowsResult r;
+    r.regionInsts = region;
+    r.warmupInsts = warmup;
+    r.schemes = std::size(kParallelSchemes);
+
+    // Serial baseline: each scheme cell as a standalone serial run of
+    // the checkpoint tier — build its own window-checkpoint set, run
+    // the windows one by one, merge. This is exactly what the engine
+    // executes, minus the sharing and the pool, so the comparison
+    // isolates what the engine adds.
+    const sim::ProgramRef binary = sim::buildBinaryShared(profile, true);
+    std::vector<sampling::SampledRun> serial;
+    for (unsigned i = 0; i < repeats; ++i) {
+        std::vector<sampling::SampledRun> runs;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const char *s : kParallelSchemes) {
+            runs.push_back(sampling::sampledRunCheckpointed(
+                *binary, profile, schemeByName(s), core::CoreConfig{},
+                warmup, region, policy));
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r.serialMs == 0.0 || ms < r.serialMs)
+            r.serialMs = ms;
+        if (serial.empty())
+            serial = std::move(runs);
+        std::fprintf(stderr, ".");
+    }
+    r.windowsPerCell = serial.front().windows;
+
+    driver::RunMatrix matrix;
+    matrix.addBenchmark(profile).ifConvert(true).window(warmup, region);
+    for (const char *s : kParallelSchemes)
+        matrix.addScheme(s, schemeByName(s));
+    matrix.addSampling("smarts", policy);
+    const std::vector<driver::RunSpec> specs = matrix.specs();
+
+    // Parallel: one engine pass, in-memory checkpoint sharing only —
+    // all four cells ride one functional pass and the detailed windows
+    // fan out across the thread pool.
+    std::vector<sim::RunResult> parallel_results;
+    driver::SweepCounters counters;
+    driver::SweepOptions engine_opts;
+    engine_opts.threads = threads;
+    unsigned threads_used = 0;
+    for (unsigned i = 0; i < repeats; ++i) {
+        driver::SweepEngine engine{engine_opts};
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<sim::RunResult> res = engine.run(specs);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r.parallelMs == 0.0 || ms < r.parallelMs)
+            r.parallelMs = ms;
+        if (parallel_results.empty()) {
+            parallel_results = res;
+            counters = engine.counters();
+            threads_used = engine.threadsUsed();
+        }
+        std::fprintf(stderr, ".");
+    }
+    r.threads = threads_used;
+    r.checkpointsBuilt = counters.checkpointsBuilt;
+    r.checkpointCacheHits = counters.checkpointCacheHits;
+
+    // Cached: populate the on-disk checkpoint cache once (untimed),
+    // then time engine passes that load every set from disk.
+    driver::SweepOptions cached_opts = engine_opts;
+    cached_opts.checkpointDir = ckpt_dir;
+    driver::SweepEngine(cached_opts).run(specs);
+    std::vector<sim::RunResult> cached_results;
+    for (unsigned i = 0; i < repeats; ++i) {
+        driver::SweepEngine engine(cached_opts);
+        const auto t0 = std::chrono::steady_clock::now();
+        const std::vector<sim::RunResult> res = engine.run(specs);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r.cachedMs == 0.0 || ms < r.cachedMs)
+            r.cachedMs = ms;
+        if (cached_results.empty())
+            cached_results = res;
+        std::fprintf(stderr, ".");
+    }
+
+    // Identity contract: both engine passes must reproduce the
+    // standalone serial runs bit-for-bit — counters and derived
+    // doubles. A mismatch fails the gate regardless of speed.
+    r.identical = true;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const sim::RunResult &want = serial[i].result;
+        for (const sim::RunResult *got :
+             {&parallel_results[i], &cached_results[i]}) {
+            for (const auto &f : core::kCoreStatsFields)
+                r.identical &= got->stats.*f.member == want.stats.*f.member;
+            r.identical &= got->ipc == want.ipc &&
+                got->mispredRatePct == want.mispredRatePct &&
+                got->measuredInsts == want.measuredInsts &&
+                got->ipcErrorBound == want.ipcErrorBound;
+        }
+        if (!r.identical) {
+            std::fprintf(stderr,
+                         "\nparallel-windows: cell %s diverges from the "
+                         "serial sampled run\n", specs[i].label().c_str());
+            break;
+        }
+    }
+
+    r.speedup = r.serialMs / r.parallelMs;
+    r.cachedSpeedup = r.serialMs / r.cachedMs;
+    // The >= 2x bound needs real window fan-out; a single-worker pool
+    // (single-hardware-thread host) can only show the shared-build win,
+    // so there the gate degrades to "sharing must still pay": > 1x.
+    r.boundEnforced = r.threads >= 2;
+    r.pass = r.identical &&
+        (r.boundEnforced
+             ? r.speedup >= sampling::kCheckpointParallelSpeedupBound
+             : r.speedup > 1.0);
+    return r;
+}
+
 void
 writeJson(const std::string &path, const std::vector<CellResult> &cells,
-          const SpeedupResult *speedup, unsigned repeats)
+          const SpeedupResult *speedup,
+          const ParallelWindowsResult *parallel, unsigned repeats)
 {
     driver::withOutputStream(path, [&](std::ostream &os) {
         driver::JsonWriter w(os);
@@ -260,6 +435,31 @@ writeJson(const std::string &path, const std::vector<CellResult> &cells,
             w.field("pass", speedup->pass);
             w.endObject();
         }
+        if (parallel != nullptr) {
+            w.key("parallel_windows");
+            w.beginObject();
+            w.field("benchmark", "ifcmax");
+            w.field("warmup_insts", parallel->warmupInsts);
+            w.field("region_insts", parallel->regionInsts);
+            w.field("repeats", std::uint64_t(repeats));
+            w.field("schemes", parallel->schemes);
+            w.field("windows_per_cell", parallel->windowsPerCell);
+            w.field("threads", std::uint64_t(parallel->threads));
+            w.field("serial_host_ms", parallel->serialMs);
+            w.field("parallel_host_ms", parallel->parallelMs);
+            w.field("cached_host_ms", parallel->cachedMs);
+            w.field("speedup", parallel->speedup);
+            w.field("cached_speedup", parallel->cachedSpeedup);
+            w.field("speedup_bound",
+                    sampling::kCheckpointParallelSpeedupBound);
+            w.field("speedup_bound_enforced", parallel->boundEnforced);
+            w.field("checkpoints_built", parallel->checkpointsBuilt);
+            w.field("checkpoint_cache_hits",
+                    parallel->checkpointCacheHits);
+            w.field("bit_identical", parallel->identical);
+            w.field("pass", parallel->pass);
+            w.endObject();
+        }
         w.endObject();
         os << "\n";
     });
@@ -271,9 +471,12 @@ int
 main(int argc, char **argv)
 {
     std::string json_path = "BENCH_sampling.json";
+    std::string ckpt_dir;
     bool check = false;
     bool skip_speedup = false;
+    bool parallel_windows = false;
     unsigned repeats = 3;
+    unsigned threads = 0;
     std::uint64_t speedup_insts = 3000000;
 
     for (int i = 1; i < argc; ++i) {
@@ -289,6 +492,13 @@ main(int argc, char **argv)
             check = true;
         } else if (std::strcmp(a, "--skip-speedup") == 0) {
             skip_speedup = true;
+        } else if (std::strcmp(a, "--parallel-windows") == 0) {
+            parallel_windows = true;
+        } else if (std::strcmp(a, "--checkpoint-dir") == 0) {
+            ckpt_dir = need_value();
+        } else if (std::strcmp(a, "--threads") == 0) {
+            threads = static_cast<unsigned>(
+                bench::parseU64(a, need_value()));
         } else if (std::strcmp(a, "--repeat") == 0) {
             repeats = static_cast<unsigned>(
                 bench::parseU64(a, need_value()));
@@ -308,7 +518,18 @@ main(int argc, char **argv)
                 "(default 3)\n"
                 "  --speedup-insts N  speedup measurement region "
                 "(default 3000000)\n"
-                "  --skip-speedup     accuracy grid only\n",
+                "  --skip-speedup     accuracy grid only\n"
+                "  --parallel-windows also measure the checkpoint-"
+                "parallel tier: serial vs\n"
+                "                     thread-pooled vs disk-cached "
+                "engine passes (bit-identity\n"
+                "                     enforced, >= 2x gated)\n"
+                "  --checkpoint-dir D on-disk checkpoint cache for the "
+                "cached pass\n"
+                "                     (default <json>.ckpt)\n"
+                "  --threads N        engine worker threads for the "
+                "parallel tier\n"
+                "                     (default: hardware concurrency)\n",
                 argv[0]);
             return 0;
         } else {
@@ -325,6 +546,15 @@ main(int argc, char **argv)
     SpeedupResult speedup;
     if (!skip_speedup)
         speedup = runSpeedup(speedup_insts, repeats);
+    ParallelWindowsResult parallel;
+    if (parallel_windows) {
+        if (ckpt_dir.empty()) {
+            ckpt_dir = json_path == "-" ? "pw_checkpoints"
+                                        : json_path + ".ckpt";
+        }
+        parallel = runParallelWindows(speedup_insts, repeats, ckpt_dir,
+                                      threads);
+    }
     std::fprintf(stderr, "\n");
 
     const bool json_to_stdout = json_path == "-";
@@ -376,8 +606,37 @@ main(int argc, char **argv)
         all_pass = all_pass && speedup.pass;
     }
 
+    if (parallel_windows) {
+        std::fprintf(report,
+            "\n== checkpoint-parallel windows, ifcmax x %llu schemes, "
+            "%llu insts (best of %u) ==\n"
+            "serial %.1f ms -> parallel %.1f ms: %.2fx (bound %.1fx, "
+            "%u threads) — cached %.1f ms: %.2fx\n"
+            "%llu windows/cell, %llu checkpoint sets built, %llu cache "
+            "hits, bit-identical: %s\n"
+            "parallel-windows: %s\n",
+            (unsigned long long)parallel.schemes,
+            (unsigned long long)parallel.regionInsts, repeats,
+            parallel.serialMs, parallel.parallelMs, parallel.speedup,
+            sampling::kCheckpointParallelSpeedupBound, parallel.threads,
+            parallel.cachedMs, parallel.cachedSpeedup,
+            (unsigned long long)parallel.windowsPerCell,
+            (unsigned long long)parallel.checkpointsBuilt,
+            (unsigned long long)parallel.checkpointCacheHits,
+            parallel.identical ? "yes" : "NO",
+            parallel.pass ? "PASS" : "FAIL");
+        if (!parallel.boundEnforced) {
+            std::fprintf(stderr,
+                         "NOTE: single-worker pool — the %.1fx bound "
+                         "needs >= 2 hardware threads; gating on "
+                         "shared-build speedup > 1x instead\n",
+                         sampling::kCheckpointParallelSpeedupBound);
+        }
+        all_pass = all_pass && parallel.pass;
+    }
+
     writeJson(json_path, cells, skip_speedup ? nullptr : &speedup,
-              repeats);
+              parallel_windows ? &parallel : nullptr, repeats);
 
     if (check && !all_pass) {
         std::fprintf(stderr, "bench_sampling_accuracy: bounds FAILED\n");

@@ -4,10 +4,11 @@
  * simulation — the driver's core-config override axis (seeded by the
  * ROADMAP "config-axis studies" item).
  *
- * One RunMatrix sweeps two if-converted benchmarks through three
- * machine sizes (half / Table-1 / double: fetch-rename-commit width,
- * ROB, issue queues, load-store queues scaled together) crossed with
- * full detailed simulation and the production SMARTS sampling policy.
+ * One RunMatrix sweeps the full if-converted suite (the SPEC-like
+ * profiles plus the ifcmax stress profile) through three machine sizes
+ * (half / Table-1 / double: fetch-rename-commit width, ROB, issue
+ * queues, load-store queues scaled together) crossed with full
+ * detailed simulation and the production SMARTS sampling policy.
  * Every cell of a benchmark shares ONE generated binary and ONE
  * predecoded micro-op stream from the engine's shared caches — six
  * core configurations hitting the same decoded program is exactly the
@@ -66,8 +67,9 @@ main(int argc, char **argv)
     selective.predication = core::PredicationModel::SelectivePrediction;
 
     driver::RunMatrix matrix;
-    matrix.addBenchmark(program::profileByName("gzip"))
-        .addBenchmark(program::profileByName("ifcmax"))
+    for (const auto &p : program::spec2000Suite())
+        matrix.addBenchmark(p);
+    matrix.addBenchmark(program::profileByName("ifcmax"))
         .ifConvert(true)
         .window(opts.warmup, opts.measure)
         .filterBenchmarks(opts.filter);
@@ -84,6 +86,7 @@ main(int argc, char **argv)
     sweep_opts.threads = opts.threads;
     sweep_opts.progress = opts.progress;
     sweep_opts.recordTraceDir = opts.recordTraceDir;
+    sweep_opts.checkpointDir = opts.checkpointDir;
     driver::SweepEngine engine(sweep_opts);
     bench::beginTraceEvents(opts);
     const std::vector<sim::RunResult> results = engine.run(specs);
@@ -106,11 +109,14 @@ main(int argc, char **argv)
     std::fprintf(report,
                  "\nshared caches: %llu binaries, %llu decoded programs, "
                  "%llu decoded-cache hits, %llu traces, %llu trace-cache "
-                 "hits across %zu runs\n",
+                 "hits, %llu checkpoint sets (%llu cache hits) across "
+                 "%zu runs\n",
                  (unsigned long long)c.binariesBuilt,
                  (unsigned long long)c.decodedPrograms,
                  (unsigned long long)c.decodedCacheHits,
                  (unsigned long long)c.tracesLoaded,
-                 (unsigned long long)c.traceCacheHits, specs.size());
+                 (unsigned long long)c.traceCacheHits,
+                 (unsigned long long)c.checkpointsBuilt,
+                 (unsigned long long)c.checkpointCacheHits, specs.size());
     return 0;
 }

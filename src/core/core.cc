@@ -7,6 +7,7 @@
 
 #include "common/bitutils.hh"
 #include "obs/trace_event.hh"
+#include "program/warm_stream.hh"
 
 namespace pp
 {
@@ -1458,6 +1459,47 @@ struct OoOCore::FfWarmSink final : program::Emulator::FfSink
 
     OoOCore &core;
 };
+
+void
+OoOCore::warmReplay(const std::vector<std::uint64_t> &events)
+{
+    panicIfNot(events.size() % program::kWarmEventWords == 0,
+               "malformed warm event stream (odd word count)");
+    const isa::Instruction *image = program.image().data();
+    for (std::size_t i = 0; i < events.size();
+         i += program::kWarmEventWords) {
+        const std::uint64_t word = events[i];
+        const Addr addr = events[i + 1];
+        const auto kind =
+            static_cast<program::WarmEventKind>(word & 0xff);
+        const std::uint64_t flags = word >> 8;
+        switch (kind) {
+          case program::WarmEventKind::InstLine:
+            mem.instAccess(addr, now);
+            break;
+          case program::WarmEventKind::Mem:
+            mem.dataAccess(addr, (flags & 1) != 0, now);
+            break;
+          case program::WarmEventKind::Branch:
+            warmBranchTables(&image[addr / isa::instBytes], addr,
+                             (flags & 1) != 0);
+            break;
+          case program::WarmEventKind::Compare:
+            // Re-applying the compares is idempotent on the committed
+            // predicate state the resume constructor already seeded:
+            // the last recorded write of each register IS the
+            // checkpoint value.
+            warmCompare(&image[addr / isa::instBytes], addr,
+                        (flags & program::kWarmPd1Written) != 0,
+                        (flags & program::kWarmPd1Val) != 0,
+                        (flags & program::kWarmPd2Written) != 0,
+                        (flags & program::kWarmPd2Val) != 0, true);
+            break;
+          default:
+            panic("malformed warm event stream (unknown kind)");
+        }
+    }
+}
 
 void
 OoOCore::fastForward(std::uint64_t n, bool warm_tables)

@@ -99,6 +99,18 @@ class OoOCore
      * advance.
      */
     void fastForward(std::uint64_t n, bool warm_tables);
+
+    /**
+     * Replay a recorded functional-warming event stream (see
+     * program/warm_stream.hh) through this core's caches and
+     * predictors. The checkpoint-resume constructor plus warmReplay()
+     * of the horizon recorded at build time reproduces, through this
+     * core's own tables, the warming a live fastForward(horizon, true)
+     * over the same span would perform — which is what makes one
+     * recorded stream serve every scheme. Call before the first
+     * detailed cycle (the stream is applied at the current cycle).
+     */
+    void warmReplay(const std::vector<std::uint64_t> &events);
     /// @}
 
     /** Collected statistics. */

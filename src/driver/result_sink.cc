@@ -305,6 +305,8 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
         w.field("decoded_cache_hits", counters_.decodedCacheHits);
         w.field("traces_loaded", counters_.tracesLoaded);
         w.field("trace_cache_hits", counters_.traceCacheHits);
+        w.field("checkpoints_built", counters_.checkpointsBuilt);
+        w.field("checkpoint_cache_hits", counters_.checkpointCacheHits);
     }
     w.endObject();
     w.endObject();

@@ -1,10 +1,12 @@
 #include "driver/sweep_engine.hh"
 
+#include "common/fnv.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_event.hh"
 #include "program/trace.hh"
 #include "sampling/sampled_simulator.hh"
+#include "sampling/window_checkpoint.hh"
 
 #include <algorithm>
 #include <atomic>
@@ -87,12 +89,29 @@ resolveThreads(unsigned requested)
 
 /** Create @p dir and its parents; fatal (with the cause) on failure. */
 void
-makeDirs(const std::string &dir)
+makeDirs(const std::string &dir, const char *what)
 {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    if (ec)
-        fatal("cannot create trace directory " + dir + ": " + ec.message());
+    if (ec) {
+        fatal("cannot create " + std::string(what) + " directory " + dir +
+              ": " + ec.message());
+    }
+}
+
+/**
+ * Cache key of the window-checkpoint set a spec needs: the workload
+ * plus everything the set depends on — region and full policy
+ * (label() omits the warming horizon, so it is appended explicitly).
+ * Scheme and core config are deliberately absent: that is the sharing.
+ */
+std::string
+checkpointKey(const RunSpec &s)
+{
+    return s.buildKey() + "|" + s.sampling.label() + "h" +
+           std::to_string(s.sampling.warmingHorizon) + "|" +
+           std::to_string(s.warmupInsts) + ":" +
+           std::to_string(s.measureInsts);
 }
 
 } // namespace
@@ -125,6 +144,20 @@ sweepCountersFor(const std::vector<RunSpec> &specs, bool record)
         traced_specs += (!s.tracePath.empty() || record) ? 1 : 0;
     c.tracesLoaded = traced_builds;
     c.traceCacheHits = traced_specs - traced_builds;
+    // Window-checkpoint sets: one per distinct (workload, region,
+    // policy) among the eligible sampled specs. Disk-cache state never
+    // enters here — the summary must not depend on what a previous
+    // sweep left behind.
+    std::unordered_map<std::string, bool> ckpt_keys;
+    std::uint64_t eligible = 0;
+    for (const RunSpec &s : specs) {
+        if (!sampling::checkpointEligible(s.sampling))
+            continue;
+        ++eligible;
+        ckpt_keys.emplace(checkpointKey(s), true);
+    }
+    c.checkpointsBuilt = ckpt_keys.size();
+    c.checkpointCacheHits = eligible - ckpt_keys.size();
     return c;
 }
 
@@ -153,7 +186,7 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
 
     const bool record = !opts_.recordTraceDir.empty();
     if (record)
-        makeDirs(opts_.recordTraceDir);
+        makeDirs(opts_.recordTraceDir, "trace");
 
     // Recording horizon: one artifact per binary must serve every cell
     // of the matrix, so cover the sweep's largest run window plus the
@@ -277,8 +310,100 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
             s.warmupInsts + s.measureInsts + program::kTraceRecordSlack);
     }
 
-    // Phase 2: execute every run. results[i] belongs to specs[i]
-    // regardless of which worker produced it or when.
+    // Phase 1.5: one window-checkpoint set per distinct (workload,
+    // region, policy) among the checkpoint-eligible sampled specs
+    // (sampling/window_checkpoint.hh), so N scheme/config cells on the
+    // same workload pay for one functional pass. Keyed in
+    // first-appearance order like the builds; the sets build — or load
+    // from the on-disk pp.ckpt.v1 cache — in parallel.
+    struct CkptJob
+    {
+        const RunSpec *spec;  ///< first spec needing this set
+        std::size_t build;    ///< its workload's build job
+        sampling::WindowCheckpointSet set;
+        double buildMs = 0.0;
+    };
+    constexpr std::size_t kNoCkpt = static_cast<std::size_t>(-1);
+    std::vector<CkptJob> ckpts;
+    std::unordered_map<std::string, std::size_t> key_to_ckpt;
+    std::vector<std::size_t> spec_ckpt(specs.size(), kNoCkpt);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &s = specs[i];
+        if (!sampling::checkpointEligible(s.sampling))
+            continue;
+        const std::string key = checkpointKey(s);
+        auto it = key_to_ckpt.find(key);
+        if (it == key_to_ckpt.end()) {
+            it = key_to_ckpt.emplace(key, ckpts.size()).first;
+            ckpts.push_back(CkptJob{&specs[i], spec_build[i], {}, 0.0});
+        }
+        spec_ckpt[i] = it->second;
+    }
+    if (!ckpts.empty() && !opts_.checkpointDir.empty())
+        makeDirs(opts_.checkpointDir, "checkpoint");
+    obs::Counter &m_ckpts =
+        obs::metrics().counter("sweep.checkpoint_sets");
+    parallelFor(ckpts.size(), threads, [&](std::size_t i) {
+        CkptJob &c = ckpts[i];
+        const RunSpec &s = *c.spec;
+        const BuildJob &b = builds[c.build];
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string path;
+        if (!opts_.checkpointDir.empty()) {
+            path = opts_.checkpointDir + "/" +
+                   hashHex(fnv1a(checkpointKey(s))) + ".ppckpt";
+        }
+        bool loaded = false;
+        if (!path.empty() && std::filesystem::exists(path)) {
+            // A cached set round-trips exactly (pure integer payload),
+            // so the sweep's results are byte-identical to a cold
+            // build. Corruption surfaces as a typed CheckpointError out
+            // of run(), classified by shard workers like a corrupt
+            // trace.
+            obs::ScopedSpan span(obs::tracer(), "ckpt_load", "build",
+                                 s.label());
+            c.set = sampling::WindowCheckpointSet::loadOrThrow(path);
+            loaded = true;
+        }
+        if (!loaded) {
+            const program::TraceFile *replay =
+                s.tracePath.empty() ? nullptr : b.trace.get();
+            c.set = sampling::buildWindowCheckpoints(
+                *b.binary, s.profile, s.warmupInsts, s.measureInsts,
+                s.sampling, b.decoded.get(), replay);
+            if (!path.empty())
+                c.set.store(path); // atomic: never torn by a kill
+        }
+        c.buildMs = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+        m_ckpts.add(1);
+    });
+
+    // Phase 2: execute every run. Checkpoint-eligible sampled specs fan
+    // out one job per window — windows are independent given their
+    // checkpoint — and merge in window order below; every other spec is
+    // one whole-run job. results[i] belongs to specs[i] regardless of
+    // which worker produced it or when.
+    struct RunJob
+    {
+        std::size_t spec;
+        std::size_t window; ///< kNoCkpt = the whole run
+    };
+    std::vector<RunJob> jobs;
+    std::vector<std::vector<sampling::WindowRunResult>> window_runs(
+        specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (spec_ckpt[i] != kNoCkpt) {
+            const std::size_t n =
+                ckpts[spec_ckpt[i]].set.windows.size();
+            window_runs[i].resize(n);
+            for (std::size_t w = 0; w < n; ++w)
+                jobs.push_back(RunJob{i, w});
+        } else {
+            jobs.push_back(RunJob{i, kNoCkpt});
+        }
+    }
+
     std::vector<sim::RunResult> results(specs.size());
     obs::Counter &m_runs = obs::metrics().counter("sweep.runs");
     obs::Histogram &m_run_ms =
@@ -286,32 +411,37 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     std::mutex progress_mutex;
     std::size_t progress_done = 0;
     const auto phase2_start = std::chrono::steady_clock::now();
-    parallelFor(specs.size(), threads, [&](std::size_t i) {
-        const RunSpec &s = specs[i];
-        const BuildJob &build = builds[spec_build[i]];
+    parallelFor(jobs.size(), threads, [&](std::size_t j) {
+        const RunJob &job = jobs[j];
+        const RunSpec &s = specs[job.spec];
+        const BuildJob &build = builds[spec_build[job.spec]];
         const sim::ProgramRef &binary = build.binary;
         const program::TraceFile *replay =
             s.tracePath.empty() ? nullptr : build.trace.get();
         {
             obs::ScopedSpan span(obs::tracer(), "run", "sweep",
                                  s.label());
-            results[i] = s.sampling.enabled()
-                ? sampling::sampledRun(*binary, s.profile, s.scheme,
-                                       s.config, s.warmupInsts,
-                                       s.measureInsts, s.sampling,
-                                       build.decoded.get(), replay)
-                : sim::run(*binary, s.profile, s.scheme, s.config,
-                           s.warmupInsts, s.measureInsts,
-                           build.decoded.get(), replay);
+            if (job.window != kNoCkpt) {
+                const CkptJob &c = ckpts[spec_ckpt[job.spec]];
+                window_runs[job.spec][job.window] = sampling::runWindow(
+                    c.set.windows[job.window], *binary,
+                    sim::resolveConfig(s.scheme, s.config),
+                    sim::coreSeed(s.profile), build.decoded.get(),
+                    replay);
+            } else {
+                results[job.spec] = s.sampling.enabled()
+                    ? sampling::sampledRun(*binary, s.profile, s.scheme,
+                                           s.config, s.warmupInsts,
+                                           s.measureInsts, s.sampling,
+                                           build.decoded.get(), replay)
+                    : sim::run(*binary, s.profile, s.scheme, s.config,
+                               s.warmupInsts, s.measureInsts,
+                               build.decoded.get(), replay);
+            }
         }
-        results[i].buildHostMs = build_ms[spec_build[i]];
-        if (build.trace != nullptr)
-            results[i].traceHash = build.trace->contentHashHex();
-        m_runs.add(1);
-        m_run_ms.observe(results[i].hostMs);
         if (opts_.progress) {
             // Live progress line: completed/total plus an ETA scaled
-            // from elapsed wall time over completed runs.
+            // from elapsed wall time over completed jobs.
             std::lock_guard<std::mutex> lock(progress_mutex);
             ++progress_done;
             const double elapsed_s =
@@ -320,16 +450,38 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
                     .count();
             const double eta_s = elapsed_s /
                 static_cast<double>(progress_done) *
-                static_cast<double>(specs.size() - progress_done);
-            logRawf("\rsweep: %zu/%zu runs (%.0f%%) eta %.1fs   ",
-                    progress_done, specs.size(),
+                static_cast<double>(jobs.size() - progress_done);
+            logRawf("\rsweep: %zu/%zu jobs (%.0f%%) eta %.1fs   ",
+                    progress_done, jobs.size(),
                     100.0 * static_cast<double>(progress_done) /
-                        static_cast<double>(specs.size()),
+                        static_cast<double>(jobs.size()),
                     eta_s);
         }
     });
     if (opts_.progress && !specs.empty())
         logRaw("\n");
+
+    // Merge window jobs (in window order — bit-identical to the serial
+    // checkpoint route by construction) and finish per-run bookkeeping.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &s = specs[i];
+        const BuildJob &build = builds[spec_build[i]];
+        if (spec_ckpt[i] != kNoCkpt) {
+            const CkptJob &c = ckpts[spec_ckpt[i]];
+            sampling::SampledRun merged = sampling::mergeWindowRuns(
+                c.set, window_runs[i], s.profile.name, s.measureInsts);
+            // The shared set's build (or load) cost is attributed to
+            // every run that consumed it, like buildHostMs.
+            merged.result.ffHostMs += c.buildMs;
+            merged.result.hostMs += c.buildMs;
+            results[i] = merged.result;
+        }
+        results[i].buildHostMs = build_ms[spec_build[i]];
+        if (build.trace != nullptr)
+            results[i].traceHash = build.trace->contentHashHex();
+        m_runs.add(1);
+        m_run_ms.observe(results[i].hostMs);
+    }
     return results;
 }
 

@@ -52,6 +52,19 @@ struct SweepOptions
      * name a tracePath (those replay; there is nothing new to record).
      */
     std::string recordTraceDir;
+
+    /**
+     * On-disk cache for window-checkpoint sets (pp.ckpt.v1, see
+     * sampling/window_checkpoint.hh): each distinct (workload, region,
+     * policy) set is loaded from "<hash>.ppckpt" here when present,
+     * built and atomically stored otherwise — so repeated sweeps (and
+     * concurrent shard workers sharing the directory) skip the
+     * functional pass. Empty: in-memory caching only. Serialization
+     * round-trips exactly, so results are byte-identical either way,
+     * and the in-memory counters deliberately ignore disk hits (they
+     * stay a pure function of the spec list).
+     */
+    std::string checkpointDir;
 };
 
 /**
@@ -80,6 +93,18 @@ struct SweepCounters
 
     /** Runs served an already-attached trace from the shared cache. */
     std::uint64_t traceCacheHits = 0;
+
+    /**
+     * Distinct window-checkpoint sets the sweep needs: one per
+     * (workload, region, policy) over the checkpoint-eligible sampled
+     * specs. Like the trace counters, deliberately independent of the
+     * on-disk cache (a disk hit still counts as "built" here), so a
+     * sweep reports the same summary bytes cold or warm.
+     */
+    std::uint64_t checkpointsBuilt = 0;
+
+    /** Eligible sampled runs served an already-built checkpoint set. */
+    std::uint64_t checkpointCacheHits = 0;
 };
 
 /**

@@ -13,6 +13,7 @@
 #include "driver/sweep_engine.hh"
 #include "exec/fault.hh"
 #include "program/trace.hh"
+#include "sampling/window_checkpoint.hh"
 
 namespace pp
 {
@@ -206,7 +207,8 @@ readShardFragment(const std::string &path, std::size_t expect_begin,
 void
 runShardWorker(const std::vector<driver::RunSpec> &specs,
                std::size_t begin, std::size_t end, unsigned threads,
-               const std::string &out_path)
+               const std::string &out_path,
+               const std::string &checkpoint_dir)
 {
     applyStartFault();
     if (begin >= end || end > specs.size()) {
@@ -218,6 +220,7 @@ runShardWorker(const std::vector<driver::RunSpec> &specs,
                                              specs.begin() + end);
     driver::SweepOptions opts;
     opts.threads = threads;
+    opts.checkpointDir = checkpoint_dir;
     driver::SweepEngine engine(opts);
     std::vector<sim::RunResult> results;
     try {
@@ -226,6 +229,12 @@ runShardWorker(const std::vector<driver::RunSpec> &specs,
         // Typed artifact failure: report it distinctly so the
         // supervisor classifies corrupt-trace, not crash.
         std::fprintf(stderr, "corrupt trace artifact: %s\n", e.what());
+        std::exit(kTraceErrorExit);
+    } catch (const sampling::CheckpointError &e) {
+        // Same classification: a corrupt cached checkpoint set is an
+        // artifact failure, not a worker crash.
+        std::fprintf(stderr, "corrupt checkpoint artifact: %s\n",
+                     e.what());
         std::exit(kTraceErrorExit);
     }
     std::string error;

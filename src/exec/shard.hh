@@ -36,9 +36,10 @@ namespace exec
 {
 
 /**
- * Exit code a worker uses for a corrupt/unloadable trace artifact
- * (program::TraceError), so the supervisor can classify corrupt-trace
- * separately from a plain crash.
+ * Exit code a worker uses for a corrupt/unloadable artifact — a trace
+ * (program::TraceError) or a window-checkpoint set
+ * (sampling::CheckpointError) — so the supervisor can classify
+ * corrupt-artifact separately from a plain crash.
  */
 constexpr int kTraceErrorExit = 3;
 
@@ -82,13 +83,17 @@ readShardFragment(const std::string &path, std::size_t expect_begin,
  * Worker-process body shared by tools/sweep_worker and the harness
  * self-exec mode: apply any armed start fault, execute specs
  * [begin, end) on @p threads, write the fragment to @p out_path
- * atomically, then apply any armed output fault. A TraceError exits
- * with kTraceErrorExit after printing the typed message to stderr;
- * success returns normally (the caller exits 0).
+ * atomically, then apply any armed output fault. A non-empty
+ * @p checkpoint_dir is passed through to the engine's on-disk
+ * window-checkpoint cache, so concurrent workers share one functional
+ * pass per workload. A TraceError or CheckpointError exits with
+ * kTraceErrorExit after printing the typed message to stderr; success
+ * returns normally (the caller exits 0).
  */
 void runShardWorker(const std::vector<driver::RunSpec> &specs,
                     std::size_t begin, std::size_t end, unsigned threads,
-                    const std::string &out_path);
+                    const std::string &out_path,
+                    const std::string &checkpoint_dir = "");
 
 } // namespace exec
 } // namespace pp

@@ -8,6 +8,7 @@
 #include "core/core.hh"
 #include "obs/trace_event.hh"
 #include "program/emulator.hh"
+#include "sampling/window_checkpoint.hh"
 
 namespace pp
 {
@@ -24,11 +25,30 @@ addInto(core::CoreStats &acc, const core::CoreStats &delta)
         acc.*f.member += delta.*f.member;
 }
 
-/**
- * Approximate 95% confidence half-width of the mean of @p xs (normal
- * critical value; the window count is what bounds precision here, not
- * the small-n t correction). 0 when fewer than two windows exist.
- */
+} // namespace
+
+double
+tCritical95(std::size_t df)
+{
+    // Two-sided 95% points of the t distribution, stepped down to the
+    // largest tabulated df; past df=30 the normal value is within 2%.
+    struct Entry { std::size_t df; double t; };
+    static constexpr Entry kTable[] = {
+        {30, 2.042}, {20, 2.086}, {15, 2.131}, {12, 2.179}, {10, 2.228},
+        {9, 2.262},  {8, 2.306},  {7, 2.365},  {6, 2.447},  {5, 2.571},
+        {4, 2.776},  {3, 3.182},  {2, 4.303},  {1, 12.706},
+    };
+    if (df == 0)
+        return 0.0;
+    if (df > 30)
+        return 1.96;
+    for (const Entry &e : kTable) {
+        if (df >= e.df)
+            return e.t;
+    }
+    return kTable[sizeof(kTable) / sizeof(kTable[0]) - 1].t;
+}
+
 double
 ciHalfWidth(const std::vector<double> &xs)
 {
@@ -43,10 +63,8 @@ ciHalfWidth(const std::vector<double> &xs)
     for (const double x : xs)
         ss += (x - mean) * (x - mean);
     const double sd = std::sqrt(ss / static_cast<double>(n - 1));
-    return 1.96 * sd / std::sqrt(static_cast<double>(n));
+    return tCritical95(n - 1) * sd / std::sqrt(static_cast<double>(n));
 }
-
-} // namespace
 
 SampledRun
 sampledRunDetailed(const program::Program &binary,

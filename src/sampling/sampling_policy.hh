@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/logging.hh"
+
 namespace pp
 {
 namespace sampling
@@ -71,6 +73,37 @@ struct SamplingPolicy
 
     /** Detailed instructions per sampling period (cost per window). */
     std::uint64_t windowInsts() const { return warmupInsts + measureInsts; }
+
+    /** Measurement windows this policy starts in a region of @p len. */
+    std::uint64_t
+    windowsInRegion(std::uint64_t len) const
+    {
+        if (!enabled() || len == 0)
+            return 0;
+        return (len + periodInsts - 1) / periodInsts;
+    }
+
+    /**
+     * Validate the policy against a region of @p len instructions:
+     * production estimates need >= 8 windows, below which even the
+     * small-n t correction leaves the reported confidence bounds
+     * statistically meaningless. Benchmarks and smarts()-policy
+     * consumers call this; diagnostic runs that knowingly measure few
+     * windows (degeneracy tests, window-level studies) do not.
+     */
+    void
+    validateForRegion(std::uint64_t len) const
+    {
+        if (!enabled())
+            return;
+        panicIfNot(windowsInRegion(len) >= 8,
+                   "sampling region of " + std::to_string(len) +
+                       " insts yields only " +
+                       std::to_string(windowsInRegion(len)) +
+                       " windows under policy " + label() +
+                       " (need >= 8 for usable confidence bounds: "
+                       "shrink the period or grow the region)");
+    }
 
     /** Compact "u<period>w<warm>m<measure>[c]" tag for labels/filters. */
     std::string

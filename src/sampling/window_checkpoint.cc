@@ -1,0 +1,413 @@
+#include "sampling/window_checkpoint.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+#include "common/atomic_io.hh"
+#include "common/bytestream.hh"
+#include "common/fnv.hh"
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "obs/trace_event.hh"
+#include "program/warm_stream.hh"
+
+namespace pp
+{
+namespace sampling
+{
+
+namespace
+{
+
+constexpr std::uint64_t kCkptSetMagic = 0x31762e74706b6370ull; // "pckpt.v1"
+constexpr std::uint64_t kCkptSetVersion = 1;
+constexpr const char *kWhat = "checkpoint-set image";
+
+void
+addInto(core::CoreStats &acc, const core::CoreStats &delta)
+{
+    for (const auto &f : core::kCoreStatsFields)
+        acc.*f.member += delta.*f.member;
+}
+
+double
+elapsedMs(const std::chrono::steady_clock::time_point &since)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// pp.ckpt.v1 serialization (the trace.cc framing: magic, version,
+// content hash over the payload, then the payload itself).
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+WindowCheckpointSet::serialize() const
+{
+    std::vector<std::uint8_t> payload;
+    putU64(payload, regionWarmup);
+    putU64(payload, regionMeasure);
+    putU64(payload, policy.periodInsts);
+    putU64(payload, policy.warmupInsts);
+    putU64(payload, policy.measureInsts);
+    putU64(payload, policy.functionalWarming ? 1 : 0);
+    putU64(payload, policy.warmingHorizon);
+    putU64(payload, builderInsts);
+    putU64(payload, windows.size());
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const WindowCheckpoint &w = windows[i];
+        putU64(payload, w.warmStart);
+        putU64(payload, w.measureStart);
+        putU64(payload, w.measureEnd);
+        // The first window carries its full architectural image; each
+        // later one is a sparse dataMem delta against its predecessor
+        // (the builder pass only advances, so consecutive images differ
+        // by the words the gap actually stored to). This is what keeps
+        // .ppckpt artifacts at warm-event scale instead of one full
+        // memory image per window.
+        const std::vector<std::uint8_t> arch =
+            i == 0 ? w.arch.serialize()
+                   : w.arch.serializeDelta(windows[i - 1].arch);
+        putU64(payload, arch.size());
+        payload.insert(payload.end(), arch.begin(), arch.end());
+        putU64Vec(payload, w.warmEvents);
+    }
+
+    std::vector<std::uint8_t> out;
+    out.reserve(payload.size() + 24);
+    putU64(out, kCkptSetMagic);
+    putU64(out, kCkptSetVersion);
+    putU64(out, fnv1a(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+WindowCheckpointSet
+WindowCheckpointSet::deserialize(const std::vector<std::uint8_t> &bytes)
+{
+    ByteReader r{bytes, kWhat};
+    panicIfNot(r.u64() == kCkptSetMagic,
+               "not a checkpoint-set image (bad magic)");
+    panicIfNot(r.u64() == kCkptSetVersion,
+               "unsupported checkpoint-set version");
+    const std::uint64_t want_hash = r.u64();
+    panicIfNot(fnv1a(bytes.data() + r.at, bytes.size() - r.at) ==
+                   want_hash,
+               "checkpoint-set image content hash mismatch (corrupt)");
+
+    WindowCheckpointSet set;
+    set.regionWarmup = r.u64();
+    set.regionMeasure = r.u64();
+    set.policy.periodInsts = r.u64();
+    set.policy.warmupInsts = r.u64();
+    set.policy.measureInsts = r.u64();
+    set.policy.functionalWarming = r.u64() != 0;
+    set.policy.warmingHorizon = r.u64();
+    set.builderInsts = r.u64();
+    const std::size_t n = r.length(5);
+    set.windows.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        WindowCheckpoint w;
+        w.warmStart = r.u64();
+        w.measureStart = r.u64();
+        w.measureEnd = r.u64();
+        const std::uint64_t arch_len = r.u64();
+        panicIfNot(arch_len <= bytes.size() - r.at,
+                   std::string(kWhat) + " truncated");
+        const std::vector<std::uint8_t> arch(
+            bytes.begin() + static_cast<std::ptrdiff_t>(r.at),
+            bytes.begin() + static_cast<std::ptrdiff_t>(r.at + arch_len));
+        r.at += static_cast<std::size_t>(arch_len);
+        w.arch = i == 0
+            ? program::Emulator::Checkpoint::deserialize(arch)
+            : program::Emulator::Checkpoint::deserializeDelta(
+                  arch, set.windows[i - 1].arch);
+        w.warmEvents = r.u64Vec();
+        panicIfNot(w.warmEvents.size() % program::kWarmEventWords == 0,
+                   std::string(kWhat) + " has a torn warm event stream");
+        set.windows.push_back(std::move(w));
+    }
+    r.expectEnd();
+    return set;
+}
+
+void
+WindowCheckpointSet::store(const std::string &path) const
+{
+    const std::vector<std::uint8_t> bytes = serialize();
+    std::string error;
+    panicIfNot(writeFileAtomic(
+                   path,
+                   std::string(bytes.begin(), bytes.end()), &error),
+               "cannot write checkpoint set " + path + ": " + error);
+}
+
+WindowCheckpointSet
+WindowCheckpointSet::loadOrThrow(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is)
+        throw CheckpointError(CheckpointError::Kind::Io, path, 0,
+                              "cannot open");
+    const std::streamsize size = is.tellg();
+    is.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    is.read(reinterpret_cast<char *>(bytes.data()), size);
+    if (!is)
+        throw CheckpointError(CheckpointError::Kind::Io, path, 0,
+                              "read error");
+
+    // Header validation mirrors deserialize() but reports recoverable
+    // typed errors; once the hash matches, structural decode can only
+    // fail on a 64-bit hash collision, which stays a panic.
+    if (bytes.size() < 24) {
+        throw CheckpointError(CheckpointError::Kind::Truncated, path,
+                              bytes.size(),
+                              "truncated header (" +
+                                  std::to_string(bytes.size()) +
+                                  " bytes)");
+    }
+    auto header_u64 = [&](std::size_t at) {
+        std::uint64_t v = 0;
+        for (std::size_t b = 0; b < 8; ++b)
+            v |= static_cast<std::uint64_t>(bytes[at + b]) << (8 * b);
+        return v;
+    };
+    if (header_u64(0) != kCkptSetMagic) {
+        throw CheckpointError(CheckpointError::Kind::BadMagic, path, 0,
+                              "not a checkpoint file (bad magic)");
+    }
+    if (header_u64(8) != kCkptSetVersion) {
+        throw CheckpointError(CheckpointError::Kind::BadVersion, path, 8,
+                              "unsupported version " +
+                                  std::to_string(header_u64(8)));
+    }
+    if (fnv1a(bytes.data() + 24, bytes.size() - 24) != header_u64(16)) {
+        throw CheckpointError(CheckpointError::Kind::HashMismatch, path,
+                              16, "content hash mismatch (corrupt image)");
+    }
+    return deserialize(bytes);
+}
+
+WindowCheckpointSet
+WindowCheckpointSet::load(const std::string &path)
+{
+    try {
+        return loadOrThrow(path);
+    } catch (const CheckpointError &e) {
+        panic(e.what());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Build / run / merge
+// ---------------------------------------------------------------------
+
+WindowCheckpointSet
+buildWindowCheckpoints(const program::Program &binary,
+                       const program::BenchmarkProfile &profile,
+                       std::uint64_t warmup_insts,
+                       std::uint64_t measure_insts,
+                       const SamplingPolicy &policy,
+                       const program::DecodedProgram *decoded,
+                       const program::TraceFile *trace)
+{
+    panicIfNot(checkpointEligible(policy),
+               "window checkpoints need a gapped sampling policy");
+    panicIfNot(measure_insts > 0, "sampled run with empty region");
+    obs::ScopedSpan span(obs::tracer(), "ckpt_build", "sampling",
+                         profile.name);
+
+    WindowCheckpointSet set;
+    set.regionWarmup = warmup_insts;
+    set.regionMeasure = measure_insts;
+    set.policy = policy;
+
+    program::Emulator emu(binary, decoded, sim::coreSeed(profile),
+                          trace);
+    const std::uint64_t region_start = warmup_insts;
+    const std::uint64_t region_end = warmup_insts + measure_insts;
+
+    // One monotonic functional pass: with a gapped policy, consecutive
+    // warm starts strictly increase, so the emulator never rewinds.
+    std::uint64_t pos = 0;
+    for (std::uint64_t s = region_start; s < region_end;
+         s += policy.periodInsts) {
+        WindowCheckpoint w;
+        w.measureStart = s;
+        w.measureEnd =
+            s + std::min<std::uint64_t>(policy.measureInsts,
+                                        region_end - s);
+        w.warmStart = s > policy.warmupInsts ? s - policy.warmupInsts : 0;
+
+        // Functional warming covers [warm_begin, warmStart): the last
+        // warmingHorizon instructions of the gap (the whole gap when
+        // the horizon is 0), recorded rather than applied.
+        std::uint64_t warm_begin = w.warmStart;
+        if (policy.functionalWarming) {
+            const std::uint64_t h = policy.warmingHorizon;
+            warm_begin = h != 0 && w.warmStart > h ? w.warmStart - h : 0;
+            warm_begin = std::max(warm_begin, pos);
+        }
+        if (warm_begin > pos)
+            emu.skip(warm_begin - pos);
+        if (w.warmStart > warm_begin) {
+            program::WarmStreamRecorder rec(w.warmEvents);
+            Addr line = ~0ull;
+            emu.warmForward(w.warmStart - warm_begin, rec,
+                            program::kWarmLineShift, line);
+        }
+        w.arch = emu.checkpoint();
+        pos = w.warmStart;
+        set.windows.push_back(std::move(w));
+    }
+    set.builderInsts = pos;
+    return set;
+}
+
+WindowRunResult
+runWindow(const WindowCheckpoint &w, const program::Program &binary,
+          const core::CoreConfig &cfg, std::uint64_t seed,
+          const program::DecodedProgram *decoded,
+          const program::TraceFile *trace)
+{
+    WindowRunResult out;
+
+    const auto warm_start = std::chrono::steady_clock::now();
+    core::OoOCore cpu(binary, cfg, seed, w.arch, decoded, trace);
+    {
+        obs::ScopedSpan span(obs::tracer(), "warm_replay", "sampling");
+        cpu.warmReplay(w.warmEvents);
+    }
+    out.warmHostMs = elapsedMs(warm_start);
+
+    const auto win_start = std::chrono::steady_clock::now();
+    {
+        obs::ScopedSpan span(obs::tracer(), "detailed_window",
+                             "sampling");
+        cpu.run(w.measureStart - w.warmStart);
+        const core::CoreStats at_warm = cpu.coreStats();
+        if (w.warmStart + at_warm.committedInsts >= w.measureEnd) {
+            out.overshot = true; // warmup overshot the window entirely
+        } else {
+            cpu.run(w.measureEnd - w.warmStart);
+            out.delta = sim::statsDelta(at_warm, cpu.coreStats());
+        }
+    }
+    out.coreCommitted = cpu.coreStats().committedInsts;
+    out.windowHostMs = elapsedMs(win_start);
+    return out;
+}
+
+SampledRun
+mergeWindowRuns(const WindowCheckpointSet &set,
+                const std::vector<WindowRunResult> &runs,
+                const std::string &benchmark,
+                std::uint64_t measure_insts)
+{
+    panicIfNot(runs.size() == set.windows.size(),
+               "window-run count does not match the checkpoint set");
+
+    SampledRun out;
+    out.fastForwardInsts = set.builderInsts;
+
+    core::CoreStats total;
+    std::vector<double> window_ipc;
+    std::vector<double> window_mispred;
+    std::uint64_t detailed = 0;
+    double warm_ms = 0.0;
+    double window_ms = 0.0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const WindowRunResult &wr = runs[i];
+        detailed += wr.coreCommitted;
+        warm_ms += wr.warmHostMs;
+        window_ms += wr.windowHostMs;
+        if (wr.overshot)
+            continue;
+        addInto(total, wr.delta);
+        window_ipc.push_back(wr.delta.ipc());
+        window_mispred.push_back(wr.delta.mispredRatePct());
+        out.samples.push_back(
+            WindowSample{set.windows[i].measureStart, wr.delta});
+        ++out.windows;
+    }
+
+    sim::RunResult r;
+    r.benchmark = benchmark;
+    r.sampled = true;
+    r.measuredInsts = total.committedInsts;
+    r.detailedInsts = detailed;
+    r.ipc = total.ipc();
+    r.mispredRatePct = total.mispredRatePct();
+    r.accuracyPct = 100.0 - r.mispredRatePct;
+    r.shadowMispredRatePct = total.shadowMispredRatePct();
+    r.earlyResolvedPct = total.earlyResolvedPct();
+
+    // A gapped policy can never tile the region, so the only exact case
+    // is the degenerate single window spanning it (then bit-identical
+    // to full simulation); everything else extrapolates per measured
+    // instruction, exactly as the serial tail does.
+    const bool single_full =
+        out.windows == 1 && set.policy.measureInsts >= measure_insts;
+    if (total.committedInsts == 0 || single_full) {
+        r.stats = total;
+    } else {
+        const double scale = static_cast<double>(measure_insts) /
+            static_cast<double>(total.committedInsts);
+        for (const auto &f : core::kCoreStatsFields) {
+            r.stats.*f.member = static_cast<std::uint64_t>(std::llround(
+                static_cast<double>(total.*f.member) * scale));
+        }
+    }
+
+    const double ipc_half = ciHalfWidth(window_ipc);
+    r.ipcErrorBound = r.ipc > 0.0 ? 100.0 * ipc_half / r.ipc : 0.0;
+    out.mispredCiPp = ciHalfWidth(window_mispred);
+
+    r.ffHostMs = warm_ms;
+    r.windowHostMs = window_ms;
+    r.hostMs = warm_ms + window_ms;
+    out.result = r;
+    return out;
+}
+
+SampledRun
+sampledRunCheckpointed(const program::Program &binary,
+                       const program::BenchmarkProfile &profile,
+                       const sim::SchemeConfig &scheme,
+                       const core::CoreConfig &base_cfg,
+                       std::uint64_t warmup_insts,
+                       std::uint64_t measure_insts,
+                       const SamplingPolicy &policy,
+                       const program::DecodedProgram *decoded,
+                       const program::TraceFile *trace)
+{
+    const auto host_start = std::chrono::steady_clock::now();
+    const WindowCheckpointSet set = buildWindowCheckpoints(
+        binary, profile, warmup_insts, measure_insts, policy, decoded,
+        trace);
+    const double build_ms = elapsedMs(host_start);
+
+    const core::CoreConfig cfg = sim::resolveConfig(scheme, base_cfg);
+    const std::uint64_t seed = sim::coreSeed(profile);
+    std::vector<WindowRunResult> runs;
+    runs.reserve(set.windows.size());
+    for (const WindowCheckpoint &w : set.windows)
+        runs.push_back(runWindow(w, binary, cfg, seed, decoded, trace));
+
+    SampledRun out =
+        mergeWindowRuns(set, runs, profile.name, measure_insts);
+    out.result.ffHostMs += build_ms;
+    out.result.hostMs = elapsedMs(host_start);
+    return out;
+}
+
+} // namespace sampling
+} // namespace pp

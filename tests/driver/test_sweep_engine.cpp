@@ -248,15 +248,35 @@ TEST(SweepEngine, SampledSweepIsThreadCountInvariant)
     SweepOptions parallel;
     parallel.threads = 4;
     const auto specs = m.specs();
-    const auto r1 = SweepEngine(serial).run(specs);
-    const auto r4 = SweepEngine(parallel).run(specs);
+    SweepEngine eng1(serial);
+    SweepEngine eng4(parallel);
+    const auto r1 = eng1.run(specs);
+    const auto r4 = eng4.run(specs);
     ASSERT_EQ(r1.size(), r4.size());
     for (std::size_t i = 0; i < r1.size(); ++i)
         expectIdentical(r1[i], r4[i]);
-    EXPECT_EQ(scrubHostMs(JsonSink{}.toString(specs, r1)),
-              scrubHostMs(JsonSink{}.toString(specs, r4)));
+    EXPECT_EQ(scrubHostMs(JsonSink{eng1.counters()}.toString(specs, r1)),
+              scrubHostMs(JsonSink{eng4.counters()}.toString(specs, r4)));
     EXPECT_EQ(CsvSink{}.toString(specs, r1),
               CsvSink{}.toString(specs, r4));
+
+    // The dense policy has a 1000-inst gap, so both sweeps route
+    // through the checkpoint tier: one set per workload, no sharing
+    // across distinct benchmarks — and the counters are identical on
+    // any thread count (a pure function of the spec list).
+    EXPECT_EQ(eng1.counters().checkpointsBuilt, 2u);
+    EXPECT_EQ(eng1.counters().checkpointCacheHits, 0u);
+    EXPECT_EQ(eng4.counters().checkpointsBuilt, 2u);
+    EXPECT_EQ(eng4.counters().checkpointCacheHits, 0u);
+    EXPECT_EQ(sweepCountersFor(specs, false).checkpointsBuilt, 2u);
+
+    // The summary surfaces them right after the trace counters.
+    const std::string json =
+        JsonSink{eng4.counters()}.toString(specs, r4);
+    EXPECT_NE(json.find("\"trace_cache_hits\":0,"
+                        "\"checkpoints_built\":2,"
+                        "\"checkpoint_cache_hits\":0"),
+              std::string::npos);
 }
 
 TEST(SweepEngine, MultiThreadedMatchesSingleThreaded)
@@ -303,6 +323,9 @@ TEST(SweepEngine, BinaryCacheBuildsEachBinaryOnce)
     EXPECT_EQ(engine.counters().binariesBuilt, 6u);
     EXPECT_EQ(engine.counters().decodedPrograms, 6u);
     EXPECT_EQ(engine.counters().decodedCacheHits, 6u);
+    // No sampled cells: the checkpoint tier is never touched.
+    EXPECT_EQ(engine.counters().checkpointsBuilt, 0u);
+    EXPECT_EQ(engine.counters().checkpointCacheHits, 0u);
 
     // With counters attached, the JSON summary surfaces them.
     const std::string json =

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Contract of the checkpoint-parallel sampled tier:
+ *  - the t-distribution CI correction matches the published table;
+ *  - pp.ckpt.v1 images round-trip byte-exactly, and every corruption
+ *    class (truncation, foreign magic, future version, bit rot, I/O)
+ *    surfaces as the right typed CheckpointError before any decode;
+ *  - the engine's parallel window execution is bit-identical to the
+ *    standalone serial sampled path at any thread count, with or
+ *    without the on-disk checkpoint cache;
+ *  - the sweep summary's checkpoint counters stay a pure function of
+ *    the spec list.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+
+#include "driver/result_sink.hh"
+#include "driver/run_matrix.hh"
+#include "driver/sweep_engine.hh"
+#include "program/warm_stream.hh"
+#include "sampling/accuracy_contract.hh"
+#include "sampling/sampled_simulator.hh"
+#include "sampling/window_checkpoint.hh"
+#include "sim/simulator.hh"
+
+using namespace pp;
+using sampling::CheckpointError;
+using sampling::WindowCheckpointSet;
+
+namespace
+{
+
+/** A sparse (gapped) policy that routes through the checkpoint tier. */
+sampling::SamplingPolicy
+gappedPolicy()
+{
+    sampling::SamplingPolicy p;
+    p.periodInsts = 4000;
+    p.warmupInsts = 1000;
+    p.measureInsts = 1000;
+    return p;
+}
+
+WindowCheckpointSet
+buildGzipSet()
+{
+    const auto profile = program::profileByName("gzip");
+    const program::Program binary = sim::buildBinary(profile, true);
+    return sampling::buildWindowCheckpoints(binary, profile, 5000, 20000,
+                                            gappedPolicy());
+}
+
+std::string
+scrubHostMs(const std::string &json)
+{
+    static const std::regex host_ms("\"([a-z_]*host_ms)\":[-+0-9.eE]+");
+    return std::regex_replace(json, host_ms, "\"$1\":0");
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+void
+writeBytes(const std::string &path, const std::vector<std::uint8_t> &b)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char *>(b.data()),
+             static_cast<std::streamsize>(b.size()));
+}
+
+CheckpointError::Kind
+loadKind(const std::string &path)
+{
+    try {
+        WindowCheckpointSet::loadOrThrow(path);
+    } catch (const CheckpointError &e) {
+        return e.kind();
+    }
+    ADD_FAILURE() << path << ": expected CheckpointError";
+    return CheckpointError::Kind::Io;
+}
+
+} // namespace
+
+TEST(TCritical, MatchesTableWithStepDown)
+{
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(0), 0.0);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(1), 12.706);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(2), 4.303);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(7), 2.365);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(8), 2.306);
+    // Between tabulated rows the largest df <= actual applies
+    // (conservative: a larger t, a wider interval).
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(11), 2.228);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(14), 2.179);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(29), 2.086);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(30), 2.042);
+    // Beyond the table the normal approximation is fine.
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(31), 1.96);
+    EXPECT_DOUBLE_EQ(sampling::tCritical95(1000), 1.96);
+}
+
+TEST(TCritical, CiHalfWidthAppliesSmallSampleCorrection)
+{
+    // n=3: mean 2, sample sd 1 -> half-width = t(2) * 1/sqrt(3).
+    const std::vector<double> xs = {1.0, 2.0, 3.0};
+    EXPECT_NEAR(sampling::ciHalfWidth(xs), 4.303 / std::sqrt(3.0),
+                1e-12);
+    // Degenerate inputs carry no interval.
+    EXPECT_DOUBLE_EQ(sampling::ciHalfWidth({}), 0.0);
+    EXPECT_DOUBLE_EQ(sampling::ciHalfWidth({1.0}), 0.0);
+}
+
+TEST(SamplingPolicy, WindowCountValidationGuardsSparseRegions)
+{
+    const sampling::SamplingPolicy smarts =
+        sampling::SamplingPolicy::smarts();
+    EXPECT_EQ(smarts.windowsInRegion(3000000), 12u);
+    EXPECT_EQ(sampling::SamplingPolicy{}.windowsInRegion(3000000), 0u);
+    smarts.validateForRegion(2000000);             // 8 windows: ok
+    sampling::SamplingPolicy{}.validateForRegion(100);  // disabled: ok
+    EXPECT_DEATH(smarts.validateForRegion(250000), "need >= 8");
+}
+
+TEST(WindowCheckpoint, BuilderLaysOutGappedWindows)
+{
+    const WindowCheckpointSet set = buildGzipSet();
+    ASSERT_EQ(set.windows.size(), 5u);  // ceil(20000 / 4000)
+    EXPECT_EQ(set.regionWarmup, 5000u);
+    EXPECT_EQ(set.regionMeasure, 20000u);
+    std::uint64_t prev_start = 0;
+    for (std::size_t i = 0; i < set.windows.size(); ++i) {
+        const auto &w = set.windows[i];
+        // Window i measures [5000 + 4000 i, +1000) after 1000 warmup.
+        EXPECT_EQ(w.measureStart, 5000u + 4000 * i);
+        EXPECT_EQ(w.measureEnd, w.measureStart + 1000u);
+        EXPECT_EQ(w.warmStart, w.measureStart - 1000u);
+        EXPECT_GE(w.warmStart, prev_start);
+        prev_start = w.warmStart;
+        // The checkpoint sits exactly at the warm start and carries a
+        // well-formed warming stream for the horizon before it.
+        EXPECT_EQ(w.arch.numInsts, w.warmStart);
+        EXPECT_EQ(w.warmEvents.size() % program::kWarmEventWords, 0u);
+        EXPECT_FALSE(w.warmEvents.empty());
+    }
+    // The builder pass walks the region exactly once, to the last
+    // window's warm start.
+    EXPECT_EQ(set.builderInsts, set.windows.back().warmStart);
+}
+
+TEST(WindowCheckpoint, SerializeRoundTripsByteExactly)
+{
+    const WindowCheckpointSet set = buildGzipSet();
+    const std::vector<std::uint8_t> image = set.serialize();
+    const WindowCheckpointSet back =
+        WindowCheckpointSet::deserialize(image);
+
+    EXPECT_EQ(back.regionWarmup, set.regionWarmup);
+    EXPECT_EQ(back.regionMeasure, set.regionMeasure);
+    EXPECT_EQ(back.policy.periodInsts, set.policy.periodInsts);
+    EXPECT_EQ(back.policy.warmupInsts, set.policy.warmupInsts);
+    EXPECT_EQ(back.policy.measureInsts, set.policy.measureInsts);
+    EXPECT_EQ(back.policy.functionalWarming, set.policy.functionalWarming);
+    EXPECT_EQ(back.policy.warmingHorizon, set.policy.warmingHorizon);
+    EXPECT_EQ(back.builderInsts, set.builderInsts);
+    ASSERT_EQ(back.windows.size(), set.windows.size());
+    for (std::size_t i = 0; i < set.windows.size(); ++i) {
+        EXPECT_EQ(back.windows[i].warmStart, set.windows[i].warmStart);
+        EXPECT_EQ(back.windows[i].warmEvents, set.windows[i].warmEvents);
+    }
+    // Decode-then-encode reproduces the image bit-for-bit — the
+    // property the content-keyed disk cache depends on.
+    EXPECT_EQ(back.serialize(), image);
+}
+
+TEST(WindowCheckpointDeathTest, DeserializeRejectsCorruptImages)
+{
+    const WindowCheckpointSet set = buildGzipSet();
+    std::vector<std::uint8_t> image = set.serialize();
+
+    std::vector<std::uint8_t> truncated(image.begin(),
+                                        image.begin() + image.size() / 2);
+    EXPECT_DEATH(WindowCheckpointSet::deserialize(truncated), "");
+
+    std::vector<std::uint8_t> flipped = image;
+    flipped[0] ^= 0xff;  // magic
+    EXPECT_DEATH(WindowCheckpointSet::deserialize(flipped), "");
+
+    std::vector<std::uint8_t> trailing = image;
+    trailing.push_back(0);
+    EXPECT_DEATH(WindowCheckpointSet::deserialize(trailing), "");
+}
+
+TEST(WindowCheckpoint, LoadOrThrowClassifiesEveryCorruptionKind)
+{
+    const WindowCheckpointSet set = buildGzipSet();
+    const std::string path = tempPath("ok.ppckpt");
+    set.store(path);
+
+    // A clean store loads back with identical content.
+    const WindowCheckpointSet loaded =
+        WindowCheckpointSet::loadOrThrow(path);
+    EXPECT_EQ(loaded.serialize(), set.serialize());
+
+    EXPECT_EQ(loadKind(tempPath("missing.ppckpt")),
+              CheckpointError::Kind::Io);
+
+    const std::vector<std::uint8_t> image = set.serialize();
+
+    std::vector<std::uint8_t> tiny(image.begin(), image.begin() + 16);
+    writeBytes(tempPath("tiny.ppckpt"), tiny);
+    EXPECT_EQ(loadKind(tempPath("tiny.ppckpt")),
+              CheckpointError::Kind::Truncated);
+
+    std::vector<std::uint8_t> magic = image;
+    magic[0] ^= 0x01;
+    writeBytes(tempPath("magic.ppckpt"), magic);
+    EXPECT_EQ(loadKind(tempPath("magic.ppckpt")),
+              CheckpointError::Kind::BadMagic);
+
+    std::vector<std::uint8_t> version = image;
+    version[8] += 1;
+    writeBytes(tempPath("version.ppckpt"), version);
+    EXPECT_EQ(loadKind(tempPath("version.ppckpt")),
+              CheckpointError::Kind::BadVersion);
+
+    // Payload bit rot is caught by the hash BEFORE structural decode,
+    // including truncation past the header.
+    std::vector<std::uint8_t> rot = image;
+    rot[rot.size() / 2] ^= 0x40;
+    writeBytes(tempPath("rot.ppckpt"), rot);
+    EXPECT_EQ(loadKind(tempPath("rot.ppckpt")),
+              CheckpointError::Kind::HashMismatch);
+
+    std::vector<std::uint8_t> cut(image.begin(), image.end() - 9);
+    writeBytes(tempPath("cut.ppckpt"), cut);
+    EXPECT_EQ(loadKind(tempPath("cut.ppckpt")),
+              CheckpointError::Kind::HashMismatch);
+}
+
+TEST(WindowCheckpoint, CheckpointTierKeepsTheSerialEstimatorContract)
+{
+    // The checkpoint tier is deterministic and keeps the estimator
+    // shape the serial sampled contract promises (extrapolated
+    // counters, pooled rates, finite CI). It deliberately does NOT
+    // reproduce the persistent-core sampledRunDetailed() bit-for-bit —
+    // per-window independence is the price of parallelism — but the
+    // two estimators must land on the same region magnitudes.
+    const auto profile = program::profileByName("gzip");
+    const program::Program binary = sim::buildBinary(profile, true);
+    const sim::SchemeConfig scheme =
+        sampling::accuracySchemeByName("conventional");
+
+    const sampling::SampledRun direct =
+        sampling::sampledRunCheckpointed(binary, profile, scheme,
+                                         core::CoreConfig{}, 5000, 20000,
+                                         gappedPolicy());
+    const sampling::SampledRun again =
+        sampling::sampledRunCheckpointed(binary, profile, scheme,
+                                         core::CoreConfig{}, 5000, 20000,
+                                         gappedPolicy());
+    const sampling::SampledRun legacy = sampling::sampledRunDetailed(
+        binary, profile, scheme, core::CoreConfig{}, 5000, 20000,
+        gappedPolicy());
+
+    EXPECT_EQ(direct.windows, 5u);
+    EXPECT_TRUE(direct.result.sampled);
+    EXPECT_GT(direct.result.ipcErrorBound, 0.0);
+    EXPECT_NEAR(static_cast<double>(direct.result.stats.committedInsts),
+                20000.0, 1.0);
+    for (const auto &f : core::kCoreStatsFields)
+        EXPECT_EQ(direct.result.stats.*f.member,
+                  again.result.stats.*f.member)
+            << f.name;
+    EXPECT_EQ(direct.result.ipc, again.result.ipc);
+    EXPECT_EQ(direct.result.ipcErrorBound, again.result.ipcErrorBound);
+
+    // Same windows, same region estimate scale as the legacy path;
+    // the IPC estimates agree to sampling tolerance.
+    EXPECT_EQ(direct.windows, legacy.windows);
+    EXPECT_NEAR(static_cast<double>(legacy.result.stats.committedInsts),
+                static_cast<double>(direct.result.stats.committedInsts),
+                64.0);
+    EXPECT_NEAR(direct.result.ipc, legacy.result.ipc,
+                0.1 * legacy.result.ipc);
+}
+
+TEST(WindowCheckpoint, ParallelWindowsBitIdenticalAcrossThreadCounts)
+{
+    // The tentpole contract: over a golden-grid-style matrix the
+    // engine's checkpoint-parallel execution produces byte-identical
+    // documents at threads 1, 2 and 8, each matching the standalone
+    // serial checkpoint tier per cell.
+    driver::RunMatrix m;
+    m.addBenchmark(program::profileByName("gzip"))
+        .addBenchmark(program::profileByName("swim"))
+        .ifConvert(true)
+        .addScheme("conventional",
+                   sampling::accuracySchemeByName("conventional"))
+        .addScheme("selective",
+                   sampling::accuracySchemeByName("selective"))
+        .addSampling("gap", gappedPolicy())
+        .window(5000, 20000);
+    const auto specs = m.specs();
+
+    std::vector<std::string> docs;
+    std::vector<std::vector<sim::RunResult>> all;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        driver::SweepOptions opts;
+        opts.threads = threads;
+        driver::SweepEngine engine(opts);
+        const auto results = engine.run(specs);
+        docs.push_back(scrubHostMs(
+            driver::JsonSink{engine.counters()}.toString(specs, results)));
+        all.push_back(results);
+    }
+    EXPECT_EQ(docs[0], docs[1]);
+    EXPECT_EQ(docs[0], docs[2]);
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].label());
+        const program::Program binary =
+            sim::buildBinary(specs[i].profile, specs[i].ifConvert);
+        const sampling::SampledRun serial =
+            sampling::sampledRunCheckpointed(
+                binary, specs[i].profile, specs[i].scheme,
+                specs[i].config, specs[i].warmupInsts,
+                specs[i].measureInsts, specs[i].sampling);
+        for (const auto &f : core::kCoreStatsFields)
+            EXPECT_EQ(all[2][i].stats.*f.member,
+                      serial.result.stats.*f.member)
+                << f.name;
+        EXPECT_EQ(all[2][i].ipc, serial.result.ipc);
+        EXPECT_EQ(all[2][i].ipcErrorBound, serial.result.ipcErrorBound);
+    }
+}
+
+TEST(WindowCheckpoint, EngineCountersAndDiskCacheAreDeterministic)
+{
+    // 1 workload x {2 schemes} x gapped policy: one checkpoint set
+    // built, one cache hit — and a full (unsampled) axis contributes
+    // to neither counter.
+    driver::RunMatrix m;
+    m.addBenchmark(program::profileByName("gzip"))
+        .ifConvert(true)
+        .addScheme("conventional",
+                   sampling::accuracySchemeByName("conventional"))
+        .addScheme("selective",
+                   sampling::accuracySchemeByName("selective"))
+        .addSampling("", sampling::SamplingPolicy{})
+        .addSampling("gap", gappedPolicy())
+        .window(5000, 20000);
+    const auto specs = m.specs();
+    ASSERT_EQ(specs.size(), 4u);
+
+    driver::SweepOptions plain;
+    plain.threads = 2;
+    driver::SweepEngine mem_engine(plain);
+    const auto mem_results = mem_engine.run(specs);
+    EXPECT_EQ(mem_engine.counters().checkpointsBuilt, 1u);
+    EXPECT_EQ(mem_engine.counters().checkpointCacheHits, 1u);
+    const std::string mem_doc = scrubHostMs(
+        driver::JsonSink{mem_engine.counters()}.toString(specs,
+                                                         mem_results));
+    EXPECT_NE(mem_doc.find("\"checkpoints_built\":1"), std::string::npos);
+    EXPECT_NE(mem_doc.find("\"checkpoint_cache_hits\":1"),
+              std::string::npos);
+
+    // Cold disk run (builds + stores) and warm run (loads) both
+    // reproduce the in-memory document byte-for-byte — counters
+    // deliberately ignore disk hits so the summary is history-free.
+    driver::SweepOptions disk = plain;
+    disk.checkpointDir = testing::TempDir() + "ckpt_cache";
+    // TempDir() persists across runs and this test deliberately leaves
+    // a corrupted artifact behind — start from an empty cache.
+    std::filesystem::remove_all(disk.checkpointDir);
+    for (int pass = 0; pass < 2; ++pass) {
+        driver::SweepEngine engine(disk);
+        const auto results = engine.run(specs);
+        EXPECT_EQ(engine.counters().checkpointsBuilt, 1u);
+        EXPECT_EQ(engine.counters().checkpointCacheHits, 1u);
+        EXPECT_EQ(scrubHostMs(driver::JsonSink{engine.counters()}.toString(
+                      specs, results)),
+                  mem_doc);
+    }
+
+    // A corrupted cached artifact fails typed, not silently.
+    namespace fs = std::filesystem;
+    bool corrupted = false;
+    for (const auto &e : fs::directory_iterator(disk.checkpointDir)) {
+        std::fstream f(e.path(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(24);
+        const char x = 0x7f;
+        f.write(&x, 1);
+        corrupted = true;
+    }
+    ASSERT_TRUE(corrupted);
+    driver::SweepEngine bad(disk);
+    EXPECT_THROW(bad.run(specs), CheckpointError);
+}

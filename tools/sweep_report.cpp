@@ -250,7 +250,15 @@ svgBar(std::ostream &os, double x, double y, double w, double h,
 std::string
 renderGroupedBars(const ChartData &c)
 {
-    const int width = 760, left = 56, right = 16, bottom = 48;
+    // Wide sweeps (the full-suite config study) stretch the canvas so
+    // each group keeps a readable bar cluster, and tilt the group
+    // labels once they would collide horizontally.
+    const int left = 56, right = 16;
+    const int width = std::max(
+        760, left + right +
+                 56 * static_cast<int>(c.categories.size()));
+    const bool tilt = c.categories.size() > 8;
+    const int bottom = tilt ? 92 : 48;
     // Extra canvas for every wrapped legend row beyond the first.
     const int extra = 16 * std::max(0, legendRows(c, left, width) - 1);
     const int height = 420 + extra, top = 76 + extra;
@@ -288,10 +296,15 @@ renderGroupedBars(const ChartData &c)
             if (h > 0.5)
                 svgBar(os, x, y, bar_w, h, seriesFill(s));
         }
-        os << "<text x=\"" << (gx + group_w / 2) << "\" y=\""
-           << (top + plot_h + 18)
-           << "\" font-size=\"11\" text-anchor=\"middle\" "
-              "fill=\"var(--text-secondary, " << kInkSecondary << ")\">"
+        const double lx = gx + group_w / 2;
+        const double ly = top + plot_h + 18;
+        os << "<text x=\"" << lx << "\" y=\"" << ly
+           << "\" font-size=\"11\" text-anchor=\""
+           << (tilt ? "end" : "middle") << "\" "
+           << (tilt ? "transform=\"rotate(-38 " + fmtNum(lx, 1) + " " +
+                   fmtNum(ly, 1) + ")\" "
+                    : std::string())
+           << "fill=\"var(--text-secondary, " << kInkSecondary << ")\">"
            << escapeXml(c.categories[g]) << "</text>\n";
     }
     os << "</svg>\n";
@@ -454,7 +467,9 @@ struct SweepRun
 };
 
 std::vector<SweepRun>
-loadSweepRuns(const std::string &path, const std::string &metric)
+loadSweepRuns(const std::string &path, const std::string &metric,
+              const std::vector<std::pair<std::string, std::string>>
+                  &filters)
 {
     JsonValue doc;
     try {
@@ -479,6 +494,14 @@ loadSweepRuns(const std::string &path, const std::string &metric)
             return v != nullptr && v->kind == JsonValue::Kind::String
                 ? v->str : std::string();
         };
+        // Filters match the raw field values ("" selects runs where
+        // the field is empty, e.g. --filter sampling= for the full
+        // detailed cells of a mixed sweep).
+        bool keep = true;
+        for (const auto &f : filters)
+            keep = keep && str(f.first.c_str()) == f.second;
+        if (!keep)
+            continue;
         run.benchmark = str("benchmark");
         const JsonValue *ifc = r.get("if_converted");
         if (ifc != nullptr && ifc->boolean)
@@ -518,14 +541,39 @@ sweepToChart(const std::vector<SweepRun> &runs, const std::string &path,
 
     // Config-axis study (the ROB/IQ/width sweep): configs make the x
     // groups and each benchmark/scheme cell is a series. Single-config
-    // sweeps group by benchmark instead, series = scheme.
+    // sweeps group by benchmark instead, series = scheme. Full-suite
+    // config studies overflow the categorical palette as series, so
+    // when the benchmark/scheme cells outnumber the palette but the
+    // configs still fit, the roles flip: one x group per cell, one
+    // series per config — the per-benchmark scaling-curve view.
     const bool config_axis = configs.size() > 1;
+    std::size_t cells = 0;
+    {
+        std::vector<std::string> seen;
+        for (const SweepRun &r : runs) {
+            const std::string id = r.benchmark + "/" + r.scheme;
+            if (std::find(seen.begin(), seen.end(), id) == seen.end())
+                seen.push_back(id);
+        }
+        cells = seen.size();
+    }
+    const bool flip = config_axis && cells > 4 && configs.size() <= 4;
+    bool one_scheme = true;
+    for (const SweepRun &r : runs)
+        one_scheme = one_scheme && r.scheme == runs.front().scheme;
     std::vector<std::string> series_ids;
+    auto cell_of = [&](const SweepRun &r) {
+        return one_scheme ? r.benchmark : r.benchmark + "/" + r.scheme;
+    };
     auto series_of = [&](const SweepRun &r) {
-        return config_axis ? r.benchmark + "/" + r.scheme : r.scheme;
+        if (!config_axis)
+            return r.scheme;
+        return flip ? r.config : cell_of(r);
     };
     auto cat_of = [&](const SweepRun &r) {
-        return config_axis ? r.config : r.benchmark;
+        if (!config_axis)
+            return r.benchmark;
+        return flip ? cell_of(r) : r.config;
     };
     for (const SweepRun &r : runs) {
         if (std::find(c.categories.begin(), c.categories.end(),
@@ -586,6 +634,8 @@ const MetricSpec kTrendMetrics[] = {
      "fast-forward throughput", "KIPS (emulator skip tier)"},
     {"pp.bench.sampling.v1", "speedup", "speedup",
      "sampling speedup", "sampled vs full (x)"},
+    {"pp.bench.sampling.v1", "parallel_windows", "speedup",
+     "checkpoint-parallel speedup", "parallel vs serial sampled (x)"},
 };
 
 std::vector<TrendMetric>
@@ -798,6 +848,9 @@ usage()
         "  --sweep FILE   render a pp.sweep.v1 document as grouped"
         " bars\n"
         "  --metric M     run field to chart (default ipc)\n"
+        "  --filter K=V   keep only runs whose raw field K equals V\n"
+        "                 (repeatable; K=<empty> matches the empty"
+        " value)\n"
         "  --metrics FILE render a metrics snapshot (--metrics-json"
         " output):\n"
         "                 histograms as bucket charts, scalars as a"
@@ -824,6 +877,7 @@ main(int argc, char **argv)
     std::string store;
     std::string out;
     std::string metric = "ipc";
+    std::vector<std::pair<std::string, std::string>> filters;
     bool check = false;
     double noise_pct = 10.0;
 
@@ -846,6 +900,17 @@ main(int argc, char **argv)
             out = need_value();
         } else if (std::strcmp(a, "--metric") == 0) {
             metric = need_value();
+        } else if (std::strcmp(a, "--filter") == 0) {
+            const std::string kv = need_value();
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr,
+                             "sweep_report: --filter expects"
+                             " KEY=VALUE, got '%s'\n",
+                             kv.c_str());
+                return 2;
+            }
+            filters.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
         } else if (std::strcmp(a, "--check") == 0) {
             check = true;
         } else if (std::strcmp(a, "--noise") == 0) {
@@ -870,7 +935,7 @@ main(int argc, char **argv)
             return 2;
         }
         const std::vector<SweepRun> runs =
-            loadSweepRuns(sweep_path, metric);
+            loadSweepRuns(sweep_path, metric, filters);
         if (runs.empty()) {
             std::fprintf(stderr, "sweep_report: empty sweep\n");
             return 2;

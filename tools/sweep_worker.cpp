@@ -42,6 +42,8 @@ usage(const char *prog)
         " REPRO_INSTRUCTIONS or 1000000)\n"
         "  --filter REGEX     keep only benchmarks matching REGEX\n"
         "  --trace-dir D      replay workloads from the traces in D\n"
+        "  --checkpoint-dir D cache window-checkpoint sets in D (shared"
+        " across workers)\n"
         "  --threads N        worker threads (default: hardware)\n"
         "  --shard-range B:E  spec range to execute (default: all)\n"
         "  --shard-out FILE   fragment output path (required)\n"
@@ -70,6 +72,7 @@ main(int argc, char **argv)
     std::string grid;
     std::string filter;
     std::string trace_dir;
+    std::string checkpoint_dir;
     std::string out_path;
     std::uint64_t warmup = sim::defaultWarmup();
     std::uint64_t measure = sim::defaultInstructions();
@@ -102,6 +105,9 @@ main(int argc, char **argv)
             ++i;
         } else if (std::strcmp(a, "--trace-dir") == 0) {
             trace_dir = need_value(i);
+            ++i;
+        } else if (std::strcmp(a, "--checkpoint-dir") == 0) {
+            checkpoint_dir = need_value(i);
             ++i;
         } else if (std::strcmp(a, "--threads") == 0) {
             threads =
@@ -146,6 +152,7 @@ main(int argc, char **argv)
         end = specs.size();
     }
 
-    exec::runShardWorker(specs, begin, end, threads, out_path);
+    exec::runShardWorker(specs, begin, end, threads, out_path,
+                         checkpoint_dir);
     return 0;
 }
