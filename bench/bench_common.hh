@@ -27,9 +27,11 @@
 #include "common/atomic_io.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "driver/replay_sink.hh"
 #include "driver/result_sink.hh"
 #include "driver/run_matrix.hh"
 #include "driver/sweep_engine.hh"
+#include "replay/predictor_replay.hh"
 #include "exec/shard.hh"
 #include "exec/shard_supervisor.hh"
 #include "obs/metrics.hh"
@@ -156,6 +158,52 @@ printUsage(const char *prog, const char *what, bool sweep_flags)
         "  --verbose          debug-level diagnostics (same as"
         " PP_LOG_LEVEL=debug)\n");
     std::fprintf(stderr, "  --help             this text\n");
+}
+
+/**
+ * Remove every occurrence of the valueless @p flag from (argc, argv)
+ * before parseBenchArgs() sees it (which fatal()s on unknown flags);
+ * returns whether it was present. Lets a harness layer its own mode
+ * switches (e.g. --full-sim) on top of the shared flag set.
+ */
+inline bool
+stripFlag(int &argc, char **argv, const char *flag)
+{
+    bool found = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            found = true;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return found;
+}
+
+/**
+ * Remove @p flag and its value from (argc, argv); returns the value of
+ * the last occurrence, or @p fallback when absent. fatal()s on a
+ * trailing flag with no value.
+ */
+inline std::string
+stripFlagValue(int &argc, char **argv, const char *flag,
+               const std::string &fallback = "")
+{
+    std::string value = fallback;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            if (i + 1 >= argc)
+                fatal(std::string("missing value for ") + flag);
+            value = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+    return value;
 }
 
 /** Strict base-10 parse; fatal() on garbage, partial parse or overflow. */
@@ -532,6 +580,55 @@ sweepSuite(const BenchOptions &opts,
         out.results.push_back(std::move(row));
     }
     return out;
+}
+
+/**
+ * Run a predictor-replay sweep (replay/predictor_replay.hh) through the
+ * engine: apply the shared options (window, filter, traces, threads) to
+ * @p matrix — whose benchmarks and configs the harness has set — and
+ * emit the pp.replay.v1 sink when --json was given. Replay is a
+ * predictor-tables-only tier, so the timing/sampling flags of the
+ * full-sim path (--csv, --smarts, --checkpoint-dir, --shards) are
+ * rejected rather than silently ignored; rerun with --full-sim to use
+ * them.
+ */
+inline std::vector<replay::ReplayWorkloadResult>
+replaySweep(const BenchOptions &opts, replay::ReplayMatrix &matrix)
+{
+    if (!opts.csvPath.empty())
+        fatal("--csv needs the full-sim tier; rerun with --full-sim");
+    if (opts.smartsPeriod > 0 || !opts.checkpointDir.empty())
+        fatal("--smarts/--checkpoint-dir are sampling flags; the replay"
+              " tier has no timing windows (rerun with --full-sim)");
+    if (opts.shards > 0 || opts.workerMode)
+        fatal("--shards is not supported for replay sweeps yet");
+
+    matrix.window(opts.warmup, opts.measure)
+        .filterBenchmarks(opts.filter);
+    std::vector<replay::ReplayWorkloadSpec> workloads =
+        matrix.workloads();
+    if (workloads.empty())
+        fatal("replay sweep is empty (filter matched no benchmarks?)");
+    if (matrix.configs().empty())
+        fatal("replay sweep has no predictor configs");
+    replay::applyReplayTraceDir(workloads, opts.traceDir);
+
+    driver::SweepOptions sweep_opts;
+    sweep_opts.threads = opts.threads;
+    sweep_opts.progress = opts.progress;
+    sweep_opts.recordTraceDir = opts.recordTraceDir;
+    driver::SweepEngine engine(sweep_opts);
+    informf("replay: %zu workloads x %zu configs, one stream pass each",
+            workloads.size(), matrix.configs().size());
+    beginTraceEvents(opts);
+    std::vector<replay::ReplayWorkloadResult> results =
+        engine.runReplay(workloads, matrix.configs());
+    endTraceEvents(opts);
+
+    if (!opts.jsonPath.empty())
+        driver::writeReplayJsonFile(opts.jsonPath, results);
+    writeMetricsSnapshot(opts);
+    return results;
 }
 
 /** Print a "mispred-rate per benchmark per scheme" table plus averages. */

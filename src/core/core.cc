@@ -951,6 +951,8 @@ OoOCore::commitTrain(DynInst &d)
         const bool actual = d.rec.branchTaken;
         if (d.finalPredTaken != actual)
             ++stats_.mispredictedCondBranches;
+        if (d.l1State.valid && d.l1State.predTaken != actual)
+            ++stats_.l1MispredictedCondBranches;
         if (d.earlyResolved)
             ++stats_.earlyResolvedBranches;
 

@@ -23,6 +23,10 @@ struct CoreStats
     /// @{
     std::uint64_t committedCondBranches = 0;
     std::uint64_t mispredictedCondBranches = 0;
+    /** First-level (gshare) direction wrong at commit, regardless of
+     *  the final (override/predicate) direction — the counter the
+     *  predictor-replay tier reconciles its l1 stats against. */
+    std::uint64_t l1MispredictedCondBranches = 0;
     std::uint64_t earlyResolvedBranches = 0;
     std::uint64_t overrideRedirects = 0;   ///< L1/L2 disagreement flushes
     std::uint64_t branchMispredFlushes = 0;
@@ -100,6 +104,8 @@ inline constexpr CoreStatsField kCoreStatsFields[] = {
     {"committed_insts", &CoreStats::committedInsts},
     {"committed_cond_branches", &CoreStats::committedCondBranches},
     {"mispredicted_cond_branches", &CoreStats::mispredictedCondBranches},
+    {"l1_mispredicted_cond_branches",
+     &CoreStats::l1MispredictedCondBranches},
     {"early_resolved_branches", &CoreStats::earlyResolvedBranches},
     {"override_redirects", &CoreStats::overrideRedirects},
     {"branch_mispred_flushes", &CoreStats::branchMispredFlushes},

@@ -1,0 +1,123 @@
+#include "driver/replay_sink.hh"
+
+#include <sstream>
+
+namespace pp
+{
+namespace driver
+{
+
+namespace
+{
+
+void
+writeReplayConfigJson(JsonWriter &w, const replay::ReplayConfigResult &c,
+                      std::uint64_t measure_insts)
+{
+    w.beginObject();
+    w.field("name", c.name);
+    w.field("storage_bytes", c.storageBytes);
+    const replay::ReplayStats &s = c.stats;
+    w.field("cond_branches", s.condBranches);
+    w.field("mispredicted", s.mispredicted);
+    w.field("mispred_pct", s.mispredPct());
+    w.field("mpki", s.mpki(measure_insts));
+    w.field("l1_mispredicted", s.l1Mispredicted);
+    w.field("mispred_taken", s.mispredTaken);
+    w.field("mispred_not_taken", s.mispredNotTaken);
+    w.field("br_branches", s.brBranches);
+    w.field("br_mispredicted", s.brMispredicted);
+    w.field("call_branches", s.callBranches);
+    w.field("call_mispredicted", s.callMispredicted);
+    w.field("ret_branches", s.retBranches);
+    w.field("ret_mispredicted", s.retMispredicted);
+    w.field("compares", s.compares);
+    w.field("pd1_mispredicts", s.pd1Mispredicts);
+    w.field("pd2_mispredicts", s.pd2Mispredicts);
+    w.field("confident_pd1", s.confidentPd1);
+    w.field("confident_pd1_wrong", s.confidentPd1Wrong);
+    w.field("shadow_mispredicts", s.shadowMispredicts);
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeReplayWorkloadJson(JsonWriter &w,
+                        const replay::ReplayWorkloadResult &r)
+{
+    w.beginObject();
+    w.field("benchmark", r.benchmark);
+    w.field("if_convert", r.ifConvert);
+    w.field("trace_hash", r.traceHash);
+    w.field("warmup_insts", r.warmupInsts);
+    w.field("measure_insts", r.measureInsts);
+    w.field("stream_events", r.streamEvents);
+    w.field("stream_branches", r.streamBranches);
+    w.field("stream_compares", r.streamCompares);
+    w.field("build_host_ms", r.buildHostMs);
+    w.field("stream_host_ms", r.streamHostMs);
+    w.field("replay_host_ms", r.replayHostMs);
+    w.key("configs");
+    w.beginArray();
+    for (const replay::ReplayConfigResult &c : r.configs)
+        writeReplayConfigJson(w, c, r.measureInsts);
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeReplayJson(std::ostream &os,
+                const std::vector<replay::ReplayWorkloadResult> &rs)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "pp.replay.v1");
+    w.key("workloads");
+    w.beginArray();
+    for (const replay::ReplayWorkloadResult &r : rs)
+        writeReplayWorkloadJson(w, r);
+    w.endArray();
+
+    std::uint64_t configs = 0;
+    std::uint64_t stream_events = 0;
+    std::uint64_t cond_branches = 0;
+    double host_ms = 0.0;
+    for (const replay::ReplayWorkloadResult &r : rs) {
+        configs = std::max<std::uint64_t>(configs, r.configs.size());
+        stream_events += r.streamEvents;
+        for (const replay::ReplayConfigResult &c : r.configs)
+            cond_branches += c.stats.condBranches;
+        host_ms += r.buildHostMs + r.streamHostMs + r.replayHostMs;
+    }
+    w.key("summary");
+    w.beginObject();
+    w.field("workloads", static_cast<std::uint64_t>(rs.size()));
+    w.field("configs", configs);
+    w.field("streams_built", static_cast<std::uint64_t>(rs.size()));
+    w.field("stream_events", stream_events);
+    w.field("cond_branches", cond_branches);
+    w.field("total_host_ms", host_ms);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+}
+
+std::string
+replayJsonString(const std::vector<replay::ReplayWorkloadResult> &rs)
+{
+    std::ostringstream os;
+    writeReplayJson(os, rs);
+    return os.str();
+}
+
+void
+writeReplayJsonFile(const std::string &path,
+                    const std::vector<replay::ReplayWorkloadResult> &rs)
+{
+    withOutputStream(path,
+                     [&](std::ostream &os) { writeReplayJson(os, rs); });
+}
+
+} // namespace driver
+} // namespace pp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * pp.replay.v1: the versioned result document of a predictor-replay
+ * sweep (replay/predictor_replay.hh, SweepEngine::runReplay).
+ *
+ * Layout:
+ *   {"schema": "pp.replay.v1",
+ *    "workloads": [{benchmark, if_convert, trace_hash, windows,
+ *                   stream geometry, *host_ms,
+ *                   "configs": [{name, storage_bytes, counters...,
+ *                                mispred_pct, mpki}, ...]}, ...],
+ *    "summary": {workloads, configs, streams_built, stream_events,
+ *                cond_branches, total_host_ms}}
+ *
+ * Determinism matches pp.sweep.v1: fixed key order, %.17g floats, and
+ * every nondeterministic wall-time field carries the "host_ms" suffix
+ * so byte-identity comparisons scrub exactly the same key pattern.
+ * Full spec: docs/replay_format.md.
+ */
+
+#ifndef PP_DRIVER_REPLAY_SINK_HH
+#define PP_DRIVER_REPLAY_SINK_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/result_sink.hh"
+#include "replay/predictor_replay.hh"
+
+namespace pp
+{
+namespace driver
+{
+
+/** Emit one pp.replay.v1 workload object (fixed field order). */
+void writeReplayWorkloadJson(JsonWriter &w,
+                             const replay::ReplayWorkloadResult &r);
+
+/** Serialize a full pp.replay.v1 document. */
+void writeReplayJson(std::ostream &os,
+                     const std::vector<replay::ReplayWorkloadResult> &rs);
+
+/** writeReplayJson to a string (byte-identity tests). */
+std::string
+replayJsonString(const std::vector<replay::ReplayWorkloadResult> &rs);
+
+/** writeReplayJson to @p path ("-" = stdout), atomically. */
+void
+writeReplayJsonFile(const std::string &path,
+                    const std::vector<replay::ReplayWorkloadResult> &rs);
+
+} // namespace driver
+} // namespace pp
+
+#endif // PP_DRIVER_REPLAY_SINK_HH

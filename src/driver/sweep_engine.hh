@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "driver/run_matrix.hh"
+#include "replay/predictor_replay.hh"
 #include "sim/simulator.hh"
 
 namespace pp
@@ -134,6 +135,25 @@ class SweepEngine
 
     /** Execute an explicit spec list; results align with @p specs. */
     std::vector<sim::RunResult> run(const std::vector<RunSpec> &specs);
+
+    /**
+     * Execute a predictor-replay sweep (replay/predictor_replay.hh):
+     * one committed-outcome stream per workload — extracted once from
+     * the cached binary/decoded/trace, like the binary cache of run() —
+     * with the config list fanned out across the pool in batches that
+     * each make one pass over the shared stream. Results align with
+     * matrix.workloads(); each result's configs align with
+     * matrix.configs(). Byte-identical serialization at any thread
+     * count (batched cells see identical inputs by construction).
+     * recordTraceDir records one artifact per workload, as in run().
+     */
+    std::vector<replay::ReplayWorkloadResult>
+    runReplay(const replay::ReplayMatrix &matrix);
+
+    /** Replay an explicit (workloads, configs) pair; see above. */
+    std::vector<replay::ReplayWorkloadResult>
+    runReplay(const std::vector<replay::ReplayWorkloadSpec> &workloads,
+              const std::vector<replay::ReplayConfig> &configs);
 
     /** Distinct binaries generated by the last run() (cache stat). */
     std::size_t binariesBuilt() const { return binariesBuilt_; }

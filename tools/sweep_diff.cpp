@@ -1,20 +1,26 @@
 /**
  * @file
- * sweep_diff: compare two pp.sweep.v1 JSON documents run-by-run.
+ * sweep_diff: compare two sweep result documents.
  *
- * Loads both documents, pairs their runs (the spec order of a matrix is
- * deterministic, so position + identity fields must agree), prints a
- * per-run table of IPC and misprediction-rate deltas, diffs the
- * summary's deterministic counter block, and exits nonzero when the
- * documents disagree — on run identity, on run count (naming the runs
- * the shorter side is missing), on any metric beyond the tolerances, or
- * on any summary counter. Host wall-times (every summary key ending in
- * "host_ms") are perf samples, not results, and are never compared.
- * With the default exact tolerances this is a structural replacement
- * for `cmp` on scrubbed JSON: CI and humans both get told *which* run
- * moved and by how much instead of a byte offset.
+ * Understands two schemas, auto-detected (both files must agree):
+ *
+ * pp.sweep.v1 — pairs the runs positionally (the spec order of a
+ * matrix is deterministic, so position + identity fields must agree),
+ * prints a per-run table of IPC and misprediction-rate deltas with
+ * optional tolerances, and diffs the summary's deterministic counter
+ * block.
+ *
+ * pp.replay.v1 — pairs workloads and their per-config counter blocks
+ * positionally and compares EVERY deterministic field exactly (replay
+ * counters are integers; there is no tolerance to speak of), so the CI
+ * smoke can gate batched-vs-serial bit-identity structurally instead
+ * of byte-comparing scrubbed JSON.
+ *
+ * In both schemas host wall-times (every key ending in "host_ms") are
+ * perf samples, not results, and are never compared.
  *
  *   sweep_diff A.json B.json [--tol-ipc X] [--tol-mispred X] [--quiet]
+ *   (the tolerance flags apply to pp.sweep.v1 only)
  *
  * Exit codes: 0 = documents match, 1 = mismatch, 2 = usage/parse error.
  *
@@ -88,23 +94,33 @@ isHostTimeKey(const std::string &key)
         key.compare(key.size() - 7, 7, "host_ms") == 0;
 }
 
-Document
-loadDocument(const std::string &path)
+JsonValue
+parseOrDie(const std::string &path)
 {
-    JsonValue doc;
     try {
-        doc = pp::jsonmin::parseJsonFile(path);
+        return pp::jsonmin::parseJsonFile(path);
     } catch (const JsonParseError &e) {
         std::fprintf(stderr, "sweep_diff: %s: %s\n", path.c_str(),
                      e.what());
         std::exit(2);
     }
+}
+
+std::string
+schemaOf(const JsonValue &doc, const std::string &path)
+{
     const JsonValue *schema = doc.get("schema");
-    if (schema == nullptr || schema->str != "pp.sweep.v1") {
-        std::fprintf(stderr, "sweep_diff: %s is not a pp.sweep.v1 document\n",
+    if (schema == nullptr || schema->kind != JsonValue::Kind::String) {
+        std::fprintf(stderr, "sweep_diff: %s has no schema field\n",
                      path.c_str());
         std::exit(2);
     }
+    return schema->str;
+}
+
+Document
+loadDocument(const JsonValue &doc, const std::string &path)
+{
     const JsonValue *runs = doc.get("runs");
     if (runs == nullptr || runs->kind != JsonValue::Kind::Array) {
         std::fprintf(stderr, "sweep_diff: %s has no runs array\n",
@@ -146,6 +162,130 @@ loadDocument(const std::string &path)
     return out;
 }
 
+// ---------------------------------------------------------------------
+// pp.replay.v1 extraction + diff
+// ---------------------------------------------------------------------
+
+/**
+ * A replay document flattened to (key, canonical value) pairs in
+ * document order: every deterministic workload/config field, keyed
+ * "<workload>.<field>" and "<workload>/<config>.<field>". Numbers are
+ * canonicalized with %.17g (the sink's own float format), so exact
+ * string equality == exact value equality.
+ */
+struct ReplayEntry
+{
+    std::string key;
+    std::string value;
+};
+
+std::string
+canonValue(const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Number: {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v.number);
+        return buf;
+      }
+      case JsonValue::Kind::String:
+        return v.str;
+      case JsonValue::Kind::Bool:
+        return v.boolean ? "true" : "false";
+      default:
+        return "<non-scalar>";
+    }
+}
+
+std::vector<ReplayEntry>
+loadReplayDocument(const JsonValue &doc, const std::string &path)
+{
+    const JsonValue *workloads = doc.get("workloads");
+    if (workloads == nullptr ||
+        workloads->kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr, "sweep_diff: %s has no workloads array\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::vector<ReplayEntry> out;
+    for (const JsonValue &w : workloads->items) {
+        std::string wid = fieldStr(w, "benchmark");
+        const JsonValue *ifc = w.get("if_convert");
+        if (ifc != nullptr && ifc->boolean)
+            wid += "+ifc";
+        for (const auto &f : w.fields) {
+            if (f.first == "configs" || isHostTimeKey(f.first))
+                continue;
+            out.push_back(
+                ReplayEntry{wid + "." + f.first, canonValue(f.second)});
+        }
+        const JsonValue *configs = w.get("configs");
+        if (configs == nullptr ||
+            configs->kind != JsonValue::Kind::Array) {
+            std::fprintf(stderr,
+                         "sweep_diff: %s: workload '%s' has no configs"
+                         " array\n", path.c_str(), wid.c_str());
+            std::exit(2);
+        }
+        for (const JsonValue &c : configs->items) {
+            const std::string cid = wid + "/" + fieldStr(c, "name");
+            for (const auto &f : c.fields) {
+                if (isHostTimeKey(f.first))
+                    continue;
+                out.push_back(ReplayEntry{cid + "." + f.first,
+                                          canonValue(f.second)});
+            }
+        }
+    }
+    return out;
+}
+
+/** Exact per-config counter diff of two pp.replay.v1 documents. */
+int
+diffReplay(const JsonValue &da, const JsonValue &db,
+           const std::string &path_a, const std::string &path_b,
+           bool quiet)
+{
+    const std::vector<ReplayEntry> a = loadReplayDocument(da, path_a);
+    const std::vector<ReplayEntry> b = loadReplayDocument(db, path_b);
+
+    bool mismatch = false;
+    std::size_t bad = 0;
+    const std::size_t n = std::min(a.size(), b.size());
+    if (a.size() != b.size()) {
+        std::fprintf(stderr, "field count differs: %zu vs %zu\n",
+                     a.size(), b.size());
+        mismatch = true;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i].key != b[i].key) {
+            std::printf("structure differs at #%zu: '%s' vs '%s'"
+                        "  <-- MISMATCH\n", i, a[i].key.c_str(),
+                        b[i].key.c_str());
+            mismatch = true;
+            ++bad;
+            continue;
+        }
+        if (a[i].value != b[i].value) {
+            std::printf("%-60s %16s %16s  <-- MISMATCH\n",
+                        a[i].key.c_str(), a[i].value.c_str(),
+                        b[i].value.c_str());
+            mismatch = true;
+            ++bad;
+        } else if (!quiet) {
+            std::printf("%-60s %16s ==\n", a[i].key.c_str(),
+                        a[i].value.c_str());
+        }
+    }
+    if (mismatch) {
+        std::printf("MISMATCH: %zu of %zu compared fields differ"
+                    " (pp.replay.v1: exact compare)\n", bad, n);
+        return 1;
+    }
+    std::printf("OK: %zu fields match exactly (pp.replay.v1)\n", n);
+    return 0;
+}
+
 /** Name the run ids present in @p longer but absent from @p shorter. */
 void
 reportMissingRuns(const char *longer_name,
@@ -170,11 +310,14 @@ void
 usage()
 {
     std::fprintf(stderr,
-        "sweep_diff — per-run IPC/misprediction deltas between two"
-        " pp.sweep.v1 JSON files\n\n"
+        "sweep_diff — structural diff of two sweep result documents\n"
+        "(pp.sweep.v1: per-run IPC/misprediction deltas;"
+        " pp.replay.v1: exact\nper-config counter compare; schema"
+        " auto-detected, both files must match)\n\n"
         "  sweep_diff A.json B.json [--tol-ipc X] [--tol-mispred X]"
         " [--quiet]\n\n"
-        "  --tol-ipc X       allowed |delta| on ipc (default 0: exact)\n"
+        "  --tol-ipc X       allowed |delta| on ipc (default 0: exact;"
+        " pp.sweep.v1 only)\n"
         "  --tol-mispred X   allowed |delta| on mispred_pct, absolute pp"
         " (default 0)\n"
         "  --quiet           print only mismatching runs and the verdict\n\n"
@@ -229,8 +372,29 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const Document a = loadDocument(paths[0]);
-    const Document b = loadDocument(paths[1]);
+    const JsonValue doc_a = parseOrDie(paths[0]);
+    const JsonValue doc_b = parseOrDie(paths[1]);
+    const std::string schema_a = schemaOf(doc_a, paths[0]);
+    const std::string schema_b = schemaOf(doc_b, paths[1]);
+    if (schema_a != schema_b) {
+        std::fprintf(stderr,
+                     "sweep_diff: schema mismatch: %s is %s, %s is %s\n",
+                     paths[0].c_str(), schema_a.c_str(),
+                     paths[1].c_str(), schema_b.c_str());
+        return 2;
+    }
+    if (schema_a == "pp.replay.v1")
+        return diffReplay(doc_a, doc_b, paths[0], paths[1], quiet);
+    if (schema_a != "pp.sweep.v1") {
+        std::fprintf(stderr,
+                     "sweep_diff: unsupported schema '%s' (want"
+                     " pp.sweep.v1 or pp.replay.v1)\n",
+                     schema_a.c_str());
+        return 2;
+    }
+
+    const Document a = loadDocument(doc_a, paths[0]);
+    const Document b = loadDocument(doc_b, paths[1]);
 
     bool mismatch = false;
     if (a.runs.size() != b.runs.size()) {

@@ -12,11 +12,20 @@
  *    and benchmark/scheme/sampling cells are the series; otherwise
  *    benchmarks group the x axis.
  *
+ *  Replay figure: --replay FILE --out chart.svg|chart.html
+ *    Same grouped-bar renderer over a pp.replay.v1 document (the
+ *    predictor-replay tier sink, src/replay/): workloads on the x
+ *    axis, one series per predictor config, --metric defaulting to
+ *    mispred_pct. --filter benchmark=... / --filter config=... narrow
+ *    wide ablation matrices down to the 4-series palette.
+ *
  *  Trend: --store DIR --out trend.html
  *    Charts the history of the perf documents in a sweep_store:
  *    simulator throughput (pp.bench.sim_throughput.v1,
- *    current.aggregate_kips) and sampling speedup
- *    (pp.bench.sampling.v1, speedup.speedup) across store entries.
+ *    current.aggregate_kips), sampling speedup
+ *    (pp.bench.sampling.v1, speedup.speedup) and predictor-replay
+ *    throughput (pp.bench.predictor_replay.v1, configs_per_sec)
+ *    across store entries.
  *
  *  Gate: --store DIR --check [--noise PCT]
  *    Compares each tracked metric's newest entry against the median of
@@ -526,6 +535,89 @@ loadSweepRuns(const std::string &path, const std::string &metric,
     return out;
 }
 
+/**
+ * Flattens a pp.replay.v1 document (driver/replay_sink.cc) into the
+ * same SweepRun shape the chart builder consumes: one run per
+ * (workload, config) cell, scheme pinned to "replay" so the cell id
+ * collapses to the workload label. Filters understand two keys —
+ * "benchmark" (workload benchmark name) and "config" (predictor
+ * config name); repeating a key ORs its values, distinct keys AND.
+ */
+std::vector<SweepRun>
+loadReplayRuns(const std::string &path, const std::string &metric,
+               const std::vector<std::pair<std::string, std::string>>
+                   &filters)
+{
+    JsonValue doc;
+    try {
+        doc = pp::jsonmin::parseJsonFile(path);
+    } catch (const pp::jsonmin::JsonParseError &e) {
+        std::fprintf(stderr, "sweep_report: %s: %s\n", path.c_str(),
+                     e.what());
+        std::exit(2);
+    }
+    const JsonValue *schema = doc.get("schema");
+    if (schema == nullptr || schema->str != "pp.replay.v1") {
+        std::fprintf(stderr,
+                     "sweep_report: %s is not a pp.replay.v1"
+                     " document\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    auto keep = [&](const char *key, const std::string &value) {
+        bool constrained = false;
+        for (const auto &f : filters) {
+            if (f.first != key)
+                continue;
+            if (f.second == value)
+                return true;
+            constrained = true;
+        }
+        return !constrained;
+    };
+    for (const auto &f : filters) {
+        if (f.first != "benchmark" && f.first != "config") {
+            std::fprintf(stderr,
+                         "sweep_report: --replay filters understand"
+                         " benchmark=... and config=..., got '%s'\n",
+                         f.first.c_str());
+            std::exit(2);
+        }
+    }
+    std::vector<SweepRun> out;
+    for (const JsonValue &w : doc.get("workloads")->items) {
+        const JsonValue *bench = w.get("benchmark");
+        if (bench == nullptr ||
+            !keep("benchmark", bench->str))
+            continue;
+        std::string label = bench->str;
+        const JsonValue *ifc = w.get("if_convert");
+        if (ifc != nullptr && ifc->boolean)
+            label += "+ifc";
+        for (const JsonValue &c : w.get("configs")->items) {
+            const JsonValue *name = c.get("name");
+            if (name == nullptr || !keep("config", name->str))
+                continue;
+            const JsonValue *v = c.get(metric);
+            if (v == nullptr ||
+                v->kind != JsonValue::Kind::Number) {
+                std::fprintf(stderr,
+                             "sweep_report: replay config '%s' has"
+                             " no numeric '%s'\n",
+                             name->str.c_str(), metric.c_str());
+                std::exit(2);
+            }
+            SweepRun run;
+            run.benchmark = label;
+            run.scheme = "replay";
+            run.config = name->str;
+            run.value = v->number;
+            out.push_back(std::move(run));
+        }
+    }
+    return out;
+}
+
 ChartData
 sweepToChart(const std::vector<SweepRun> &runs, const std::string &path,
              const std::string &metric)
@@ -636,6 +728,10 @@ const MetricSpec kTrendMetrics[] = {
      "sampling speedup", "sampled vs full (x)"},
     {"pp.bench.sampling.v1", "parallel_windows", "speedup",
      "checkpoint-parallel speedup", "parallel vs serial sampled (x)"},
+    // The predictor-replay bench document is flat, so the section
+    // lookup misses and the top-level fallback below picks the field.
+    {"pp.bench.predictor_replay.v1", "current", "configs_per_sec",
+     "predictor-replay throughput", "config evals per second"},
 };
 
 std::vector<TrendMetric>
@@ -842,11 +938,19 @@ usage()
         " documents\n\n"
         "  sweep_report --sweep FILE.json --out chart.svg|chart.html"
         " [--metric M]\n"
+        "  sweep_report --replay FILE.json --out chart.svg|chart.html"
+        " [--metric M]\n"
         "  sweep_report --store DIR --out trend.html\n"
         "  sweep_report --store DIR --check [--noise PCT]\n"
         "  sweep_report --metrics FILE.json --out report.html\n\n"
         "  --sweep FILE   render a pp.sweep.v1 document as grouped"
         " bars\n"
+        "  --replay FILE  render a pp.replay.v1 document as grouped"
+        " bars\n"
+        "                 (one series per predictor config; --metric"
+        " defaults\n"
+        "                 to mispred_pct; --filter benchmark=... /"
+        " config=...)\n"
         "  --metric M     run field to chart (default ipc)\n"
         "  --filter K=V   keep only runs whose raw field K equals V\n"
         "                 (repeatable; K=<empty> matches the empty"
@@ -873,10 +977,11 @@ int
 main(int argc, char **argv)
 {
     std::string sweep_path;
+    std::string replay_path;
     std::string metrics_path;
     std::string store;
     std::string out;
-    std::string metric = "ipc";
+    std::string metric;
     std::vector<std::pair<std::string, std::string>> filters;
     bool check = false;
     double noise_pct = 10.0;
@@ -892,6 +997,8 @@ main(int argc, char **argv)
         };
         if (std::strcmp(a, "--sweep") == 0) {
             sweep_path = need_value();
+        } else if (std::strcmp(a, "--replay") == 0) {
+            replay_path = need_value();
         } else if (std::strcmp(a, "--metrics") == 0) {
             metrics_path = need_value();
         } else if (std::strcmp(a, "--store") == 0) {
@@ -928,19 +1035,25 @@ main(int argc, char **argv)
     const bool html =
         out.size() > 5 && out.compare(out.size() - 5, 5, ".html") == 0;
 
-    if (!sweep_path.empty()) {
+    if (!sweep_path.empty() || !replay_path.empty()) {
+        const bool is_replay = !replay_path.empty();
+        const std::string &doc_path =
+            is_replay ? replay_path : sweep_path;
         if (out.empty()) {
-            std::fprintf(stderr,
-                         "sweep_report: --sweep needs --out\n");
+            std::fprintf(stderr, "sweep_report: %s needs --out\n",
+                         is_replay ? "--replay" : "--sweep");
             return 2;
         }
-        const std::vector<SweepRun> runs =
-            loadSweepRuns(sweep_path, metric, filters);
+        if (metric.empty())
+            metric = is_replay ? "mispred_pct" : "ipc";
+        const std::vector<SweepRun> runs = is_replay
+            ? loadReplayRuns(doc_path, metric, filters)
+            : loadSweepRuns(doc_path, metric, filters);
         if (runs.empty()) {
             std::fprintf(stderr, "sweep_report: empty sweep\n");
             return 2;
         }
-        const ChartData c = sweepToChart(runs, sweep_path, metric);
+        const ChartData c = sweepToChart(runs, doc_path, metric);
         if (c.series.size() > 4) {
             std::fprintf(stderr,
                          "sweep_report: %zu series exceeds the 4-slot"
