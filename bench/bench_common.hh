@@ -65,6 +65,7 @@ struct BenchOptions
     std::string traceDir;       ///< replay traces from here (no codegen)
     std::uint64_t smartsPeriod = 0; ///< >0: sample every cell (smarts(N))
     std::string checkpointDir;  ///< on-disk window-checkpoint cache
+    std::string resultCacheDir; ///< content-addressed result cache
     std::string traceEventsPath;///< write a Chrome trace-event span file
     bool progress = false;      ///< live progress line on stderr
     std::string metricsJsonPath;///< dump the metrics snapshot here
@@ -127,6 +128,12 @@ printUsage(const char *prog, const char *what, bool sweep_flags)
             " in directory D\n"
             "                     across runs and shard workers"
             " (byte-identical results)\n"
+            "  --result-cache-dir D  content-addressed result cache"
+            " (pp.rcache.v1) in D:\n"
+            "                     warm reruns replay exact result bytes"
+            " instead of\n"
+            "                     simulating (shared across runs and shard"
+            " workers)\n"
             "  --trace-events F   write per-run host-time spans as Chrome"
             " trace-event JSON\n"
             "                     (load F in chrome://tracing or"
@@ -294,6 +301,11 @@ parseBenchArgs(int argc, char **argv, const char *what,
         } else if (sweep_flags &&
                    std::strcmp(a, "--checkpoint-dir") == 0) {
             opts.checkpointDir = need_value(i);
+            forward(a, need_value(i));
+            ++i;
+        } else if (sweep_flags &&
+                   std::strcmp(a, "--result-cache-dir") == 0) {
+            opts.resultCacheDir = need_value(i);
             forward(a, need_value(i));
             ++i;
         } else if (sweep_flags && std::strcmp(a, "--trace-events") == 0) {
@@ -520,7 +532,8 @@ sweepSuite(const BenchOptions &opts,
         const std::size_t end =
             opts.shardEnd == 0 ? specs.size() : opts.shardEnd;
         exec::runShardWorker(specs, begin, end, opts.threads,
-                             opts.shardOutPath, opts.checkpointDir);
+                             opts.shardOutPath, opts.checkpointDir,
+                             opts.resultCacheDir);
         std::exit(0);
     }
 
@@ -554,6 +567,7 @@ sweepSuite(const BenchOptions &opts,
         sweep_opts.progress = opts.progress;
         sweep_opts.recordTraceDir = opts.recordTraceDir;
         sweep_opts.checkpointDir = opts.checkpointDir;
+        sweep_opts.resultCacheDir = opts.resultCacheDir;
         driver::SweepEngine engine(sweep_opts);
         informf("sweep: %zu runs, %zu binaries", specs.size(),
                 specs.size() / columns.size());
@@ -617,6 +631,7 @@ replaySweep(const BenchOptions &opts, replay::ReplayMatrix &matrix)
     sweep_opts.threads = opts.threads;
     sweep_opts.progress = opts.progress;
     sweep_opts.recordTraceDir = opts.recordTraceDir;
+    sweep_opts.resultCacheDir = opts.resultCacheDir;
     driver::SweepEngine engine(sweep_opts);
     informf("replay: %zu workloads x %zu configs, one stream pass each",
             workloads.size(), matrix.configs().size());

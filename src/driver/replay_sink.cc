@@ -7,9 +7,6 @@ namespace pp
 namespace driver
 {
 
-namespace
-{
-
 void
 writeReplayConfigJson(JsonWriter &w, const replay::ReplayConfigResult &c,
                       std::uint64_t measure_insts)
@@ -40,7 +37,63 @@ writeReplayConfigJson(JsonWriter &w, const replay::ReplayConfigResult &c,
     w.endObject();
 }
 
+namespace
+{
+
+std::uint64_t
+u64Field(const jsonmin::JsonValue &obj, const char *key)
+{
+    const jsonmin::JsonValue *v = obj.get(key);
+    if (v == nullptr)
+        throw ResultParseError(
+            std::string("replay config object: missing field '") + key +
+            "'");
+    if (v->kind != jsonmin::JsonValue::Kind::Number)
+        throw ResultParseError(
+            std::string("replay config object: field '") + key +
+            "' is not a number");
+    return static_cast<std::uint64_t>(v->number);
+}
+
 } // namespace
+
+replay::ReplayConfigResult
+parseReplayConfigJson(const std::string &text)
+{
+    jsonmin::JsonValue doc;
+    try {
+        doc = jsonmin::parseJson(text);
+    } catch (const jsonmin::JsonParseError &e) {
+        throw ResultParseError(std::string("replay config object: ") +
+                               e.what());
+    }
+    const jsonmin::JsonValue *name = doc.get("name");
+    if (name == nullptr ||
+        name->kind != jsonmin::JsonValue::Kind::String)
+        throw ResultParseError("replay config object: bad 'name'");
+    replay::ReplayConfigResult out;
+    out.name = name->str;
+    out.storageBytes = u64Field(doc, "storage_bytes");
+    replay::ReplayStats &s = out.stats;
+    s.condBranches = u64Field(doc, "cond_branches");
+    s.mispredicted = u64Field(doc, "mispredicted");
+    s.l1Mispredicted = u64Field(doc, "l1_mispredicted");
+    s.mispredTaken = u64Field(doc, "mispred_taken");
+    s.mispredNotTaken = u64Field(doc, "mispred_not_taken");
+    s.brBranches = u64Field(doc, "br_branches");
+    s.brMispredicted = u64Field(doc, "br_mispredicted");
+    s.callBranches = u64Field(doc, "call_branches");
+    s.callMispredicted = u64Field(doc, "call_mispredicted");
+    s.retBranches = u64Field(doc, "ret_branches");
+    s.retMispredicted = u64Field(doc, "ret_mispredicted");
+    s.compares = u64Field(doc, "compares");
+    s.pd1Mispredicts = u64Field(doc, "pd1_mispredicts");
+    s.pd2Mispredicts = u64Field(doc, "pd2_mispredicts");
+    s.confidentPd1 = u64Field(doc, "confident_pd1");
+    s.confidentPd1Wrong = u64Field(doc, "confident_pd1_wrong");
+    s.shadowMispredicts = u64Field(doc, "shadow_mispredicts");
+    return out;
+}
 
 void
 writeReplayWorkloadJson(JsonWriter &w,

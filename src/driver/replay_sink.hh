@@ -33,6 +33,25 @@ namespace pp
 namespace driver
 {
 
+/**
+ * Emit one pp.replay.v1 config object (fixed field order). The derived
+ * rates (mispred_pct, mpki) are pure functions of the counters and
+ * @p measure_insts, so re-emitting a parsed object reproduces the
+ * original bytes — which is what lets the result cache hold config
+ * objects by their exact emitter bytes.
+ */
+void writeReplayConfigJson(JsonWriter &w,
+                           const replay::ReplayConfigResult &c,
+                           std::uint64_t measure_insts);
+
+/**
+ * Rebuild a ReplayConfigResult from one pp.replay.v1 config object —
+ * the inverse of writeReplayConfigJson for every counter field (the
+ * derived rates are recomputed at emission). Throws ResultParseError
+ * on a missing or mistyped field.
+ */
+replay::ReplayConfigResult parseReplayConfigJson(const std::string &text);
+
 /** Emit one pp.replay.v1 workload object (fixed field order). */
 void writeReplayWorkloadJson(JsonWriter &w,
                              const replay::ReplayWorkloadResult &r);

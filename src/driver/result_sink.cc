@@ -263,6 +263,83 @@ writeRunJson(JsonWriter &w, const RunSpec &s, const sim::RunResult &r)
     w.endObject();
 }
 
+namespace
+{
+
+const jsonmin::JsonValue &
+member(const jsonmin::JsonValue &obj, const char *key)
+{
+    const jsonmin::JsonValue *v = obj.get(key);
+    if (v == nullptr)
+        throw ResultParseError(std::string("run object: missing field '") +
+                               key + "'");
+    return *v;
+}
+
+double
+num(const jsonmin::JsonValue &obj, const char *key)
+{
+    const jsonmin::JsonValue &v = member(obj, key);
+    if (v.kind != jsonmin::JsonValue::Kind::Number)
+        throw ResultParseError(std::string("run object: field '") + key +
+                               "' is not a number");
+    return v.number;
+}
+
+std::uint64_t
+u64(const jsonmin::JsonValue &obj, const char *key)
+{
+    return static_cast<std::uint64_t>(num(obj, key));
+}
+
+} // namespace
+
+sim::RunResult
+parseRunJson(const jsonmin::JsonValue &run)
+{
+    sim::RunResult out;
+    const jsonmin::JsonValue &bench = member(run, "benchmark");
+    out.benchmark = bench.str;
+    out.ipc = num(run, "ipc");
+    out.mispredRatePct = num(run, "mispred_pct");
+    out.accuracyPct = num(run, "accuracy_pct");
+    out.earlyResolvedPct = num(run, "early_resolved_pct");
+    out.shadowMispredRatePct = num(run, "shadow_mispred_pct");
+    const jsonmin::JsonValue &sampled = member(run, "sampled");
+    if (sampled.kind != jsonmin::JsonValue::Kind::Bool)
+        throw ResultParseError("run object: 'sampled' is not a bool");
+    out.sampled = sampled.boolean;
+    out.measuredInsts = u64(run, "measured_insts");
+    out.detailedInsts = u64(run, "detailed_insts");
+    out.ipcErrorBound = num(run, "ipc_error_bound");
+    if (const jsonmin::JsonValue *th = run.get("trace_hash")) {
+        if (th->kind != jsonmin::JsonValue::Kind::String)
+            throw ResultParseError(
+                "run object: 'trace_hash' is not a string");
+        out.traceHash = th->str;
+    }
+    out.hostMs = num(run, "host_ms");
+    out.buildHostMs = num(run, "build_host_ms");
+    out.ffHostMs = num(run, "ff_host_ms");
+    out.windowHostMs = num(run, "window_host_ms");
+    const jsonmin::JsonValue &counters = member(run, "counters");
+    for (const auto &f : core::kCoreStatsFields)
+        out.stats.*f.member = u64(counters, f.name);
+    return out;
+}
+
+sim::RunResult
+parseRunJson(const std::string &text)
+{
+    jsonmin::JsonValue doc;
+    try {
+        doc = jsonmin::parseJson(text);
+    } catch (const jsonmin::JsonParseError &e) {
+        throw ResultParseError(std::string("run object: ") + e.what());
+    }
+    return parseRunJson(doc);
+}
+
 void
 JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
                 const std::vector<sim::RunResult> &results) const
@@ -307,6 +384,8 @@ JsonSink::write(std::ostream &os, const std::vector<RunSpec> &specs,
         w.field("trace_cache_hits", counters_.traceCacheHits);
         w.field("checkpoints_built", counters_.checkpointsBuilt);
         w.field("checkpoint_cache_hits", counters_.checkpointCacheHits);
+        w.field("results_cached", counters_.resultsCached);
+        w.field("result_cache_hits", counters_.resultCacheHits);
     }
     w.endObject();
     w.endObject();

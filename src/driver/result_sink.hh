@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <functional>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/json_min.hh"
 #include "driver/run_matrix.hh"
 #include "driver/sweep_engine.hh"
 #include "sim/simulator.hh"
@@ -90,6 +92,27 @@ void withOutputStream(const std::string &path,
  */
 void writeRunJson(JsonWriter &w, const RunSpec &spec,
                   const sim::RunResult &result);
+
+/** A result object that cannot be rebuilt from its JSON form. */
+class ResultParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Rebuild a sim::RunResult from one pp.sweep.v1 / pp.shard.v1 run
+ * object — the exact inverse of writeRunJson for every field that
+ * emitter reads from the result. Numbers round-trip exactly (%.17g
+ * doubles, u64 counters far below 2^53), so re-emitting the parsed
+ * result reproduces the original bytes. Throws ResultParseError on a
+ * missing or mistyped field (the shard supervisor classifies that as
+ * corrupt output; the result cache treats it as a miss).
+ */
+sim::RunResult parseRunJson(const jsonmin::JsonValue &run);
+
+/** parseRunJson over serialized text (one run object). */
+sim::RunResult parseRunJson(const std::string &text);
 
 /** Abstract sink: serialize one sweep (specs + aligned results). */
 class ResultSink

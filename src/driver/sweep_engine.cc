@@ -1,7 +1,10 @@
 #include "driver/sweep_engine.hh"
 
+#include "cache/result_cache.hh"
 #include "common/fnv.hh"
 #include "common/logging.hh"
+#include "driver/replay_sink.hh"
+#include "driver/result_sink.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_event.hh"
 #include "program/trace.hh"
@@ -16,7 +19,9 @@
 #include <exception>
 #include <filesystem>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <thread>
@@ -159,6 +164,15 @@ sweepCountersFor(const std::vector<RunSpec> &specs, bool record)
     }
     c.checkpointsBuilt = ckpt_keys.size();
     c.checkpointCacheHits = eligible - ckpt_keys.size();
+    // Result-cache counters: distinct cell identities among the specs.
+    // Same contract as above — a pure function of the spec list (the
+    // identity falls back to buildKey(), never artifact contents), so
+    // cold, warm and sharded sweeps all report identical bytes.
+    std::unordered_map<std::string, bool> result_keys;
+    for (const RunSpec &s : specs)
+        result_keys.emplace(cache::runCounterKey(s), true);
+    c.resultsCached = result_keys.size();
+    c.resultCacheHits = specs.size() - result_keys.size();
     return c;
 }
 
@@ -311,6 +325,56 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
             s.warmupInsts + s.measureInsts + program::kTraceRecordSlack);
     }
 
+    // Result-cache probe: each cell's full semantic key (workload
+    // identity — the trace's content hash when one is attached — plus
+    // scheme, config, sampling policy, window, schema version, salt)
+    // is looked up BEFORE any checkpoint or run job is formed, so a
+    // hit skips the cell's entire downstream cost. The cached value is
+    // the cell's exact emitter bytes; parsing it back (and re-emitting
+    // at sink time) round-trips exactly, so a fully warm sweep's
+    // document is byte-identical to the cold one. Any damaged entry is
+    // a typed recoverable miss inside lookup(); an entry that parses
+    // but no longer matches the run schema is handled the same way
+    // here.
+    obs::Counter &m_rc_hits =
+        obs::metrics().counter("sweep.result_cache_hits");
+    obs::Counter &m_rc_misses =
+        obs::metrics().counter("sweep.result_cache_misses");
+    obs::Counter &m_rc_stores =
+        obs::metrics().counter("sweep.result_cache_stores");
+    obs::Counter &m_rc_corrupt =
+        obs::metrics().counter("sweep.result_cache_corrupt");
+    obs::Counter &m_simulated =
+        obs::metrics().counter("sweep.runs_simulated");
+    resultCacheUse_ = ResultCacheUse{};
+    std::unique_ptr<cache::ResultCache> rcache;
+    std::vector<std::string> rkeys(specs.size());
+    std::vector<char> rhit(specs.size(), 0);
+    std::vector<sim::RunResult> rcached(specs.size());
+    if (!opts_.resultCacheDir.empty()) {
+        makeDirs(opts_.resultCacheDir, "result cache");
+        rcache.reset(new cache::ResultCache(opts_.resultCacheDir));
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const BuildJob &b = builds[spec_build[i]];
+            rkeys[i] = cache::runKeyText(
+                specs[i],
+                cache::workloadIdentity(
+                    specs[i],
+                    b.trace != nullptr ? b.trace->contentHashHex()
+                                       : std::string()));
+            const auto payload = rcache->lookup(rkeys[i]);
+            if (!payload)
+                continue;
+            try {
+                rcached[i] = parseRunJson(*payload);
+                rhit[i] = 1;
+            } catch (const ResultParseError &e) {
+                warn("result-cache entry unusable, re-running " +
+                     specs[i].label() + ": " + e.what());
+            }
+        }
+    }
+
     // Phase 1.5: one window-checkpoint set per distinct (workload,
     // region, policy) among the checkpoint-eligible sampled specs
     // (sampling/window_checkpoint.hh), so N scheme/config cells on the
@@ -330,6 +394,10 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     std::vector<std::size_t> spec_ckpt(specs.size(), kNoCkpt);
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const RunSpec &s = specs[i];
+        // A cache-hit cell needs no checkpoint set (and must not force
+        // one to be built on its behalf).
+        if (rhit[i])
+            continue;
         if (!sampling::checkpointEligible(s.sampling))
             continue;
         const std::string key = checkpointKey(s);
@@ -394,6 +462,8 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     std::vector<std::vector<sampling::WindowRunResult>> window_runs(
         specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (rhit[i])
+            continue; // served from the result cache: no job at all
         if (spec_ckpt[i] != kNoCkpt) {
             const std::size_t n =
                 ckpts[spec_ckpt[i]].set.windows.size();
@@ -467,6 +537,13 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     for (std::size_t i = 0; i < specs.size(); ++i) {
         const RunSpec &s = specs[i];
         const BuildJob &build = builds[spec_build[i]];
+        if (rhit[i]) {
+            // Cached cells are taken verbatim — host-time fields
+            // included, so a fully warm document is byte-identical to
+            // the cold one without any scrubbing.
+            results[i] = rcached[i];
+            continue;
+        }
         if (spec_ckpt[i] != kNoCkpt) {
             const CkptJob &c = ckpts[spec_ckpt[i]];
             sampling::SampledRun merged = sampling::mergeWindowRuns(
@@ -483,6 +560,39 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
         m_runs.add(1);
         m_run_ms.observe(results[i].hostMs);
     }
+
+    // Store every executed cell's exact emitter bytes, then publish
+    // the real cache behavior (the deterministic summary counters come
+    // from sweepCountersFor and never look at any of this).
+    if (rcache != nullptr) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (rhit[i])
+                continue;
+            std::ostringstream os;
+            JsonWriter w(os);
+            writeRunJson(w, specs[i], results[i]);
+            try {
+                rcache->store(rkeys[i], os.str());
+            } catch (const cache::ResultCacheError &e) {
+                warn("result-cache store failed for " + specs[i].label() +
+                     ": " + e.what());
+            }
+        }
+        const cache::ResultCacheStats st = rcache->stats();
+        resultCacheUse_.hits = st.hits;
+        resultCacheUse_.misses = st.misses;
+        resultCacheUse_.stores = st.stores;
+        resultCacheUse_.corrupt = st.corrupt;
+        m_rc_hits.add(st.hits);
+        m_rc_misses.add(st.misses);
+        m_rc_stores.add(st.stores);
+        m_rc_corrupt.add(st.corrupt);
+    }
+    std::uint64_t simulated = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        simulated += rhit[i] ? 0 : 1;
+    resultCacheUse_.simulated = simulated;
+    m_simulated.add(simulated);
     return results;
 }
 
@@ -611,6 +721,57 @@ SweepEngine::runReplay(
             s.warmupInsts + s.measureInsts + program::kTraceRecordSlack);
     }
 
+    // Result-cache probe, per (workload, config) cell: the replay
+    // tier's cacheable unit is one pp.replay.v1 config object. Stream
+    // extraction below always runs — the workload-level stream fields
+    // need it — but every hit cell drops out of the batch fan-out.
+    obs::Counter &m_rc_hits =
+        obs::metrics().counter("replay.result_cache_hits");
+    obs::Counter &m_rc_misses =
+        obs::metrics().counter("replay.result_cache_misses");
+    obs::Counter &m_rc_stores =
+        obs::metrics().counter("replay.result_cache_stores");
+    obs::Counter &m_rc_corrupt =
+        obs::metrics().counter("replay.result_cache_corrupt");
+    obs::Counter &m_simulated =
+        obs::metrics().counter("replay.configs_simulated");
+    resultCacheUse_ = ResultCacheUse{};
+    std::unique_ptr<cache::ResultCache> rcache;
+    if (!opts_.resultCacheDir.empty()) {
+        makeDirs(opts_.resultCacheDir, "result cache");
+        rcache.reset(new cache::ResultCache(opts_.resultCacheDir));
+    }
+    std::vector<std::vector<std::string>> rkeys(workloads.size());
+    std::vector<std::vector<char>> rhit(workloads.size());
+    std::vector<std::vector<replay::ReplayConfigResult>> rcached(
+        workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        rkeys[i].resize(configs.size());
+        rhit[i].assign(configs.size(), 0);
+        rcached[i].resize(configs.size());
+        if (rcache == nullptr)
+            continue;
+        const BuildJob &b = builds[wl_build[i]];
+        const std::string wl = cache::workloadIdentity(
+            workloads[i], b.trace != nullptr ? b.trace->contentHashHex()
+                                             : std::string());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            rkeys[i][c] =
+                cache::replayKeyText(workloads[i], wl, configs[c]);
+            const auto payload = rcache->lookup(rkeys[i][c]);
+            if (!payload)
+                continue;
+            try {
+                rcached[i][c] = parseReplayConfigJson(*payload);
+                rhit[i][c] = 1;
+            } catch (const ResultParseError &e) {
+                warn("result-cache entry unusable, re-evaluating " +
+                     workloads[i].label() + "/" + configs[c].name + ": " +
+                     e.what());
+            }
+        }
+    }
+
     // Phase 2: extract each workload's committed outcome stream ONCE —
     // this is the cached artifact every config batch shares, the replay
     // tier's analogue of the binary cache.
@@ -653,21 +814,37 @@ SweepEngine::runReplay(
         if (builds[wl_build[i]].trace != nullptr)
             r.traceHash = builds[wl_build[i]].trace->contentHashHex();
         r.configs.resize(configs.size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            if (rhit[i][c])
+                r.configs[c] = rcached[i][c];
+        }
     }
 
+    // Only the miss cells fan out. Batching an arbitrary subset is
+    // safe: each batch's shared walker state is independent of which
+    // cells ride along (see kReplayConfigBatch), so a partially warm
+    // sweep's cells are byte-identical to a cold sweep's.
     struct BatchJob
     {
         std::size_t workload;
-        std::size_t first; ///< first config index of the batch
-        std::size_t count;
+        std::vector<std::size_t> cfgs; ///< config indices (miss cells)
     };
     std::vector<BatchJob> jobs;
     for (std::size_t i = 0; i < workloads.size(); ++i) {
-        for (std::size_t c = 0; c < configs.size();
-             c += kReplayConfigBatch) {
-            jobs.push_back(BatchJob{
-                i, c,
-                std::min(kReplayConfigBatch, configs.size() - c)});
+        std::vector<std::size_t> missing;
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            if (!rhit[i][c])
+                missing.push_back(c);
+        }
+        for (std::size_t from = 0; from < missing.size();
+             from += kReplayConfigBatch) {
+            BatchJob job;
+            job.workload = i;
+            job.cfgs.assign(
+                missing.begin() + from,
+                missing.begin() +
+                    std::min(from + kReplayConfigBatch, missing.size()));
+            jobs.push_back(std::move(job));
         }
     }
     std::vector<double> batch_ms(jobs.size(), 0.0);
@@ -680,25 +857,61 @@ SweepEngine::runReplay(
         obs::ScopedSpan span(obs::tracer(), "replay_batch", "replay",
                              s.label());
         std::vector<replay::ReplayCell> cells;
-        cells.reserve(job.count);
-        for (std::size_t c = 0; c < job.count; ++c)
-            cells.emplace_back(configs[job.first + c]);
+        cells.reserve(job.cfgs.size());
+        for (const std::size_t c : job.cfgs)
+            cells.emplace_back(configs[c]);
         replay::PredictorReplay pass(
             *builds[wl_build[job.workload]].binary,
             streams[job.workload]);
         pass.run(cells);
-        for (std::size_t c = 0; c < job.count; ++c) {
+        for (std::size_t k = 0; k < job.cfgs.size(); ++k) {
             replay::ReplayConfigResult &cr =
-                results[job.workload].configs[job.first + c];
-            cr.name = cells[c].name();
-            cr.storageBytes = cells[c].storageBytes();
-            cr.stats = cells[c].stats();
+                results[job.workload].configs[job.cfgs[k]];
+            cr.name = cells[k].name();
+            cr.storageBytes = cells[k].storageBytes();
+            cr.stats = cells[k].stats();
         }
         batch_ms[j] = threadCpuMs() - t0;
-        m_evals.add(static_cast<std::uint64_t>(job.count));
+        m_evals.add(static_cast<std::uint64_t>(job.cfgs.size()));
     });
     for (std::size_t j = 0; j < jobs.size(); ++j)
         results[jobs[j].workload].replayHostMs += batch_ms[j];
+
+    // Store every evaluated cell's exact emitter bytes.
+    std::uint64_t simulated = 0;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            if (rhit[i][c])
+                continue;
+            ++simulated;
+            if (rcache == nullptr)
+                continue;
+            std::ostringstream os;
+            JsonWriter w(os);
+            writeReplayConfigJson(w, results[i].configs[c],
+                                  workloads[i].measureInsts);
+            try {
+                rcache->store(rkeys[i][c], os.str());
+            } catch (const cache::ResultCacheError &e) {
+                warn("result-cache store failed for " +
+                     workloads[i].label() + "/" + configs[c].name + ": " +
+                     e.what());
+            }
+        }
+    }
+    if (rcache != nullptr) {
+        const cache::ResultCacheStats st = rcache->stats();
+        resultCacheUse_.hits = st.hits;
+        resultCacheUse_.misses = st.misses;
+        resultCacheUse_.stores = st.stores;
+        resultCacheUse_.corrupt = st.corrupt;
+        m_rc_hits.add(st.hits);
+        m_rc_misses.add(st.misses);
+        m_rc_stores.add(st.stores);
+        m_rc_corrupt.add(st.corrupt);
+    }
+    resultCacheUse_.simulated = simulated;
+    m_simulated.add(simulated);
     return results;
 }
 

@@ -66,6 +66,22 @@ struct SweepOptions
      * stay a pure function of the spec list).
      */
     std::string checkpointDir;
+
+    /**
+     * Content-addressed result cache (pp.rcache.v1, see
+     * cache/result_cache.hh): before any run job is dispatched, each
+     * cell's full semantic key (workload identity, scheme, config,
+     * sampling policy, window, schema version, code salt) is probed
+     * here; a hit replays the cell's exact emitter bytes instead of
+     * simulating, and misses are stored after the merge — so a warm
+     * rerun of the same matrix executes zero simulations yet emits a
+     * byte-identical document. Shared safely by concurrent shard
+     * workers (atomic writes). Empty: no result caching. Real cache
+     * behavior is reported via resultCacheUse() and the obs metrics
+     * (sweep.result_cache_*); the summary counters stay a pure
+     * function of the spec list.
+     */
+    std::string resultCacheDir;
 };
 
 /**
@@ -106,6 +122,33 @@ struct SweepCounters
 
     /** Eligible sampled runs served an already-built checkpoint set. */
     std::uint64_t checkpointCacheHits = 0;
+
+    /**
+     * Distinct result-cache keys among the specs (one cacheable result
+     * per distinct cell). Like checkpointsBuilt, deliberately
+     * independent of disk-cache state — a disk hit still counts as
+     * cached here — so sharded merges and warm reruns report the same
+     * summary bytes. Real hit/miss behavior lives in
+     * SweepEngine::resultCacheUse() and the obs metrics.
+     */
+    std::uint64_t resultsCached = 0;
+
+    /** Specs sharing an earlier spec's result-cache key. */
+    std::uint64_t resultCacheHits = 0;
+};
+
+/**
+ * Real result-cache behavior of the last run()/runReplay() — NOT part
+ * of any deterministic document (that is what SweepCounters is for):
+ * these tell you whether silicon was actually spent.
+ */
+struct ResultCacheUse
+{
+    std::uint64_t hits = 0;      ///< cells served from the cache
+    std::uint64_t misses = 0;    ///< cells not served
+    std::uint64_t stores = 0;    ///< cells stored after execution
+    std::uint64_t corrupt = 0;   ///< damaged entries (recovered as misses)
+    std::uint64_t simulated = 0; ///< cells actually executed
 };
 
 /**
@@ -164,10 +207,15 @@ class SweepEngine
     /** Threads the last run() actually used. */
     unsigned threadsUsed() const { return threadsUsed_; }
 
+    /** Real result-cache behavior of the last run()/runReplay(). */
+    const ResultCacheUse &resultCacheUse() const
+    { return resultCacheUse_; }
+
   private:
     SweepOptions opts_;
     std::size_t binariesBuilt_ = 0;
     SweepCounters counters_;
+    ResultCacheUse resultCacheUse_;
     unsigned threadsUsed_ = 0;
 };
 

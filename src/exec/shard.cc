@@ -69,43 +69,17 @@ u64(const jsonmin::JsonValue &obj, const char *key)
     return static_cast<std::uint64_t>(num(obj, key));
 }
 
-/**
- * Rebuild a sim::RunResult from one pp.sweep.v1/pp.shard.v1 run
- * object — the inverse of driver::writeRunJson for every field that
- * emitter reads from the result.
- */
-sim::RunResult
-parseRunResult(const jsonmin::JsonValue &r)
+/** Optional numeric header field; absent = 0. */
+std::uint64_t
+u64OrZero(const jsonmin::JsonValue &obj, const char *key)
 {
-    sim::RunResult out;
-    const jsonmin::JsonValue &bench = member(r, "benchmark");
-    out.benchmark = bench.str;
-    out.ipc = num(r, "ipc");
-    out.mispredRatePct = num(r, "mispred_pct");
-    out.accuracyPct = num(r, "accuracy_pct");
-    out.earlyResolvedPct = num(r, "early_resolved_pct");
-    out.shadowMispredRatePct = num(r, "shadow_mispred_pct");
-    const jsonmin::JsonValue &sampled = member(r, "sampled");
-    if (sampled.kind != jsonmin::JsonValue::Kind::Bool)
-        throw ShardError("shard fragment: 'sampled' is not a bool");
-    out.sampled = sampled.boolean;
-    out.measuredInsts = u64(r, "measured_insts");
-    out.detailedInsts = u64(r, "detailed_insts");
-    out.ipcErrorBound = num(r, "ipc_error_bound");
-    if (const jsonmin::JsonValue *th = r.get("trace_hash")) {
-        if (th->kind != jsonmin::JsonValue::Kind::String)
-            throw ShardError("shard fragment: 'trace_hash' is not a "
-                             "string");
-        out.traceHash = th->str;
-    }
-    out.hostMs = num(r, "host_ms");
-    out.buildHostMs = num(r, "build_host_ms");
-    out.ffHostMs = num(r, "ff_host_ms");
-    out.windowHostMs = num(r, "window_host_ms");
-    const jsonmin::JsonValue &counters = member(r, "counters");
-    for (const auto &f : core::kCoreStatsFields)
-        out.stats.*f.member = u64(counters, f.name);
-    return out;
+    const jsonmin::JsonValue *v = obj.get(key);
+    if (v == nullptr)
+        return 0;
+    if (v->kind != jsonmin::JsonValue::Kind::Number)
+        throw ShardError(std::string("shard fragment: field '") + key +
+                         "' is not a number");
+    return static_cast<std::uint64_t>(v->number);
 }
 
 } // namespace
@@ -129,10 +103,24 @@ shardRanges(std::size_t n, std::size_t shards)
     return out;
 }
 
+std::uint64_t
+specCost(const driver::RunSpec &spec)
+{
+    const std::uint64_t window = spec.warmupInsts + spec.measureInsts;
+    if (!spec.sampling.enabled())
+        return window;
+    // Windows the sampled run executes in detail, plus the functional
+    // fast-forward over the rest of the region at a steep discount.
+    const std::uint64_t windows =
+        spec.measureInsts / spec.sampling.periodInsts + 1;
+    return windows * spec.sampling.windowInsts() + window / 16;
+}
+
 std::string
 shardFragmentJson(std::size_t begin,
                   const std::vector<driver::RunSpec> &specs,
-                  const std::vector<sim::RunResult> &results)
+                  const std::vector<sim::RunResult> &results,
+                  const ShardWorkerStats *stats)
 {
     if (specs.size() != results.size())
         panic("shard fragment: specs/results size mismatch");
@@ -147,14 +135,21 @@ shardFragmentJson(std::size_t begin,
     const std::string runs = runs_os.str();
     std::ostringstream os;
     os << "{\"schema\":\"" << kShardSchema << "\",\"begin\":" << begin
-       << ",\"end\":" << begin + specs.size() << ",\"payload_hash\":\""
-       << hashHex(fnv1a(runs)) << "\",\"runs\":" << runs << "}\n";
+       << ",\"end\":" << begin + specs.size();
+    if (stats != nullptr) {
+        // Header-only annotations: payload_hash pins the runs array, so
+        // these never perturb merge byte-identity.
+        os << ",\"result_cache_hits\":" << stats->resultCacheHits
+           << ",\"runs_simulated\":" << stats->runsSimulated;
+    }
+    os << ",\"payload_hash\":\"" << hashHex(fnv1a(runs))
+       << "\",\"runs\":" << runs << "}\n";
     return os.str();
 }
 
 std::vector<sim::RunResult>
 readShardFragment(const std::string &path, std::size_t expect_begin,
-                  std::size_t expect_end)
+                  std::size_t expect_end, ShardWorkerStats *stats)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
@@ -197,10 +192,19 @@ readShardFragment(const std::string &path, std::size_t expect_begin,
         throw ShardError("shard fragment " + path +
                          ": runs array does not match the range");
     }
+    if (stats != nullptr) {
+        stats->resultCacheHits = u64OrZero(doc, "result_cache_hits");
+        stats->runsSimulated = u64OrZero(doc, "runs_simulated");
+    }
     std::vector<sim::RunResult> out;
     out.reserve(runs.items.size());
-    for (const auto &item : runs.items)
-        out.push_back(parseRunResult(item));
+    for (const auto &item : runs.items) {
+        try {
+            out.push_back(driver::parseRunJson(item));
+        } catch (const driver::ResultParseError &e) {
+            throw ShardError("shard fragment " + path + ": " + e.what());
+        }
+    }
     return out;
 }
 
@@ -208,7 +212,8 @@ void
 runShardWorker(const std::vector<driver::RunSpec> &specs,
                std::size_t begin, std::size_t end, unsigned threads,
                const std::string &out_path,
-               const std::string &checkpoint_dir)
+               const std::string &checkpoint_dir,
+               const std::string &result_cache_dir)
 {
     applyStartFault();
     if (begin >= end || end > specs.size()) {
@@ -221,6 +226,7 @@ runShardWorker(const std::vector<driver::RunSpec> &specs,
     driver::SweepOptions opts;
     opts.threads = threads;
     opts.checkpointDir = checkpoint_dir;
+    opts.resultCacheDir = result_cache_dir;
     driver::SweepEngine engine(opts);
     std::vector<sim::RunResult> results;
     try {
@@ -237,8 +243,12 @@ runShardWorker(const std::vector<driver::RunSpec> &specs,
                      e.what());
         std::exit(kTraceErrorExit);
     }
+    ShardWorkerStats wstats;
+    wstats.resultCacheHits = engine.resultCacheUse().hits;
+    wstats.runsSimulated = engine.resultCacheUse().simulated;
     std::string error;
-    if (!writeFileAtomic(out_path, shardFragmentJson(begin, slice, results),
+    if (!writeFileAtomic(out_path,
+                         shardFragmentJson(begin, slice, results, &wstats),
                          &error))
         fatal("cannot write shard fragment: " + error);
     applyOutputFault(out_path);

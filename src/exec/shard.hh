@@ -59,25 +59,50 @@ std::vector<std::pair<std::size_t, std::size_t>>
 shardRanges(std::size_t n, std::size_t shards);
 
 /**
+ * Deterministic relative cost estimate of one spec, in detailed-window
+ * instructions: a full run charges its whole window; a sampled run
+ * charges its detailed windows plus a fast-forward discount. Purely a
+ * scheduling annotation — the work-stealing queue ranks batches by it
+ * so expensive full-sim cells lease first; results never depend on it.
+ */
+std::uint64_t specCost(const driver::RunSpec &spec);
+
+/**
+ * Result-cache statistics one worker observed, carried in optional
+ * pp.shard.v1 header fields (outside payload_hash coverage — the hash
+ * pins the runs array only) so the supervisor can aggregate real cache
+ * behavior across workers. Readers treat absent fields as zero.
+ */
+struct ShardWorkerStats
+{
+    std::uint64_t resultCacheHits = 0; ///< cells served from the cache
+    std::uint64_t runsSimulated = 0;   ///< cells actually executed
+};
+
+/**
  * Serialize one executed shard ([begin, begin + results.size()) of the
  * full spec list) as a pp.shard.v1 document. @p specs is the shard's
- * slice, aligned with @p results.
+ * slice, aligned with @p results. Non-null @p stats adds the worker's
+ * result-cache header fields.
  */
 std::string
 shardFragmentJson(std::size_t begin,
                   const std::vector<driver::RunSpec> &specs,
-                  const std::vector<sim::RunResult> &results);
+                  const std::vector<sim::RunResult> &results,
+                  const ShardWorkerStats *stats = nullptr);
 
 /**
  * Parse and verify a pp.shard.v1 document covering exactly
  * [expect_begin, expect_end); returns the shard's results in spec
  * order. Throws ShardError on schema/range mismatch, a payload-hash
  * failure, or any structural problem — the supervisor classifies all
- * of them as corrupt output.
+ * of them as corrupt output. Non-null @p stats receives the worker's
+ * result-cache header fields (zeros when absent).
  */
 std::vector<sim::RunResult>
 readShardFragment(const std::string &path, std::size_t expect_begin,
-                  std::size_t expect_end);
+                  std::size_t expect_end,
+                  ShardWorkerStats *stats = nullptr);
 
 /**
  * Worker-process body shared by tools/sweep_worker and the harness
@@ -86,14 +111,18 @@ readShardFragment(const std::string &path, std::size_t expect_begin,
  * atomically, then apply any armed output fault. A non-empty
  * @p checkpoint_dir is passed through to the engine's on-disk
  * window-checkpoint cache, so concurrent workers share one functional
- * pass per workload. A TraceError or CheckpointError exits with
+ * pass per workload; @p result_cache_dir likewise to the engine's
+ * content-addressed result cache (cache/result_cache.hh), and the
+ * worker's real hit/simulated counts ride in the fragment header for
+ * supervisor aggregation. A TraceError or CheckpointError exits with
  * kTraceErrorExit after printing the typed message to stderr; success
  * returns normally (the caller exits 0).
  */
 void runShardWorker(const std::vector<driver::RunSpec> &specs,
                     std::size_t begin, std::size_t end, unsigned threads,
                     const std::string &out_path,
-                    const std::string &checkpoint_dir = "");
+                    const std::string &checkpoint_dir = "",
+                    const std::string &result_cache_dir = "");
 
 } // namespace exec
 } // namespace pp

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <system_error>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "common/json_min.hh"
 #include "common/logging.hh"
 #include "exec/shard.hh"
+#include "exec/steal_queue.hh"
 #include "exec/subprocess.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_event.hh"
@@ -132,6 +134,14 @@ ShardSupervisor::run(const std::vector<driver::RunSpec> &specs)
         obs::metrics().histogram("sweep.shard_backoff_ms");
     obs::Histogram &m_attempt_ms =
         obs::metrics().histogram("sweep.shard_attempt_ms");
+    obs::Histogram &m_steal_ms =
+        obs::metrics().histogram("sweep.shard_steal_ms");
+    obs::Histogram &m_lease_size = obs::metrics().histogram(
+        "sweep.lease_batch_size", {1, 2, 4, 8, 16, 32, 64, 128});
+    obs::Counter &m_rc_hits =
+        obs::metrics().counter("sweep.result_cache_hits");
+    obs::Counter &m_runs_sim =
+        obs::metrics().counter("sweep.runs_simulated");
 
     const auto journaled = opts_.resume
         ? readJournal(journal)
@@ -143,7 +153,34 @@ ShardSupervisor::run(const std::vector<driver::RunSpec> &specs)
     std::mutex state_mutex;
     std::vector<std::string> errors;
     std::atomic<bool> abort{false};
-    std::atomic<std::size_t> next{0};
+
+    // Durable work-stealing queue: every shard is enqueued ranked by
+    // summed spec cost (expensive full-sim shards lease first);
+    // already-journaled shards drain instantly through the resume
+    // short-circuit below.
+    StealQueue queue(opts_.workDir + "/queue");
+    {
+        std::vector<StealBatch> batches;
+        batches.reserve(ranges.size());
+        for (std::size_t i = 0; i < ranges.size(); ++i) {
+            StealBatch b;
+            b.shard = i;
+            b.begin = ranges[i].first;
+            b.end = ranges[i].second;
+            for (std::size_t s = b.begin; s < b.end; ++s)
+                b.cost += specCost(specs[s]);
+            batches.push_back(b);
+        }
+        queue.populate(batches);
+    }
+
+    auto noteWorkerStats = [&](const ShardWorkerStats &ws) {
+        m_rc_hits.add(ws.resultCacheHits);
+        m_runs_sim.add(ws.runsSimulated);
+        std::lock_guard<std::mutex> lock(state_mutex);
+        stats_.resultCacheHits += ws.resultCacheHits;
+        stats_.runsSimulated += ws.runsSimulated;
+    };
 
     auto place = [&](std::size_t begin,
                      std::vector<sim::RunResult> &&shard_results) {
@@ -162,7 +199,9 @@ ShardSupervisor::run(const std::vector<driver::RunSpec> &specs)
         if (it != journaled.end() && it->second.first == begin &&
             it->second.second == end) {
             try {
-                place(begin, readShardFragment(frag, begin, end));
+                ShardWorkerStats ws;
+                place(begin, readShardFragment(frag, begin, end, &ws));
+                noteWorkerStats(ws);
                 std::lock_guard<std::mutex> lock(state_mutex);
                 ++stats_.resumedShards;
                 return;
@@ -214,7 +253,10 @@ ShardSupervisor::run(const std::vector<driver::RunSpec> &specs)
             std::string why;
             if (res.ok()) {
                 try {
-                    place(begin, readShardFragment(frag, begin, end));
+                    ShardWorkerStats ws;
+                    place(begin,
+                          readShardFragment(frag, begin, end, &ws));
+                    noteWorkerStats(ws);
                     std::string jerr;
                     if (!appendLineDurable(
                             journal,
@@ -323,10 +365,26 @@ ShardSupervisor::run(const std::vector<driver::RunSpec> &specs)
 
     auto pump = [&]() {
         for (;;) {
-            const std::size_t shard = next.fetch_add(1);
-            if (shard >= ranges.size() || abort.load())
+            if (abort.load())
                 return;
-            runShard(shard);
+            const auto t0 = std::chrono::steady_clock::now();
+            std::optional<StealLease> lease = queue.lease();
+            m_steal_ms.observe(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            if (!lease)
+                return;
+            m_lease_size.observe(static_cast<double>(
+                lease->batch.end - lease->batch.begin));
+            runShard(lease->batch.shard);
+            if (abort.load()) {
+                // Failed (or aborted by a sibling): park the batch back
+                // in pending/ so a resumed supervisor retries it.
+                queue.release(*lease);
+                return;
+            }
+            queue.complete(*lease);
         }
     };
     if (parallel <= 1) {

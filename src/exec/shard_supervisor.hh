@@ -6,11 +6,15 @@
  * contiguous shards, runs each shard in a child worker process
  * (exec/subprocess.hh), verifies the self-checking pp.shard.v1 fragment
  * each worker writes, and merges the results back at their spec
- * indices. Because specs order deterministically and every result
- * lands at its own index, the merged result vector — and therefore the
- * pp.sweep.v1 document written from it — is byte-identical to a clean
- * single-process run, regardless of shard count, failure schedule or
- * retry order.
+ * indices. Shards are not statically assigned to supervisor threads:
+ * they sit in a durable work-stealing queue (exec/steal_queue.hh)
+ * ranked by summed specCost(), and each thread leases the most
+ * expensive remaining shard — so a cost-skewed matrix never serializes
+ * behind one unlucky worker. Because specs order deterministically and
+ * every result lands at its own index, the merged result vector — and
+ * therefore the pp.sweep.v1 document written from it — is
+ * byte-identical to a clean single-process run, regardless of shard
+ * count, steal order, failure schedule or retry order.
  *
  * Failure taxonomy and policy:
  *  - crash          worker killed by a signal or exited nonzero
@@ -37,8 +41,10 @@
  * re-verifies journaled fragments and re-runs only what is missing.
  *
  * Observability: sweep.shard_retries / sweep.shard_failures.<class>
- * counters, a sweep.shard_backoff_ms histogram and per-attempt
- * "shard_attempt" spans through the obs registry/tracer.
+ * counters, sweep.shard_backoff_ms / sweep.shard_steal_ms /
+ * sweep.lease_batch_size histograms, aggregated worker
+ * sweep.result_cache_hits / sweep.runs_simulated counters, and
+ * per-attempt "shard_attempt" spans through the obs registry/tracer.
  */
 
 #ifndef PP_EXEC_SHARD_SUPERVISOR_HH
@@ -108,6 +114,11 @@ struct ShardStats
     std::uint64_t timeoutFailures = 0;
     std::uint64_t corruptOutputFailures = 0;
     std::uint64_t corruptTraceFailures = 0;
+
+    /** Aggregated worker result-cache behavior (pp.shard.v1 header
+     *  fields; zero when workers run without --result-cache-dir). */
+    std::uint64_t resultCacheHits = 0;
+    std::uint64_t runsSimulated = 0;
 };
 
 class ShardSupervisor

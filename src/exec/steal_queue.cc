@@ -1,0 +1,149 @@
+#include "exec/steal_queue.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "common/atomic_io.hh"
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace pp
+{
+namespace exec
+{
+
+namespace
+{
+
+/**
+ * Stable queue filename: rank in descending-cost order first, so the
+ * sorted directory listing is the schedule; shard index second, so the
+ * name survives re-ranking ties and reads well in a debugger.
+ */
+std::string
+batchName(std::size_t rank, std::size_t shard)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "b%04zu-s%03zu.json", rank, shard);
+    return buf;
+}
+
+std::string
+batchJson(const StealBatch &b)
+{
+    return "{\"shard\":" + std::to_string(b.shard) +
+           ",\"begin\":" + std::to_string(b.begin) +
+           ",\"end\":" + std::to_string(b.end) +
+           ",\"cost\":" + std::to_string(b.cost) + "}\n";
+}
+
+std::vector<std::string>
+sortedListing(const std::string &dir)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec))
+        names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace
+
+StealQueue::StealQueue(std::string dir)
+    : dir_(std::move(dir)), pending_(dir_ + "/pending"),
+      leased_(dir_ + "/leased")
+{
+}
+
+void
+StealQueue::populate(const std::vector<StealBatch> &batches)
+{
+    std::error_code ec;
+    fs::create_directories(pending_, ec);
+    if (ec)
+        fatal("cannot create queue directory " + pending_ + ": " +
+              ec.message());
+    fs::create_directories(leased_, ec);
+    if (ec)
+        fatal("cannot create queue directory " + leased_ + ": " +
+              ec.message());
+
+    // Recover orphans first: a lease never outlives its supervisor.
+    for (const std::string &name : sortedListing(leased_)) {
+        fs::rename(leased_ + "/" + name, pending_ + "/" + name, ec);
+        if (ec)
+            warn("cannot recover orphaned lease " + name + ": " +
+                 ec.message());
+    }
+
+    std::vector<StealBatch> ranked = batches;
+    std::sort(ranked.begin(), ranked.end(),
+              [](const StealBatch &a, const StealBatch &b) {
+                  if (a.cost != b.cost)
+                      return a.cost > b.cost;
+                  return a.shard < b.shard;
+              });
+    byName_.clear();
+    for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+        const std::string name = batchName(rank, ranked[rank].shard);
+        byName_[name] = ranked[rank];
+        const std::string path = pending_ + "/" + name;
+        if (fs::exists(path, ec))
+            continue;
+        std::string error;
+        if (!writeFileAtomic(path, batchJson(ranked[rank]), &error))
+            fatal("cannot enqueue batch " + name + ": " + error);
+    }
+}
+
+std::optional<StealLease>
+StealQueue::lease()
+{
+    for (;;) {
+        bool tried = false;
+        for (const std::string &name : sortedListing(pending_)) {
+            std::error_code ec;
+            fs::rename(pending_ + "/" + name, leased_ + "/" + name, ec);
+            if (ec)
+                continue; // lost the race; next candidate
+            tried = true;
+            const auto it = byName_.find(name);
+            if (it == byName_.end()) {
+                // A file from a different spec list (stale work dir):
+                // never execute it against this enumeration.
+                warn("discarding stale queue entry " + name);
+                fs::remove(leased_ + "/" + name, ec);
+                continue;
+            }
+            return StealLease{it->second, name};
+        }
+        if (!tried)
+            return std::nullopt; // drained (or everything leased)
+    }
+}
+
+void
+StealQueue::complete(const StealLease &lease)
+{
+    std::error_code ec;
+    fs::remove(leased_ + "/" + lease.name, ec);
+    if (ec)
+        warn("cannot retire lease " + lease.name + ": " + ec.message());
+}
+
+void
+StealQueue::release(const StealLease &lease)
+{
+    std::error_code ec;
+    fs::rename(leased_ + "/" + lease.name, pending_ + "/" + lease.name,
+               ec);
+    if (ec)
+        warn("cannot release lease " + lease.name + ": " + ec.message());
+}
+
+} // namespace exec
+} // namespace pp

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Durable work-stealing batch queue for shard execution.
+ *
+ * The static shardRanges() partition assigns each worker a fixed slice
+ * up front, so one expensive full-simulation shard can serialize a
+ * whole sweep behind it. The StealQueue keeps the same contiguous
+ * batches — preserving the pp.shard.v1 fragment format, "--shard-range
+ * B:E" worker addressing, the completion journal and the
+ * "class@shard:attempt" fault grammar — but hands them out dynamically:
+ * workers lease the most expensive remaining batch first, so the
+ * cost-skewed tail never waits behind an idle sibling.
+ *
+ * Durability is a directory pair under the sweep work dir:
+ *
+ *   queue/pending/b0007-s003.json   not yet leased
+ *   queue/leased/b0007-s003.json    claimed by a live worker
+ *
+ * The filename rank ("b0007") is the batch's position in descending
+ * specCost() order, so a plain lexicographic directory listing IS the
+ * schedule. Leasing is a rename(2) from pending/ to leased/ — atomic on
+ * POSIX, so concurrent supervisor threads (or even concurrent
+ * supervisor processes sharing the work dir) race safely: the loser's
+ * rename fails with ENOENT and it simply tries the next file.
+ *
+ * Crash recovery: populate() first sweeps every orphaned leased/ entry
+ * back to pending/ (a lease dies with its supervisor), then re-creates
+ * any missing pending files. Re-leasing an already-completed batch is
+ * harmless — the shard runner consults the completion journal and
+ * serves the verified fragment without spawning a worker.
+ *
+ * Merged output is byte-identical regardless of steal order: every
+ * result lands at its spec index, and batches are defined by the
+ * deterministic spec enumeration, not by who ran them.
+ */
+
+#ifndef PP_EXEC_STEAL_QUEUE_HH
+#define PP_EXEC_STEAL_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pp
+{
+namespace exec
+{
+
+/** One leasable unit: a contiguous spec range with a cost annotation. */
+struct StealBatch
+{
+    std::size_t shard = 0;  ///< index into the supervisor's range list
+    std::size_t begin = 0;  ///< first spec index (inclusive)
+    std::size_t end = 0;    ///< past-the-end spec index
+    std::uint64_t cost = 0; ///< summed specCost() of the range
+};
+
+/** A claimed batch; pass back to complete() when the batch settles. */
+struct StealLease
+{
+    StealBatch batch;
+    std::string name; ///< queue filename (identity of the lease)
+};
+
+class StealQueue
+{
+  public:
+    /** Bind to <dir>/pending and <dir>/leased (created by populate). */
+    explicit StealQueue(std::string dir);
+
+    /**
+     * Make the queue match @p batches: recover every orphaned lease
+     * back to pending, then create any pending file that does not
+     * exist yet. Batches are ranked by descending cost (ties broken by
+     * shard index) into stable filenames, so repeated populate() calls
+     * — including from a resumed supervisor — are idempotent. All
+     * batches are enqueued; completed ones drain instantly through the
+     * journal short-circuit.
+     */
+    void populate(const std::vector<StealBatch> &batches);
+
+    /**
+     * Claim the most expensive pending batch via atomic rename.
+     * Returns nullopt when the queue is empty (all batches leased or
+     * completed). Losing a rename race is not an error — the next
+     * candidate is tried. Stale files from a different spec list are
+     * discarded with a warning.
+     */
+    std::optional<StealLease> lease();
+
+    /** Retire a settled lease (remove its leased/ file). */
+    void complete(const StealLease &lease);
+
+    /** Return a lease to pending/ (e.g. on supervisor abort). */
+    void release(const StealLease &lease);
+
+    const std::string &pendingDir() const { return pending_; }
+    const std::string &leasedDir() const { return leased_; }
+
+  private:
+    std::string dir_;
+    std::string pending_;
+    std::string leased_;
+    std::unordered_map<std::string, StealBatch> byName_;
+};
+
+} // namespace exec
+} // namespace pp
+
+#endif // PP_EXEC_STEAL_QUEUE_HH

@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Content-addressed result cache: key derivation (every semantic axis
+ * salts the key), the two-tier store, corruption recovery (typed miss,
+ * never a stale hit, never a panic), and the engine-level contract —
+ * a warm rerun executes zero simulations yet emits byte-identical
+ * documents, for both the full-sim and the predictor-replay tiers.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "cache/result_cache.hh"
+#include "common/atomic_io.hh"
+#include "driver/grids.hh"
+#include "driver/replay_sink.hh"
+#include "driver/result_sink.hh"
+#include "driver/run_matrix.hh"
+#include "driver/sweep_engine.hh"
+#include "program/suite.hh"
+#include "replay/predictor_replay.hh"
+
+using namespace pp;
+
+namespace
+{
+
+/** Fresh per-test scratch directory (under the gtest temp root). */
+std::string
+uniqueDir(const std::string &name)
+{
+    static int counter = 0;
+    const std::string d = ::testing::TempDir() + "pprcache-" + name +
+        "-" + std::to_string(::getpid()) + "-" +
+        std::to_string(counter++);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+driver::RunSpec
+baseSpec()
+{
+    driver::RunMatrix m = driver::namedGrid("smoke");
+    m.window(1000, 5000);
+    return m.specs().front();
+}
+
+std::string
+keyOf(const driver::RunSpec &spec)
+{
+    return cache::runKeyText(spec, cache::workloadIdentity(spec, ""));
+}
+
+std::string
+scrubHostMs(const std::string &json)
+{
+    static const std::regex re("\"([a-z_]*host_ms)\":[-+0-9.eE]+");
+    return std::regex_replace(json, re, "\"$1\":0");
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Key derivation: every semantic axis must change the key
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheKey, EverySemanticAxisSaltsTheKey)
+{
+    const driver::RunSpec spec = baseSpec();
+    const std::string base = keyOf(spec);
+
+    // Identical spec => identical key.
+    EXPECT_EQ(keyOf(baseSpec()), base);
+
+    // Scheme change.
+    {
+        driver::RunSpec s = spec;
+        s.scheme.idealNoAlias = !s.scheme.idealNoAlias;
+        EXPECT_NE(keyOf(s), base);
+    }
+    // Core-config change (deep field, not the name).
+    {
+        driver::RunSpec s = spec;
+        s.config.robEntries += 1;
+        EXPECT_NE(keyOf(s), base);
+    }
+    // Sampling-policy change.
+    {
+        driver::RunSpec s = spec;
+        s.samplingName = "smarts";
+        s.sampling = sampling::SamplingPolicy::smarts(100000);
+        EXPECT_NE(keyOf(s), base);
+    }
+    // Window change.
+    {
+        driver::RunSpec s = spec;
+        s.measureInsts += 1;
+        EXPECT_NE(keyOf(s), base);
+    }
+    // Workload change: profile seed.
+    {
+        driver::RunSpec s = spec;
+        s.profile.seed += 1;
+        EXPECT_NE(keyOf(s), base);
+    }
+    // Workload change: if-conversion.
+    {
+        driver::RunSpec s = spec;
+        s.ifConvert = !s.ifConvert;
+        EXPECT_NE(keyOf(s), base);
+    }
+    // Trace-backed workload identity differs from generated identity,
+    // and differs per content hash.
+    const std::string t1 =
+        cache::runKeyText(spec, cache::workloadIdentity(spec, "aaaa"));
+    const std::string t2 =
+        cache::runKeyText(spec, cache::workloadIdentity(spec, "bbbb"));
+    EXPECT_NE(t1, base);
+    EXPECT_NE(t1, t2);
+
+    // The salt constant itself is embedded in the key text.
+    EXPECT_NE(base.find("salt=" +
+                        std::to_string(cache::kResultCacheSalt)),
+              std::string::npos);
+}
+
+TEST(ResultCacheKey, ReplayKeysAreDisjointFromRunKeys)
+{
+    const driver::RunSpec spec = baseSpec();
+
+    replay::ReplayWorkloadSpec wl;
+    wl.profile = spec.profile;
+    wl.ifConvert = spec.ifConvert;
+    wl.warmupInsts = spec.warmupInsts;
+    wl.measureInsts = spec.measureInsts;
+
+    replay::ReplayConfig cfg;
+    cfg.name = "gshare";
+
+    const std::string run_key = keyOf(spec);
+    const std::string replay_key =
+        cache::replayKeyText(wl, cache::workloadIdentity(wl, ""), cfg);
+    EXPECT_NE(run_key, replay_key);
+
+    // Config name and contents both salt the replay key.
+    replay::ReplayConfig cfg2 = cfg;
+    cfg2.name = "gshare-big";
+    EXPECT_NE(cache::replayKeyText(
+                  wl, cache::workloadIdentity(wl, ""), cfg2),
+              replay_key);
+    replay::ReplayConfig cfg3 = cfg;
+    cfg3.config.gshare.historyBits += 1;
+    EXPECT_NE(cache::replayKeyText(
+                  wl, cache::workloadIdentity(wl, ""), cfg3),
+              replay_key);
+}
+
+// ---------------------------------------------------------------------
+// Store: two tiers, persistence, idempotent index
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheStore, PersistsAcrossInstancesAndCountsStats)
+{
+    const std::string dir = uniqueDir("persist");
+    const std::string key = keyOf(baseSpec());
+    const std::string payload = "{\"benchmark\":\"x\",\"ipc\":1.5}";
+
+    {
+        cache::ResultCache c(dir);
+        EXPECT_FALSE(c.lookup(key).has_value());
+        c.store(key, payload);
+        const auto hit = c.lookup(key); // memory tier
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(*hit, payload);
+        EXPECT_EQ(c.stats().misses, 1u);
+        EXPECT_EQ(c.stats().stores, 1u);
+        EXPECT_EQ(c.stats().hits, 1u);
+    }
+    // A fresh instance (fresh process, conceptually) reads the disk
+    // tier and returns the exact payload bytes.
+    cache::ResultCache c2(dir);
+    const auto hit = c2.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+    EXPECT_EQ(c2.stats().hits, 1u);
+    EXPECT_EQ(c2.stats().corrupt, 0u);
+}
+
+TEST(ResultCacheStore, ReStoreAppendsNoDuplicateIndexLine)
+{
+    const std::string dir = uniqueDir("idemp");
+    const std::string key = keyOf(baseSpec());
+
+    cache::ResultCache c(dir);
+    c.store(key, "payload-a");
+    cache::ResultCache c2(dir); // fresh memory tier, same disk tier
+    c2.store(key, "payload-a");
+
+    std::ifstream is(dir + "/index.jsonl");
+    std::size_t lines = 0;
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, 1u);
+}
+
+TEST(ResultCacheStore, MemoryOnlyWithoutDirectory)
+{
+    cache::ResultCache c("");
+    const std::string key = keyOf(baseSpec());
+    EXPECT_FALSE(c.lookup(key).has_value());
+    c.store(key, "bytes");
+    const auto hit = c.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "bytes");
+    EXPECT_EQ(c.objectPath(key), "");
+}
+
+// ---------------------------------------------------------------------
+// Corruption: typed recoverable miss — never a panic, never stale
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheCorruption, DamagedEntriesAreTypedMisses)
+{
+    const std::string dir = uniqueDir("corrupt");
+    const std::string key = keyOf(baseSpec());
+    const std::string payload = "{\"ipc\":2.0}";
+
+    cache::ResultCache writer(dir);
+    writer.store(key, payload);
+    const std::string obj = writer.objectPath(key);
+    ASSERT_FALSE(obj.empty());
+    const std::string good = readFile(obj);
+
+    const auto expectMiss = [&](const std::string &bytes) {
+        ASSERT_TRUE(writeFileAtomic(obj, bytes));
+        // readEntry throws the typed error...
+        EXPECT_THROW(cache::ResultCache::readEntry(obj, key),
+                     cache::ResultCacheError);
+        // ...and lookup() degrades it to a counted miss.
+        cache::ResultCache reader(dir);
+        EXPECT_FALSE(reader.lookup(key).has_value());
+        EXPECT_EQ(reader.stats().corrupt, 1u);
+        EXPECT_EQ(reader.stats().misses, 1u);
+    };
+
+    // Truncation.
+    expectMiss(good.substr(0, good.size() / 2));
+    // Bit rot inside the payload.
+    {
+        std::string bad = good;
+        bad[bad.find("2.0")] = '9';
+        expectMiss(bad);
+    }
+    // Garbage.
+    expectMiss("not json at all\n");
+    // Empty file.
+    expectMiss("");
+
+    // Aliased entry: a valid envelope for a DIFFERENT key sitting at
+    // this key's path must never be served (stale-hit defense).
+    {
+        driver::RunSpec other = baseSpec();
+        other.measureInsts += 12345;
+        const std::string other_key = keyOf(other);
+        expectMiss(cache::ResultCache::envelopeJson(other_key,
+                                                    "{\"ipc\":9.9}"));
+    }
+
+    // The cache recovers: a fresh store over the damaged file serves
+    // again.
+    cache::ResultCache recover(dir);
+    recover.store(key, payload);
+    cache::ResultCache verify(dir);
+    const auto hit = verify.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, payload);
+}
+
+TEST(ResultCacheCorruption, EnvelopeRoundTrips)
+{
+    const std::string key = "salt=1\ndoc=test\nworkload=w\n";
+    const std::string payload = "{\"a\":1,\"b\":\"x\\\"y\"}";
+    const std::string env =
+        cache::ResultCache::envelopeJson(key, payload);
+
+    const std::string dir = uniqueDir("env");
+    const std::string path = dir + "/e.json";
+    ASSERT_TRUE(writeFileAtomic(path, env));
+    EXPECT_EQ(cache::ResultCache::readEntry(path, key), payload);
+    // Wrong expected key => typed mismatch.
+    EXPECT_THROW(cache::ResultCache::readEntry(path, key + "z"),
+                 cache::ResultCacheError);
+}
+
+// ---------------------------------------------------------------------
+// Engine integration: warm rerun = zero simulations, identical bytes
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheEngine, WarmSweepSimulatesNothingAndMatchesBytes)
+{
+    driver::RunMatrix m = driver::namedGrid("smoke");
+    m.window(1000, 5000);
+    const std::vector<driver::RunSpec> specs = m.specs();
+
+    driver::SweepOptions opts;
+    opts.resultCacheDir = uniqueDir("engine");
+    opts.threads = 2;
+
+    std::string cold_doc;
+    driver::SweepCounters cold_counters;
+    {
+        driver::SweepEngine engine(opts);
+        const auto results = engine.run(specs);
+        cold_doc = driver::JsonSink{engine.counters()}.toString(specs,
+                                                                results);
+        cold_counters = engine.counters();
+        EXPECT_EQ(engine.resultCacheUse().hits, 0u);
+        EXPECT_EQ(engine.resultCacheUse().simulated, specs.size());
+        EXPECT_EQ(engine.resultCacheUse().stores, specs.size());
+    }
+    {
+        driver::SweepEngine engine(opts);
+        const auto results = engine.run(specs);
+        const std::string warm_doc =
+            driver::JsonSink{engine.counters()}.toString(specs, results);
+        // Byte-identical WITHOUT any host_ms scrub: cached cells replay
+        // their emitter bytes verbatim.
+        EXPECT_EQ(warm_doc, cold_doc);
+        EXPECT_EQ(engine.resultCacheUse().hits, specs.size());
+        EXPECT_EQ(engine.resultCacheUse().simulated, 0u);
+        // Summary counters stay a pure function of the spec list.
+        EXPECT_EQ(engine.counters().resultsCached,
+                  cold_counters.resultsCached);
+        EXPECT_EQ(engine.counters().resultCacheHits,
+                  cold_counters.resultCacheHits);
+    }
+    // Distinct cells => distinct keys: every spec is its own result.
+    EXPECT_EQ(cold_counters.resultsCached, specs.size());
+    EXPECT_EQ(cold_counters.resultCacheHits, 0u);
+}
+
+TEST(ResultCacheEngine, CorruptEntryReSimulatesThatCellOnly)
+{
+    driver::RunMatrix m = driver::namedGrid("smoke");
+    m.window(1000, 5000);
+    const std::vector<driver::RunSpec> specs = m.specs();
+
+    driver::SweepOptions opts;
+    opts.resultCacheDir = uniqueDir("engine-corrupt");
+    std::string cold_doc;
+    {
+        driver::SweepEngine engine(opts);
+        const auto results = engine.run(specs);
+        cold_doc = driver::JsonSink{engine.counters()}.toString(specs,
+                                                                results);
+    }
+    // Damage one cell's entry on disk.
+    cache::ResultCache probe(opts.resultCacheDir);
+    const std::string victim = probe.objectPath(
+        cache::runKeyText(specs[2],
+                          cache::workloadIdentity(specs[2], "")));
+    ASSERT_TRUE(writeFileAtomic(victim, "torn"));
+
+    driver::SweepEngine engine(opts);
+    const auto results = engine.run(specs);
+    const std::string warm_doc =
+        driver::JsonSink{engine.counters()}.toString(specs, results);
+    // One cell re-simulated (fresh host_ms), everything else replayed;
+    // after the scrub the documents are identical.
+    EXPECT_EQ(scrubHostMs(warm_doc), scrubHostMs(cold_doc));
+    EXPECT_EQ(engine.resultCacheUse().hits, specs.size() - 1);
+    EXPECT_EQ(engine.resultCacheUse().simulated, 1u);
+    EXPECT_EQ(engine.resultCacheUse().corrupt, 1u);
+}
+
+TEST(ResultCacheEngine, WarmReplaySweepEvaluatesNothing)
+{
+    replay::ReplayMatrix matrix;
+    auto suite = program::spec2000Suite();
+    suite.resize(2);
+    matrix.benchmarks(std::move(suite)).window(1000, 5000);
+    const auto schemes = driver::fig5Schemes();
+    matrix.addConfig(schemes[0].name, schemes[0].scheme);
+    matrix.addConfig(schemes[1].name, schemes[1].scheme);
+
+    driver::SweepOptions opts;
+    opts.resultCacheDir = uniqueDir("replay");
+
+    std::string cold_doc;
+    {
+        driver::SweepEngine engine(opts);
+        const auto results =
+            engine.runReplay(matrix.workloads(), matrix.configs());
+        cold_doc = driver::replayJsonString(results);
+        EXPECT_EQ(engine.resultCacheUse().simulated,
+                  matrix.workloads().size() * matrix.configs().size());
+    }
+    driver::SweepEngine engine(opts);
+    const auto results =
+        engine.runReplay(matrix.workloads(), matrix.configs());
+    const std::string warm_doc = driver::replayJsonString(results);
+    // The replay tier re-extracts streams (host-time fields recompute),
+    // so the identity contract is modulo *host_ms.
+    EXPECT_EQ(scrubHostMs(warm_doc), scrubHostMs(cold_doc));
+    EXPECT_EQ(engine.resultCacheUse().simulated, 0u);
+    EXPECT_EQ(engine.resultCacheUse().hits,
+              matrix.workloads().size() * matrix.configs().size());
+}
+
+// ---------------------------------------------------------------------
+// Run-object parser (the cache's read side)
+// ---------------------------------------------------------------------
+
+TEST(ResultCacheParse, RunJsonRoundTripsByteIdentically)
+{
+    driver::RunMatrix m = driver::namedGrid("smoke");
+    m.window(1000, 5000);
+    const std::vector<driver::RunSpec> specs = {m.specs().front()};
+    driver::SweepEngine engine{driver::SweepOptions{}};
+    const auto results = engine.run(specs);
+
+    std::ostringstream os;
+    {
+        driver::JsonWriter w(os);
+        driver::writeRunJson(w, specs[0], results[0]);
+    }
+    const std::string bytes = os.str();
+    const sim::RunResult parsed = driver::parseRunJson(bytes);
+
+    std::ostringstream os2;
+    {
+        driver::JsonWriter w(os2);
+        driver::writeRunJson(w, specs[0], parsed);
+    }
+    EXPECT_EQ(os2.str(), bytes);
+
+    EXPECT_THROW(driver::parseRunJson(std::string("{\"benchmark\":1}")),
+                 driver::ResultParseError);
+    EXPECT_THROW(driver::parseRunJson(std::string("nonsense")),
+                 driver::ResultParseError);
+}

@@ -28,6 +28,7 @@
 #include "exec/fault.hh"
 #include "exec/shard.hh"
 #include "exec/shard_supervisor.hh"
+#include "exec/steal_queue.hh"
 
 using namespace pp;
 
@@ -172,6 +173,100 @@ TEST(ShardRanges, ContiguousCoverWithRemainderUpFront)
     EXPECT_TRUE(exec::shardRanges(0, 4).empty());
 }
 
+TEST(SpecCost, FullChargesWindowSampledChargesDetailedWork)
+{
+    driver::RunSpec spec;
+    spec.warmupInsts = 150000;
+    spec.measureInsts = 10000000;
+    // Full detail: the whole window, exactly.
+    EXPECT_EQ(exec::specCost(spec), 10150000u);
+
+    // Sampled: detailed windows plus the discounted fast-forward — far
+    // cheaper than the full window it replaces.
+    spec.sampling = sampling::SamplingPolicy::smarts(250000);
+    const std::uint64_t windows = 10000000 / 250000 + 1;
+    EXPECT_EQ(exec::specCost(spec),
+              windows * spec.sampling.windowInsts() + 10150000 / 16);
+    EXPECT_LT(exec::specCost(spec), 10150000u);
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing queue
+// ---------------------------------------------------------------------
+
+TEST(StealQueue, LeasesDescendingCostThenDrains)
+{
+    exec::StealQueue queue(uniqueDir("queue-order"));
+    // Deliberately out of order, with a cost tie (shards 1 and 3).
+    queue.populate({{0, 0, 2, 500},
+                    {1, 2, 4, 900},
+                    {2, 4, 5, 2000},
+                    {3, 5, 6, 900}});
+
+    std::vector<std::size_t> order;
+    std::vector<exec::StealLease> leases;
+    while (auto lease = queue.lease()) {
+        order.push_back(lease->batch.shard);
+        leases.push_back(*lease);
+    }
+    // Most expensive first; the tie breaks by shard index.
+    EXPECT_EQ(order, (std::vector<std::size_t>{2, 1, 3, 0}));
+
+    for (const auto &lease : leases)
+        queue.complete(lease);
+    EXPECT_FALSE(queue.lease().has_value());
+    // complete() retired the files for good: a fresh queue over the
+    // same directory has nothing to recover.
+    EXPECT_TRUE(
+        std::filesystem::is_empty(std::filesystem::path(queue.leasedDir())));
+}
+
+TEST(StealQueue, RecoversOrphansAndReleasedLeases)
+{
+    const std::string dir = uniqueDir("queue-orphan");
+    const std::vector<exec::StealBatch> batches = {{0, 0, 3, 100},
+                                                   {1, 3, 6, 200}};
+    exec::StealQueue queue(dir);
+    queue.populate(batches);
+
+    // release() puts a claimed batch straight back.
+    auto first = queue.lease();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->batch.shard, 1u);
+    queue.release(*first);
+    auto again = queue.lease();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->batch.shard, 1u);
+
+    // A lease orphaned by a dead supervisor (never completed) is swept
+    // back to pending by the next populate() over the same directory.
+    exec::StealQueue resumed(dir);
+    resumed.populate(batches);
+    std::size_t leased = 0;
+    while (resumed.lease())
+        ++leased;
+    EXPECT_EQ(leased, 2u);
+}
+
+TEST(StealQueue, DiscardsEntriesFromAnotherSpecList)
+{
+    const std::string dir = uniqueDir("queue-stale");
+    exec::StealQueue queue(dir);
+    queue.populate({{0, 0, 1, 100}});
+    // A leftover file from some other enumeration must never be leased
+    // against this one.
+    ASSERT_TRUE(writeFileAtomic(queue.pendingDir() + "/b9999-s999.json",
+                                "{\"shard\":999}\n"));
+
+    auto lease = queue.lease();
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->batch.shard, 0u);
+    queue.complete(*lease);
+    EXPECT_FALSE(queue.lease().has_value()); // stale entry discarded
+    EXPECT_TRUE(std::filesystem::is_empty(
+        std::filesystem::path(queue.pendingDir())));
+}
+
 // ---------------------------------------------------------------------
 // Fragment format
 // ---------------------------------------------------------------------
@@ -226,6 +321,45 @@ TEST(ShardFragment, DetectsDamage)
 
     EXPECT_THROW(exec::readShardFragment(dir + "/missing.json", 0, 2),
                  exec::ShardError);
+}
+
+TEST(ShardFragment, CarriesWorkerStatsOutsidePayloadHash)
+{
+    const auto specs = smokeSpecs();
+    const std::vector<driver::RunSpec> slice(specs.begin(),
+                                             specs.begin() + 2);
+    driver::SweepEngine engine{driver::SweepOptions{}};
+    const auto results = engine.run(slice);
+
+    exec::ShardWorkerStats stats;
+    stats.resultCacheHits = 1;
+    stats.runsSimulated = 1;
+    const std::string with_stats =
+        exec::shardFragmentJson(0, slice, results, &stats);
+    const std::string without =
+        exec::shardFragmentJson(0, slice, results);
+    EXPECT_NE(with_stats, without);
+
+    const std::string dir = uniqueDir("fragstats");
+    ASSERT_TRUE(writeFileAtomic(dir + "/with.json", with_stats));
+    ASSERT_TRUE(writeFileAtomic(dir + "/without.json", without));
+
+    // The header fields ride outside payload_hash coverage: both
+    // documents verify, and the stats round-trip (absent => zeros).
+    exec::ShardWorkerStats parsed;
+    const auto r1 =
+        exec::readShardFragment(dir + "/with.json", 0, 2, &parsed);
+    EXPECT_EQ(r1.size(), 2u);
+    EXPECT_EQ(parsed.resultCacheHits, 1u);
+    EXPECT_EQ(parsed.runsSimulated, 1u);
+
+    exec::ShardWorkerStats zeros;
+    zeros.resultCacheHits = 77; // must be overwritten
+    const auto r2 =
+        exec::readShardFragment(dir + "/without.json", 0, 2, &zeros);
+    EXPECT_EQ(r2.size(), 2u);
+    EXPECT_EQ(zeros.resultCacheHits, 0u);
+    EXPECT_EQ(zeros.runsSimulated, 0u);
 }
 
 // ---------------------------------------------------------------------
@@ -344,6 +478,74 @@ TEST(ShardSupervisor, NoResumeReRunsEveryShard)
     supervisor.run(specs);
     EXPECT_EQ(supervisor.stats().resumedShards, 0u);
     EXPECT_EQ(supervisor.stats().attempts, 2u);
+}
+
+TEST(ShardSupervisor, WorkStealingSurvivesFullFaultMatrixAtAnyWidth)
+{
+    // Every failure class at once — kill -9, a hang, a torn fragment
+    // and a flipped payload byte — across six single-spec batches, at
+    // one, two and eight concurrent workers. Whatever the steal order,
+    // the merged document must match the in-process reference.
+    const auto specs = smokeSpecs();
+    const std::string reference = referenceJson(specs);
+    for (const unsigned parallel : {1u, 2u, 8u}) {
+        auto opts = baseOptions(
+            uniqueDir("steal-p" + std::to_string(parallel)));
+        opts.shards = 6;
+        opts.parallel = parallel;
+        opts.faultSpec = "crash@0:1,hang@1:1,truncate@2:1,corrupt@3:1";
+        opts.timeoutMs = 2000;
+        exec::ShardSupervisor supervisor(opts);
+        const auto results = supervisor.run(specs);
+
+        EXPECT_EQ(mergedJson(specs, results), reference)
+            << "parallel=" << parallel;
+        // Exact per-class tallies belong to the serial fault tests: on
+        // a throttled host a fork storm can push ANY faulted worker
+        // past the deadline before it runs (a crash classifies as a
+        // timeout), adding spurious retries. What must hold at every
+        // width: each injected fault cost at least one retry, every
+        // retry was classified, and the merge above is still exact.
+        const exec::ShardStats &st = supervisor.stats();
+        EXPECT_GE(st.retries, 4u) << "parallel=" << parallel;
+        EXPECT_EQ(st.attempts, 6u + st.retries)
+            << "parallel=" << parallel;
+        EXPECT_GE(st.timeoutFailures, 1u); // the hang always times out
+        EXPECT_EQ(st.crashFailures + st.timeoutFailures +
+                      st.corruptOutputFailures,
+                  st.retries);
+        EXPECT_EQ(st.corruptTraceFailures, 0u);
+    }
+}
+
+TEST(ShardSupervisor, AggregatesWorkerResultCacheStats)
+{
+    // Workers sharing a result-cache directory report their real cache
+    // behavior through the fragment header; the supervisor aggregates
+    // it. Cold pass: everything simulated. Warm pass (fresh work dir,
+    // same cache): everything served, nothing simulated — and the
+    // merged bytes still match.
+    const auto specs = smokeSpecs();
+    const std::string cache_dir = uniqueDir("stealcache");
+    auto cmd = workerCmd();
+    cmd.push_back("--result-cache-dir");
+    cmd.push_back(cache_dir);
+
+    std::string cold_doc;
+    {
+        auto opts = baseOptions(uniqueDir("cachecold"));
+        opts.workerCmd = cmd;
+        exec::ShardSupervisor supervisor(opts);
+        cold_doc = mergedJson(specs, supervisor.run(specs));
+        EXPECT_EQ(supervisor.stats().runsSimulated, specs.size());
+        EXPECT_EQ(supervisor.stats().resultCacheHits, 0u);
+    }
+    auto opts = baseOptions(uniqueDir("cachewarm"));
+    opts.workerCmd = cmd;
+    exec::ShardSupervisor supervisor(opts);
+    EXPECT_EQ(mergedJson(specs, supervisor.run(specs)), cold_doc);
+    EXPECT_EQ(supervisor.stats().resultCacheHits, specs.size());
+    EXPECT_EQ(supervisor.stats().runsSimulated, 0u);
 }
 
 // ---------------------------------------------------------------------

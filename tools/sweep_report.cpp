@@ -23,9 +23,10 @@
  *    Charts the history of the perf documents in a sweep_store:
  *    simulator throughput (pp.bench.sim_throughput.v1,
  *    current.aggregate_kips), sampling speedup
- *    (pp.bench.sampling.v1, speedup.speedup) and predictor-replay
- *    throughput (pp.bench.predictor_replay.v1, configs_per_sec)
- *    across store entries.
+ *    (pp.bench.sampling.v1, speedup.speedup), predictor-replay
+ *    throughput (pp.bench.predictor_replay.v1, configs_per_sec) and
+ *    the result-cache warm/cold + work-stealing speedups
+ *    (pp.bench.result_cache.v1) across store entries.
  *
  *  Gate: --store DIR --check [--noise PCT]
  *    Compares each tracked metric's newest entry against the median of
@@ -40,9 +41,11 @@
  *    as written by --metrics-json on the sweep harnesses and
  *    sweep_supervise) — every histogram (per-phase host-time
  *    distributions like sweep.build_host_ms / sweep.run_host_ms, and
- *    the supervisor's sweep.shard_backoff_ms / sweep.shard_attempt_ms)
+ *    the supervisor's sweep.shard_backoff_ms / sweep.shard_attempt_ms /
+ *    sweep.shard_steal_ms plus the sweep.lease_batch_size spread)
  *    becomes a bucket-count bar chart, and the scalar counters/gauges
- *    land in one summary table.
+ *    (the sweep.result_cache_* and sweep.runs_simulated cache counters
+ *    included) land in one summary table.
  *
  * Charts follow the repo's chart conventions: one y axis, categorical
  * series colors in fixed slot order, legend for multi-series charts,
@@ -732,6 +735,13 @@ const MetricSpec kTrendMetrics[] = {
     // lookup misses and the top-level fallback below picks the field.
     {"pp.bench.predictor_replay.v1", "current", "configs_per_sec",
      "predictor-replay throughput", "config evals per second"},
+    {"pp.bench.result_cache.v1", "warm_cold", "speedup",
+     "result-cache warm speedup", "warm vs cold fig5 (x)"},
+    // Trend the modeled (list-scheduled specCost makespan) ratio, not
+    // the wall ratio: it is deterministic on any host, so the gate
+    // catches scheduling-policy regressions without runner noise.
+    {"pp.bench.result_cache.v1", "steal_static", "modeled_speedup",
+     "work-stealing speedup", "steal vs static makespan, modeled (x)"},
 };
 
 std::vector<TrendMetric>

@@ -13,6 +13,11 @@
  *   index.jsonl                  one JSON line per add, append-only:
  *                                {"seq":N,"label":L,"commit":C,
  *                                 "kind":K,"object":H,"file":F}
+ *                                — idempotent per (label, object):
+ *                                re-adding identical bytes under the
+ *                                same label appends nothing
+ *                                (a retried CI job must not duplicate
+ *                                its history entry)
  *
  * "kind" is sniffed from the document ("pp.sweep.v1", the BENCH doc's
  * own schema string, or "unknown"). The index is the history: CI
@@ -114,6 +119,36 @@ nextSeq(const std::string &index_path)
     return n;
 }
 
+/**
+ * Whether (label, object) is already indexed. Re-adding the same bytes
+ * under the same label must be a no-op — the store is append-only, and
+ * a retried CI job would otherwise grow one duplicate history entry per
+ * retry. Unparseable lines are skipped (only a torn last line is
+ * possible, see atomic_io.hh).
+ */
+bool
+indexHas(const std::string &index_path, const std::string &label,
+         const std::string &hash)
+{
+    std::ifstream is(index_path);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        try {
+            const JsonValue e = pp::jsonmin::parseJson(line);
+            const JsonValue *l = e.get("label");
+            const JsonValue *o = e.get("object");
+            if (l != nullptr && o != nullptr && l->str == label &&
+                o->str == hash)
+                return true;
+        } catch (const pp::jsonmin::JsonParseError &) {
+            continue;
+        }
+    }
+    return false;
+}
+
 int
 cmdAdd(const std::string &store, const std::string &label,
        const std::string &commit, const std::vector<std::string> &files)
@@ -146,6 +181,12 @@ cmdAdd(const std::string &store, const std::string &label,
             std::fprintf(stderr, "sweep_store: cannot write %s: %s\n",
                          obj.string().c_str(), error.c_str());
             return 2;
+        }
+        if (indexHas(index_path, label, hash)) {
+            std::printf("sweep_store: %s already indexed as %s under"
+                        " label '%s'\n",
+                        file.c_str(), hash.c_str(), label.c_str());
+            continue;
         }
         std::ostringstream entry;
         entry << "{\"seq\":" << seq << ",\"label\":\""

@@ -47,6 +47,11 @@ usage(const char *prog)
         " REPRO_INSTRUCTIONS or 1000000)\n"
         "  --filter REGEX     keep only benchmarks matching REGEX\n"
         "  --trace-dir D      replay workloads from the traces in D\n"
+        "  --checkpoint-dir D cache window-checkpoint sets in D (shared"
+        " across workers)\n"
+        "  --result-cache-dir D  content-addressed result cache in D"
+        " (shared across\n"
+        "                     workers; a warm rerun simulates nothing)\n"
         "  --worker PATH      worker binary (default: sweep_worker beside"
         " this one)\n"
         "  --worker-threads N threads per worker (default: 1)\n"
@@ -100,6 +105,8 @@ main(int argc, char **argv)
     std::string grid;
     std::string filter;
     std::string trace_dir;
+    std::string checkpoint_dir;
+    std::string result_cache_dir;
     std::string worker;
     std::string json_path;
     std::string csv_path;
@@ -140,6 +147,12 @@ main(int argc, char **argv)
             ++i;
         } else if (std::strcmp(a, "--trace-dir") == 0) {
             trace_dir = need_value(i);
+            ++i;
+        } else if (std::strcmp(a, "--checkpoint-dir") == 0) {
+            checkpoint_dir = need_value(i);
+            ++i;
+        } else if (std::strcmp(a, "--result-cache-dir") == 0) {
+            result_cache_dir = need_value(i);
             ++i;
         } else if (std::strcmp(a, "--worker") == 0) {
             worker = need_value(i);
@@ -213,6 +226,14 @@ main(int argc, char **argv)
         sopts.workerCmd.push_back("--trace-dir");
         sopts.workerCmd.push_back(trace_dir);
     }
+    if (!checkpoint_dir.empty()) {
+        sopts.workerCmd.push_back("--checkpoint-dir");
+        sopts.workerCmd.push_back(checkpoint_dir);
+    }
+    if (!result_cache_dir.empty()) {
+        sopts.workerCmd.push_back("--result-cache-dir");
+        sopts.workerCmd.push_back(result_cache_dir);
+    }
 
     exec::ShardSupervisor supervisor(sopts);
     informf("supervising %zu specs across %zu shard(s)", specs.size(),
@@ -244,5 +265,10 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(st.retries),
             st.retries == 1 ? "y" : "ies",
             static_cast<unsigned long long>(st.resumedShards));
+    if (!result_cache_dir.empty()) {
+        informf("result cache: %llu hit(s), %llu run(s) simulated",
+                static_cast<unsigned long long>(st.resultCacheHits),
+                static_cast<unsigned long long>(st.runsSimulated));
+    }
     return 0;
 }

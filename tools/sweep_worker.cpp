@@ -44,6 +44,8 @@ usage(const char *prog)
         "  --trace-dir D      replay workloads from the traces in D\n"
         "  --checkpoint-dir D cache window-checkpoint sets in D (shared"
         " across workers)\n"
+        "  --result-cache-dir D  content-addressed result cache in D"
+        " (shared across workers)\n"
         "  --threads N        worker threads (default: hardware)\n"
         "  --shard-range B:E  spec range to execute (default: all)\n"
         "  --shard-out FILE   fragment output path (required)\n"
@@ -73,6 +75,7 @@ main(int argc, char **argv)
     std::string filter;
     std::string trace_dir;
     std::string checkpoint_dir;
+    std::string result_cache_dir;
     std::string out_path;
     std::uint64_t warmup = sim::defaultWarmup();
     std::uint64_t measure = sim::defaultInstructions();
@@ -108,6 +111,9 @@ main(int argc, char **argv)
             ++i;
         } else if (std::strcmp(a, "--checkpoint-dir") == 0) {
             checkpoint_dir = need_value(i);
+            ++i;
+        } else if (std::strcmp(a, "--result-cache-dir") == 0) {
+            result_cache_dir = need_value(i);
             ++i;
         } else if (std::strcmp(a, "--threads") == 0) {
             threads =
@@ -153,6 +159,6 @@ main(int argc, char **argv)
     }
 
     exec::runShardWorker(specs, begin, end, threads, out_path,
-                         checkpoint_dir);
+                         checkpoint_dir, result_cache_dir);
     return 0;
 }
